@@ -1,0 +1,121 @@
+//! Iridium's proactive data placement (the `+I-data` ablation of Fig 8a).
+//!
+//! Iridium moves input data *before* queries arrive, iteratively draining
+//! the site whose uplink would bottleneck a future shuffle toward sites
+//! with spare downlink. The Tetrium evaluation applies this movement on top
+//! of Tetrium and finds it does not help ("it is difficult to predict the
+//! resource availability in future scheduling instances", §6.3.1); we
+//! implement the movement so the harness can reproduce that ablation.
+
+use tetrium_cluster::DataDistribution;
+
+/// Iteratively re-balances a dataset toward shuffle-friendliness.
+///
+/// In each step the site with the largest prospective upload time
+/// `I_x / B_x^up` sheds a chunk (1% of the total) to the site with the
+/// smallest prospective download pressure `I_y / B_y^down`, as long as the
+/// bottleneck estimate improves. Returns the new distribution and the GB
+/// moved across the WAN (charged to the run's WAN usage by the harness).
+///
+/// `max_moved_frac` caps movement (Iridium bounds movement by the available
+/// "lag" before queries arrive); `0.5` is a generous default.
+pub fn iridium_data_move(
+    input: &DataDistribution,
+    up_gbps: &[f64],
+    down_gbps: &[f64],
+    max_moved_frac: f64,
+) -> (DataDistribution, f64) {
+    let n = input.len();
+    assert_eq!(up_gbps.len(), n);
+    assert_eq!(down_gbps.len(), n);
+    let total = input.total();
+    if total <= 0.0 || n < 2 {
+        return (input.clone(), 0.0);
+    }
+    let chunk = total * 0.01;
+    let budget = total * max_moved_frac.clamp(0.0, 1.0);
+
+    let mut vols: Vec<f64> = input.as_slice().to_vec();
+    let mut moved = 0.0;
+    let bottleneck = |v: &[f64]| -> f64 {
+        let mut b = 0.0f64;
+        for x in 0..n {
+            // Prospective shuffle: each site uploads what others will read
+            // and downloads its share; use the upload side as Iridium does.
+            b = b.max(v[x] / up_gbps[x]).max(v[x] / down_gbps[x]);
+        }
+        b
+    };
+    while moved + chunk <= budget {
+        let cur = bottleneck(&vols);
+        // Donor: the worst upload-time site. Receiver: the site whose
+        // pressure is lowest after receiving a chunk.
+        let donor = (0..n)
+            .max_by(|&a, &b| {
+                (vols[a] / up_gbps[a])
+                    .partial_cmp(&(vols[b] / up_gbps[b]))
+                    .unwrap()
+            })
+            .unwrap();
+        if vols[donor] < chunk {
+            break;
+        }
+        let receiver = (0..n)
+            .filter(|&y| y != donor)
+            .min_by(|&a, &b| {
+                ((vols[a] + chunk) / up_gbps[a].min(down_gbps[a]))
+                    .partial_cmp(&((vols[b] + chunk) / up_gbps[b].min(down_gbps[b])))
+                    .unwrap()
+            })
+            .unwrap();
+        let mut trial = vols.clone();
+        trial[donor] -= chunk;
+        trial[receiver] += chunk;
+        if bottleneck(&trial) + 1e-12 >= cur {
+            break; // No further improvement.
+        }
+        vols = trial;
+        moved += chunk;
+    }
+    (DataDistribution::new(vols), moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_the_bottleneck_site() {
+        // Site 1 holds most data behind a slow uplink.
+        let input = DataDistribution::new(vec![10.0, 80.0, 10.0]);
+        let up = [5.0, 0.5, 5.0];
+        let down = [5.0, 5.0, 5.0];
+        let (out, moved) = iridium_data_move(&input, &up, &down, 0.5);
+        assert!(moved > 0.0);
+        assert!(out.at(tetrium_cluster::SiteId(1)) < 80.0);
+        assert!((out.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_input_moves_nothing() {
+        let input = DataDistribution::new(vec![10.0, 10.0]);
+        let (out, moved) = iridium_data_move(&input, &[1.0, 1.0], &[1.0, 1.0], 0.5);
+        assert_eq!(moved, 0.0);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn movement_respects_budget() {
+        let input = DataDistribution::new(vec![0.0, 100.0]);
+        let (_, moved) = iridium_data_move(&input, &[10.0, 0.1], &[10.0, 10.0], 0.1);
+        assert!(moved <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_identity() {
+        let input = DataDistribution::zeros(3);
+        let (out, moved) = iridium_data_move(&input, &[1.0; 3], &[1.0; 3], 0.5);
+        assert_eq!(moved, 0.0);
+        assert_eq!(out.total(), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! The In-Place baseline: default Spark with site-locality.
+
+use crate::{fair_plans, place_map_local, place_reduce_proportional};
+use tetrium_jobs::StageKind;
+use tetrium_sim::{Scheduler, Snapshot, StagePlan};
+
+/// Site-locality scheduling (§6.1 baseline (a)).
+///
+/// Map tasks run at the site holding their input partition (the effect of
+/// delay scheduling, which waits for a local slot rather than running
+/// remotely), reduce tasks are spread proportionally to the intermediate
+/// data, and slots are shared fairly across jobs — the behaviour of stock
+/// Spark with the fair scheduler.
+#[derive(Debug, Default)]
+pub struct InPlaceScheduler;
+
+impl InPlaceScheduler {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for InPlaceScheduler {
+    fn name(&self) -> &str {
+        "in-place"
+    }
+
+    fn schedule(&mut self, snap: &Snapshot) -> Vec<StagePlan> {
+        fair_plans(snap, |_, st| match st.kind {
+            StageKind::Map => place_map_local(st),
+            StageKind::Reduce => place_reduce_proportional(st),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+    use tetrium_cluster::SiteId;
+
+    #[test]
+    fn maps_stay_local_reduces_follow_data() {
+        let snap = Snapshot {
+            now: 0.0,
+            sites: sites(&[(4, 1.0, 1.0), (4, 1.0, 1.0)]),
+            jobs: vec![map_job(0, &[3, 1], &[3.0, 1.0]), reduce_job(1, vec![0.0, 8.0], 4)],
+        };
+        let mut sched = InPlaceScheduler::new();
+        let plans = sched.schedule(&snap);
+        let map_plan = plans.iter().find(|p| p.job.index() == 0).unwrap();
+        assert!(map_plan
+            .assignments
+            .iter()
+            .take(3)
+            .all(|a| a.site == SiteId(0)));
+        let red_plan = plans.iter().find(|p| p.job.index() == 1).unwrap();
+        assert!(red_plan.assignments.iter().all(|a| a.site == SiteId(1)));
+    }
+}

@@ -1,0 +1,104 @@
+//! The Iridium baseline: network-centric placement (SIGCOMM '15).
+
+use crate::{expand_counts, fair_plans, place_map_local, place_reduce_proportional};
+use tetrium_core::{solve_reduce_placement, ReduceProblem};
+use tetrium_jobs::StageKind;
+use tetrium_sim::{Scheduler, Snapshot, StagePlan, TaskPhase};
+
+/// Iridium's scheduler (§6.1 baseline (b)).
+///
+/// Map tasks run at their data; reduce tasks are placed by a linear program
+/// that minimizes shuffle time *only* (Iridium assumes compute slots are
+/// never the bottleneck: "all tasks can start at once without queuing
+/// delay", §3.2). Jobs share the cluster fairly, as in the Spark prototype
+/// Iridium extends.
+#[derive(Debug, Default)]
+pub struct IridiumScheduler;
+
+impl IridiumScheduler {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for IridiumScheduler {
+    fn name(&self) -> &str {
+        "iridium"
+    }
+
+    fn schedule(&mut self, snap: &Snapshot) -> Vec<StagePlan> {
+        fair_plans(snap, |snap, st| match st.kind {
+            StageKind::Map => place_map_local(st),
+            StageKind::Reduce => {
+                let unl: Vec<usize> = st
+                    .tasks
+                    .iter()
+                    .filter(|t| t.phase == TaskPhase::Unlaunched)
+                    .map(|t| t.index)
+                    .collect();
+                if unl.is_empty() {
+                    return Vec::new();
+                }
+                let share_rem: f64 = unl.iter().map(|&i| st.tasks[i].share).sum();
+                let shuffle_gb: Vec<f64> = st.input_gb.iter().map(|v| v * share_rem).collect();
+                let problem = ReduceProblem {
+                    shuffle_gb,
+                    num_tasks: unl.len(),
+                    task_secs: st.est_task_secs,
+                    up_gbps: snap.up_vec(),
+                    down_gbps: snap.down_vec(),
+                    slots: snap.slots_vec(),
+                    wan_budget_gb: None,
+                    network_only: true,
+                    next_stage_out_gb: None,
+                };
+                match solve_reduce_placement(&problem) {
+                    Ok(p) => expand_counts(&unl, &p.tasks_at),
+                    Err(_) => place_reduce_proportional(st),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+
+    #[test]
+    fn reduce_placement_minimizes_shuffle_not_compute() {
+        // Fig 4 reduce stage: Iridium ignores that site 3 has few slots.
+        let snap = Snapshot {
+            now: 0.0,
+            sites: sites(&[(40, 5.0, 5.0), (10, 1.0, 1.0), (20, 2.0, 5.0)]),
+            jobs: vec![reduce_job(0, vec![10.0, 15.0, 25.0], 500)],
+        };
+        let mut sched = IridiumScheduler::new();
+        let plans = sched.schedule(&snap);
+        let mut counts = [0usize; 3];
+        for a in &plans[0].assignments {
+            counts[a.site.index()] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 500);
+        // The shuffle-optimal placement loads site 2 (the 25 GB site)
+        // heavily despite its modest slot count.
+        assert!(counts[2] > 250, "counts {counts:?}");
+    }
+
+    #[test]
+    fn map_tasks_never_move() {
+        let snap = Snapshot {
+            now: 0.0,
+            sites: sites(&[(4, 1.0, 1.0), (4, 1.0, 1.0)]),
+            jobs: vec![map_job(0, &[2, 2], &[2.0, 2.0])],
+        };
+        let mut sched = IridiumScheduler::new();
+        let plans = sched.schedule(&snap);
+        for a in &plans[0].assignments {
+            let home = snap.jobs[0].runnable[0].tasks[a.task].input_site.unwrap();
+            assert_eq!(a.site, home);
+        }
+    }
+}

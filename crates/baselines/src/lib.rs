@@ -1,0 +1,243 @@
+//! Baseline schedulers from the Tetrium evaluation (§6.1).
+//!
+//! - [`InPlaceScheduler`] — default Spark behaviour: site-locality for map
+//!   tasks (delay scheduling keeps tasks with their data), data-proportional
+//!   reduce placement, fair sharing across jobs.
+//! - [`IridiumScheduler`] — Iridium (SIGCOMM '15): map tasks local, reduce
+//!   tasks placed by a network-only LP minimizing shuffle time; fair sharing
+//!   across jobs.
+//! - [`CentralizedScheduler`] — aggregate everything at the most powerful
+//!   site and compute there.
+//! - [`TetrisScheduler`] — Tetris (SIGCOMM '14) adapted to geo-distribution:
+//!   multi-resource packing with *pre-configured static* bandwidth demands
+//!   per task, which is exactly the modeling the paper criticizes (§7).
+//! - [`SwagScheduler`] — SWAG (SoCC '15): queue-aware cross-site job
+//!   ordering with site-local tasks; the compute-only ancestor Tetrium
+//!   generalizes (§7).
+//! - [`iridium_data_move`] — Iridium's proactive data placement, used for
+//!   the `+I-data` ablation of Fig 8(a).
+
+mod centralized;
+mod data_placement;
+mod in_place;
+mod iridium;
+mod swag;
+mod tetris;
+
+pub use centralized::CentralizedScheduler;
+pub use data_placement::iridium_data_move;
+pub use in_place::InPlaceScheduler;
+pub use iridium::IridiumScheduler;
+pub use swag::SwagScheduler;
+pub use tetris::TetrisScheduler;
+
+use tetrium_cluster::SiteId;
+use tetrium_jobs::largest_remainder_round;
+use tetrium_sim::{Snapshot, StagePlan, StageSnapshot, TaskAssignment, TaskPhase};
+
+/// Builds fair-sharing plans: every job's tasks are emitted with round-robin
+/// interleaved priorities, so per-site dispatch alternates across jobs.
+///
+/// `place` maps a runnable stage to `(task, site)` pairs in launch order.
+pub(crate) fn fair_plans(
+    snap: &Snapshot,
+    mut place: impl FnMut(&Snapshot, &StageSnapshot) -> Vec<(usize, SiteId)>,
+) -> Vec<StagePlan> {
+    // Jobs in arrival order get interleaved priorities.
+    let mut order: Vec<usize> = (0..snap.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        snap.jobs[a]
+            .arrival
+            .partial_cmp(&snap.jobs[b].arrival)
+            .unwrap()
+            .then(snap.jobs[a].id.cmp(&snap.jobs[b].id))
+    });
+    let njobs = order.len().max(1) as i64;
+    let mut plans = Vec::new();
+    for (rank, &ji) in order.iter().enumerate() {
+        let job = &snap.jobs[ji];
+        let mut pos: i64 = 0;
+        for st in &job.runnable {
+            let placed = place(snap, st);
+            let assignments: Vec<TaskAssignment> = placed
+                .into_iter()
+                .map(|(task, site)| {
+                    let priority = pos * njobs + rank as i64;
+                    pos += 1;
+                    TaskAssignment {
+                        task,
+                        site,
+                        priority,
+                    }
+                })
+                .collect();
+            plans.push(StagePlan {
+                job: job.id,
+                stage: st.stage_index,
+                assignments,
+            });
+        }
+    }
+    plans
+}
+
+/// Site-local placement for a map stage: every task runs where its
+/// partition lives (FIFO order).
+pub(crate) fn place_map_local(st: &StageSnapshot) -> Vec<(usize, SiteId)> {
+    st.tasks
+        .iter()
+        .filter(|t| t.phase == TaskPhase::Unlaunched)
+        .map(|t| (t.index, t.input_site.expect("map task has a home site")))
+        .collect()
+}
+
+/// Data-proportional placement for a reduce stage: task counts per site
+/// follow the intermediate data distribution.
+pub(crate) fn place_reduce_proportional(st: &StageSnapshot) -> Vec<(usize, SiteId)> {
+    let unl: Vec<usize> = st
+        .tasks
+        .iter()
+        .filter(|t| t.phase == TaskPhase::Unlaunched)
+        .map(|t| t.index)
+        .collect();
+    let counts = largest_remainder_round(&st.input_gb, unl.len());
+    expand_counts(&unl, &counts)
+}
+
+/// Pairs unlaunched tasks (in index order) with an expanded per-site count
+/// list.
+pub(crate) fn expand_counts(unl: &[usize], counts: &[usize]) -> Vec<(usize, SiteId)> {
+    let mut sites: Vec<SiteId> = Vec::with_capacity(unl.len());
+    for (y, &c) in counts.iter().enumerate() {
+        sites.extend(std::iter::repeat_n(SiteId(y), c));
+    }
+    while sites.len() < unl.len() {
+        sites.push(SiteId(0));
+    }
+    unl.iter().zip(sites).map(|(&t, s)| (t, s)).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use tetrium_jobs::{JobId, StageKind};
+    use tetrium_sim::{JobSnapshot, SiteState, StageSnapshot, TaskPhase, TaskSnapshot};
+
+    pub fn sites(spec: &[(usize, f64, f64)]) -> Vec<SiteState> {
+        spec.iter()
+            .map(|&(slots, up, down)| SiteState {
+                slots,
+                free_slots: slots,
+                up_gbps: up,
+                down_gbps: down,
+            })
+            .collect()
+    }
+
+    pub fn reduce_job(id: usize, input_gb: Vec<f64>, n_tasks: usize) -> JobSnapshot {
+        let tasks: Vec<TaskSnapshot> = (0..n_tasks)
+            .map(|i| TaskSnapshot {
+                index: i,
+                phase: TaskPhase::Unlaunched,
+                input_site: None,
+                input_gb: input_gb.iter().sum::<f64>() / n_tasks as f64,
+                share: 1.0 / n_tasks as f64,
+                running_site: None,
+            })
+            .collect();
+        JobSnapshot {
+            id: JobId(id),
+            arrival: 0.0,
+            total_stages: 2,
+            remaining_stages: 1,
+            stages: vec![],
+            runnable: vec![StageSnapshot {
+                stage_index: 1,
+                kind: StageKind::Reduce,
+                est_task_secs: 1.0,
+                num_tasks: n_tasks,
+                input_gb,
+                tasks,
+            }],
+        }
+    }
+
+    pub fn map_job(id: usize, tasks_per_site: &[usize], gb: &[f64]) -> JobSnapshot {
+        let mut tasks = Vec::new();
+        let mut idx = 0;
+        for (s, &c) in tasks_per_site.iter().enumerate() {
+            for _ in 0..c {
+                tasks.push(TaskSnapshot {
+                    index: idx,
+                    phase: TaskPhase::Unlaunched,
+                    input_site: Some(tetrium_cluster::SiteId(s)),
+                    input_gb: if c > 0 { gb[s] / c as f64 } else { 0.0 },
+                    share: 0.0,
+                    running_site: None,
+                });
+                idx += 1;
+            }
+        }
+        let n = tasks.len();
+        JobSnapshot {
+            id: JobId(id),
+            arrival: 0.0,
+            total_stages: 1,
+            remaining_stages: 1,
+            stages: vec![],
+            runnable: vec![StageSnapshot {
+                stage_index: 0,
+                kind: StageKind::Map,
+                est_task_secs: 1.0,
+                num_tasks: n,
+                input_gb: gb.to_vec(),
+                tasks,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn proportional_reduce_counts_follow_data() {
+        let job = reduce_job(0, vec![10.0, 30.0], 4);
+        let placed = place_reduce_proportional(&job.runnable[0]);
+        let at1 = placed.iter().filter(|(_, s)| *s == SiteId(1)).count();
+        assert_eq!(at1, 3);
+    }
+
+    #[test]
+    fn map_local_keeps_tasks_home() {
+        let job = map_job(0, &[2, 3], &[4.0, 9.0]);
+        let placed = place_map_local(&job.runnable[0]);
+        assert_eq!(placed.len(), 5);
+        assert!(placed[..2].iter().all(|(_, s)| *s == SiteId(0)));
+        assert!(placed[2..].iter().all(|(_, s)| *s == SiteId(1)));
+    }
+
+    #[test]
+    fn fair_plans_interleave() {
+        let snap = Snapshot {
+            now: 0.0,
+            sites: sites(&[(4, 1.0, 1.0), (4, 1.0, 1.0)]),
+            jobs: vec![
+                reduce_job(0, vec![1.0, 1.0], 4),
+                reduce_job(1, vec![1.0, 1.0], 4),
+            ],
+        };
+        let plans = fair_plans(&snap, |_, st| place_reduce_proportional(st));
+        let mut all: Vec<(i64, usize)> = plans
+            .iter()
+            .flat_map(|p| {
+                p.assignments
+                    .iter()
+                    .map(move |a| (a.priority, p.job.index()))
+            })
+            .collect();
+        all.sort_unstable();
+        assert_ne!(all[0].1, all[1].1);
+    }
+}

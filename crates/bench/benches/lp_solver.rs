@@ -1,0 +1,67 @@
+//! Criterion benches for the simplex substrate: the Fig 4 map/reduce LPs
+//! and a 50-site map placement (the largest LP Tetrium solves per stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tetrium_core::{solve_map_placement, solve_reduce_placement, MapProblem, ReduceProblem};
+
+fn fig4_map() -> MapProblem {
+    MapProblem {
+        input_gb: vec![20.0, 30.0, 50.0],
+        tasks_from: vec![200, 300, 500],
+        task_secs: 2.0,
+        up_gbps: vec![5.0, 1.0, 2.0],
+        down_gbps: vec![5.0, 1.0, 5.0],
+        slots: vec![40, 10, 20],
+        wan_budget_gb: None,
+        forced_dest_gb: None,
+        next_stage_ratio: Some(0.5),
+        dest_limit: None,
+    }
+}
+
+fn big_map(n: usize) -> MapProblem {
+    MapProblem {
+        input_gb: (0..n).map(|i| 1.0 + (i % 7) as f64).collect(),
+        tasks_from: (0..n).map(|i| 10 + (i * 13) % 40).collect(),
+        task_secs: 2.0,
+        up_gbps: (0..n).map(|i| 0.0125 + 0.01 * (i % 11) as f64).collect(),
+        down_gbps: (0..n).map(|i| 0.0125 + 0.01 * ((i + 3) % 11) as f64).collect(),
+        slots: (0..n).map(|i| 25 + (i * 97) % 1000).collect(),
+        wan_budget_gb: None,
+        forced_dest_gb: None,
+        next_stage_ratio: Some(0.5),
+        dest_limit: Some(12),
+    }
+}
+
+fn big_reduce(n: usize) -> ReduceProblem {
+    ReduceProblem {
+        shuffle_gb: (0..n).map(|i| 0.5 + (i % 5) as f64).collect(),
+        num_tasks: 500,
+        task_secs: 1.0,
+        up_gbps: (0..n).map(|i| 0.0125 + 0.01 * (i % 11) as f64).collect(),
+        down_gbps: (0..n).map(|i| 0.0125 + 0.01 * ((i + 3) % 11) as f64).collect(),
+        slots: (0..n).map(|i| 25 + (i * 97) % 1000).collect(),
+        wan_budget_gb: None,
+        network_only: false,
+        next_stage_out_gb: Some(10.0),
+    }
+}
+
+fn bench_lps(c: &mut Criterion) {
+    c.bench_function("map_lp_3_sites_fig4", |b| {
+        let p = fig4_map();
+        b.iter(|| solve_map_placement(&p).unwrap())
+    });
+    c.bench_function("map_lp_50_sites", |b| {
+        let p = big_map(50);
+        b.iter(|| solve_map_placement(&p).unwrap())
+    });
+    c.bench_function("reduce_lp_50_sites", |b| {
+        let p = big_reduce(50);
+        b.iter(|| solve_reduce_placement(&p).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_lps);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the full scheduling decision (Fig 7's quantity):
+//! one cold `schedule()` pass over 50 sites at varying job counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetrium_bench::figs::fig7::snapshot;
+use tetrium_core::TetriumScheduler;
+use tetrium_sim::Scheduler;
+
+fn bench_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_decision");
+    group.sample_size(10);
+    for n_jobs in [25usize, 50, 100] {
+        let snap = snapshot(n_jobs, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &snap, |b, snap| {
+            b.iter(|| {
+                let mut sched = TetriumScheduler::standard();
+                sched.schedule(snap)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

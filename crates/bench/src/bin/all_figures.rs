@@ -1,0 +1,20 @@
+//! Runs the entire harness: every table and figure of the evaluation.
+//!
+//! Set `TETRIUM_QUICK=1` for a shrunk smoke-test pass. JSON records land in
+//! `target/experiments/`.
+fn main() {
+    use tetrium_bench::figs::*;
+    fig2::run();
+    fig3::run();
+    fig5::run();
+    fig7::run();
+    fig8::run_fig();
+    fig9::run_fig();
+    fig10::run_fig();
+    fig11::run_fig();
+    fig12::run_fig();
+    fwd_rev::run_fig();
+    vs_tetris::run_fig();
+    skew_sweep::run_fig();
+    println!("\nall figures regenerated; records in target/experiments/");
+}

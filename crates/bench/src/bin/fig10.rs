@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig10::run_fig();
+}

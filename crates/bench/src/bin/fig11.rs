@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig11::run_fig();
+}

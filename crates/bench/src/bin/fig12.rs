@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig12::run_fig();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig2 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig2::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig3::run();
+}

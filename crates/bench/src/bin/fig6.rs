@@ -1,0 +1,4 @@
+//! Fig 6 (slowdown) shares its runs with Fig 5; this prints both.
+fn main() {
+    tetrium_bench::figs::fig5::run();
+}

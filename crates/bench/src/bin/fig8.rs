@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig8::run_fig();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fig9::run_fig();
+}

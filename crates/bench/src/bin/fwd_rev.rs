@@ -1,0 +1,4 @@
+//! Regenerates the paper's fwd_rev artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::fwd_rev::run_fig();
+}

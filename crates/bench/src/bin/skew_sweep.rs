@@ -1,0 +1,4 @@
+//! Regenerates the paper's skew_sweep artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::skew_sweep::run_fig();
+}

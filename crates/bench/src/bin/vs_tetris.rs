@@ -1,0 +1,4 @@
+//! Regenerates the paper's vs_tetris artifact; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::vs_tetris::run_fig();
+}

@@ -1,0 +1,91 @@
+//! Fig 10: balancing response time against WAN usage (ρ) and fairness (ε).
+//!
+//! (a)(b) sweep the WAN-budget knob ρ and report reduction in average
+//! response time and in WAN usage vs In-Place and Centralized; (c) sweeps
+//! the fairness knob ε and reports response-time reduction vs In-Place.
+
+use crate::{banner, fifty_sites, fig10_trace, quick_mode, run, rt_reduction, write_record};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::core::{TetriumConfig, WanKnob};
+use tetrium::metrics::wan_reduction_pct;
+use tetrium::SchedulerKind;
+
+/// Runs both sweeps.
+pub fn run_fig() {
+    banner("fig10", "WAN-budget knob rho and fairness knob epsilon");
+    let cluster = fifty_sites(1);
+    let jobs = {
+        let mut rng = StdRng::seed_from_u64(4);
+        tetrium_workload::trace_like_jobs(&cluster, 14, &fig10_trace(), &mut rng)
+    };
+    let inplace = run(&cluster, &jobs, SchedulerKind::InPlace, 10);
+    let central = run(&cluster, &jobs, SchedulerKind::Centralized, 10);
+
+    let rhos: &[f64] = if quick_mode() {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    println!("\n(a)(b) rho sweep");
+    println!(
+        "{:>6} {:>12} {:>12} | {:>12} {:>12}",
+        "rho", "RT vs I-P", "WAN vs I-P", "RT vs Cen", "WAN vs Cen"
+    );
+    let mut rho_rows = Vec::new();
+    for &rho in rhos {
+        let r = run(
+            &cluster,
+            &jobs,
+            SchedulerKind::TetriumWith(TetriumConfig {
+                wan: WanKnob::new(rho),
+                ..TetriumConfig::default()
+            }),
+            10,
+        );
+        let rt_ip = rt_reduction(&inplace, &r);
+        let wan_ip = wan_reduction_pct(&inplace, &r);
+        let rt_ce = rt_reduction(&central, &r);
+        let wan_ce = wan_reduction_pct(&central, &r);
+        println!(
+            "{rho:>6.2} {rt_ip:>11.0}% {wan_ip:>11.0}% | {rt_ce:>11.0}% {wan_ce:>11.0}%"
+        );
+        rho_rows.push(serde_json::json!({
+            "rho": rho,
+            "rt_vs_inplace_pct": rt_ip,
+            "wan_vs_inplace_pct": wan_ip,
+            "rt_vs_centralized_pct": rt_ce,
+            "wan_vs_centralized_pct": wan_ce,
+            "avg_response_s": r.avg_response(),
+            "wan_gb": r.total_wan_gb,
+        }));
+    }
+    println!("(paper: response reduction grows with rho, WAN savings shrink; sweet spot ~0.75)");
+
+    println!("\n(c) epsilon sweep (RT reduction vs In-Place)");
+    let epsilons: &[f64] = if quick_mode() {
+        &[0.0, 0.6, 1.0]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    let mut eps_rows = Vec::new();
+    for &eps in epsilons {
+        let r = run(
+            &cluster,
+            &jobs,
+            SchedulerKind::TetriumWith(TetriumConfig {
+                epsilon: eps,
+                ..TetriumConfig::default()
+            }),
+            10,
+        );
+        let red = rt_reduction(&inplace, &r);
+        println!("  eps={eps:>4.2}  {red:>6.0}%");
+        eps_rows.push(serde_json::json!({"epsilon": eps, "rt_vs_inplace_pct": red}));
+    }
+    println!("(paper: gains grow from ~0 at eps=0 to the full SRPT gain at eps=1; knee ~0.6)");
+    write_record(
+        "fig10",
+        &serde_json::json!({"rho": rho_rows, "epsilon": eps_rows}),
+    );
+}

@@ -1,0 +1,99 @@
+//! Fig 11 (table): gains under resource dynamics.
+//!
+//! Five random sites lose a fraction of their compute and network capacity
+//! mid-run; Tetrium reacts with the limited re-assignment heuristic of §4.2
+//! that updates at most `k` sites. Rows are the drop fraction, columns the
+//! update budget `k`; cells report reduction in average response time vs
+//! In-Place under the same drops. The paper sees gains grow with `k`
+//! (saturating by k≈10) and shrink as drops deepen.
+
+use crate::{
+    banner, calibrated_trace, fifty_sites, quick_mode, trace_engine, write_record,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tetrium::cluster::{CapacityDrop, SiteId};
+use tetrium::core::TetriumConfig;
+use tetrium::metrics::reduction_pct;
+use tetrium::sim::Engine;
+use tetrium::SchedulerKind;
+use tetrium_workload::trace_like_jobs;
+
+/// Runs the drop × k grid.
+pub fn run_fig() {
+    banner("fig11", "resource dynamics: drop % x update budget k");
+    let cluster = fifty_sites(1);
+    // Full calibrated scale: under-scaled workloads erase the
+    // Tetrium-vs-In-Place gap this table modulates.
+    let params = calibrated_trace();
+    let n_jobs = if quick_mode() { 6 } else { 16 };
+    let mut rng = StdRng::seed_from_u64(11);
+    let jobs = trace_like_jobs(&cluster, n_jobs, &params, &mut rng);
+
+    // Degrade the five most capable sites: those carry the bulk of every
+    // scheduler's placements, so the drop actually forces re-assignment
+    // (random small sites are usually not load-bearing).
+    let mut by_slots: Vec<usize> = (0..cluster.len()).collect();
+    by_slots.sort_by_key(|&i| std::cmp::Reverse(cluster.site(SiteId(i)).slots));
+    let targets: Vec<SiteId> = by_slots[..5].iter().map(|&i| SiteId(i)).collect();
+    let drops_for = |frac: f64, rng: &mut StdRng| -> Vec<CapacityDrop> {
+        targets
+            .iter()
+            .map(|&site| CapacityDrop::new(site, rng.gen_range(50.0..250.0), frac))
+            .collect()
+    };
+    let fractions: &[f64] = if quick_mode() {
+        &[0.1, 0.5]
+    } else {
+        &[0.1, 0.3, 0.5]
+    };
+    let ks: &[usize] = if quick_mode() {
+        &[3, 50]
+    } else {
+        &[3, 7, 20, 50]
+    };
+
+    print!("{:>8}", "drop");
+    for &k in ks {
+        print!("{:>9}", format!("k={k}"));
+    }
+    println!();
+    let mut rows = Vec::new();
+    for &frac in fractions {
+        let mut drop_rng = StdRng::seed_from_u64(1100 + (frac * 10.0) as u64);
+        let drops = drops_for(frac, &mut drop_rng);
+        let baseline = Engine::new(
+            cluster.clone(),
+            jobs.clone(),
+            SchedulerKind::InPlace.build(),
+            trace_engine(11),
+        )
+        .with_drops(drops.clone())
+        .run()
+        .expect("in-place completes");
+        print!("{:>7.0}%", frac * 100.0);
+        let mut cells = Vec::new();
+        for &k in ks {
+            let r = Engine::new(
+                cluster.clone(),
+                jobs.clone(),
+                SchedulerKind::TetriumWith(TetriumConfig {
+                    dynamics_k: Some(k),
+                    ..TetriumConfig::default()
+                })
+                .build(),
+                trace_engine(11),
+            )
+            .with_drops(drops.clone())
+            .run()
+            .expect("tetrium completes");
+            let red = reduction_pct(baseline.avg_response(), r.avg_response());
+            print!("{red:>8.0}%");
+            cells.push(serde_json::json!({"k": k, "vs_inplace_pct": red}));
+        }
+        println!();
+        rows.push(serde_json::json!({"drop_frac": frac, "cells": cells}));
+    }
+    println!("(paper: e.g. 30% drop: 16/26/32/34% for k=3/7/20/50; gains rise with k, fall with drop depth)");
+    write_record("fig11", &serde_json::json!({ "rows": rows }));
+}

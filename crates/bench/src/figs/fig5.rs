@@ -1,0 +1,87 @@
+//! Fig 5 + Fig 6: EC2 deployment comparison.
+//!
+//! Reduction in average response time (Fig 5) and average slowdown (Fig 6)
+//! of Tetrium vs In-Place and Iridium, for the TPC-DS-like and
+//! BigData-benchmark-like workloads on the 8-region and 30-instance EC2
+//! presets. The paper reports up to 78% vs In-Place and up to 55% vs
+//! Iridium, with larger gains for TPC-DS (longer stage chains) and for the
+//! 30-site setting (more placement freedom).
+
+use crate::{banner, quick_mode, write_record};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::{ec2_eight_regions, ec2_thirty_instances};
+use tetrium::metrics::reduction_pct;
+use tetrium::sim::EngineConfig;
+use tetrium::workload::{bigdata_like_jobs, tpcds_like_jobs};
+use tetrium::{isolated_service_times, run_workload, SchedulerKind};
+use tetrium_cluster::Cluster;
+use tetrium_jobs::Job;
+
+fn workloads(cluster: &Cluster, seed: u64) -> Vec<(&'static str, Vec<Job>)> {
+    let n = if quick_mode() { 6 } else { 10 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tpcds = tpcds_like_jobs(cluster, n, 30.0, 8.0, &mut rng);
+    let bigdata = bigdata_like_jobs(cluster, n, 15.0, 20.0, &mut rng);
+    vec![("TPC-DS", tpcds), ("Big-Data", bigdata)]
+}
+
+/// Runs the four workload × cluster combinations under the three schedulers
+/// and prints both figures' reductions.
+pub fn run() {
+    banner("fig5+fig6", "EC2 comparison: response time and slowdown");
+    let clusters = [
+        ("8-site", ec2_eight_regions()),
+        ("30-site", ec2_thirty_instances()),
+    ];
+    println!(
+        "{:<22} {:>14} {:>14} | {:>14} {:>14}",
+        "workload,cluster", "RT vs In-Place", "RT vs Iridium", "SD vs In-Place", "SD vs Iridium"
+    );
+    let mut rows = Vec::new();
+    for (cname, cluster) in clusters {
+        for (wname, jobs) in workloads(&cluster, 50) {
+            let cfg = EngineConfig::trace_like(5);
+            let runs: Vec<_> = [
+                SchedulerKind::Tetrium,
+                SchedulerKind::InPlace,
+                SchedulerKind::Iridium,
+            ]
+            .into_iter()
+            .map(|k| {
+                run_workload(cluster.clone(), jobs.clone(), k, cfg.clone()).expect("completes")
+            })
+            .collect();
+            let isolated =
+                isolated_service_times(&cluster, &jobs, SchedulerKind::Tetrium).unwrap();
+            let slowdown = |r: &tetrium::sim::RunReport| -> f64 {
+                let s = tetrium::metrics::slowdowns(r, &isolated);
+                s.iter().sum::<f64>() / s.len() as f64
+            };
+            let rt_ip = reduction_pct(runs[1].avg_response(), runs[0].avg_response());
+            let rt_ir = reduction_pct(runs[2].avg_response(), runs[0].avg_response());
+            let sd_ip = reduction_pct(slowdown(&runs[1]), slowdown(&runs[0]));
+            let sd_ir = reduction_pct(slowdown(&runs[2]), slowdown(&runs[0]));
+            println!(
+                "{:<22} {:>13.0}% {:>13.0}% | {:>13.0}% {:>13.0}%",
+                format!("{wname}, {cname}"),
+                rt_ip,
+                rt_ir,
+                sd_ip,
+                sd_ir
+            );
+            rows.push(serde_json::json!({
+                "workload": wname,
+                "cluster": cname,
+                "rt_reduction_vs_inplace_pct": rt_ip,
+                "rt_reduction_vs_iridium_pct": rt_ir,
+                "slowdown_reduction_vs_inplace_pct": sd_ip,
+                "slowdown_reduction_vs_iridium_pct": sd_ir,
+                "tetrium_avg_response_s": runs[0].avg_response(),
+            }));
+        }
+    }
+    println!("(paper: Fig 5 up to 78% vs In-Place / 55% vs Iridium; Fig 6 up to 45% / 16%)");
+    write_record("fig5", &serde_json::json!({ "rows": rows }));
+    write_record("fig6", &serde_json::json!({ "rows": rows }));
+}

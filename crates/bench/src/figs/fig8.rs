@@ -1,0 +1,126 @@
+//! Fig 8: 50-site trace-driven comparison with design-choice ablations.
+//!
+//! (a) Reduction in average response time of Tetrium vs In-Place and
+//! Centralized, plus the ablations Tetrium+FS (fair scheduling instead of
+//! SRPT), +I-task (Iridium's placement under Tetrium's job scheduling) and
+//! +I-data (Iridium's proactive data placement on top of Tetrium).
+//! (b) CDF of per-job response-time reduction vs both baselines.
+
+use crate::{banner, fifty_sites, run, rt_reduction, trace_workload, write_record};
+use tetrium::baselines::iridium_data_move;
+use tetrium::core::{JobPolicy, PlacementPolicy, TetriumConfig};
+use tetrium::metrics::{per_job_reduction, Cdf};
+use tetrium::SchedulerKind;
+
+/// Runs the comparison and prints reductions plus CDF quantiles.
+pub fn run_fig() {
+    banner("fig8", "trace-driven 50-site comparison and ablations");
+    let cluster = fifty_sites(1);
+    let jobs = trace_workload(&cluster, 2);
+
+    let tetrium = run(&cluster, &jobs, SchedulerKind::Tetrium, 7);
+    let inplace = run(&cluster, &jobs, SchedulerKind::InPlace, 7);
+    let central = run(&cluster, &jobs, SchedulerKind::Centralized, 7);
+    let fs = run(
+        &cluster,
+        &jobs,
+        SchedulerKind::TetriumWith(TetriumConfig {
+            job_policy: JobPolicy::Fair,
+            ..TetriumConfig::default()
+        }),
+        7,
+    );
+    let itask = run(
+        &cluster,
+        &jobs,
+        SchedulerKind::TetriumWith(TetriumConfig {
+            placement: PlacementPolicy::IridiumNet,
+            ..TetriumConfig::default()
+        }),
+        7,
+    );
+    // +I-data: move input data in advance per Iridium's heuristic, charge
+    // the moved bytes, then run plain Tetrium on the transformed inputs.
+    let (idata_jobs, moved_gb) = {
+        let up: Vec<f64> = cluster.iter().map(|(_, s)| s.up_gbps).collect();
+        let down: Vec<f64> = cluster.iter().map(|(_, s)| s.down_gbps).collect();
+        let mut moved = 0.0;
+        let jobs2: Vec<_> = jobs
+            .iter()
+            .cloned()
+            .map(|mut j| {
+                for st in &mut j.stages {
+                    if let Some(input) = st.input.take() {
+                        let (new_input, m) = iridium_data_move(&input, &up, &down, 0.5);
+                        moved += m;
+                        st.input = Some(new_input);
+                    }
+                }
+                j
+            })
+            .collect();
+        (jobs2, moved)
+    };
+    let mut idata = run(&cluster, &idata_jobs, SchedulerKind::Tetrium, 7);
+    idata.total_wan_gb += moved_gb;
+
+    println!("\n(a) reduction in average response time");
+    println!(
+        "{:<16} {:>14} {:>16}",
+        "variant", "vs In-Place", "vs Centralized"
+    );
+    let mut rows = Vec::new();
+    for r in [&tetrium, &fs, &itask, &idata] {
+        let name = if std::ptr::eq(r, &idata) {
+            "tetrium+i-data"
+        } else {
+            r.scheduler.as_str()
+        };
+        let vs_ip = rt_reduction(&inplace, r);
+        let vs_ce = rt_reduction(&central, r);
+        println!("{name:<16} {vs_ip:>13.0}% {vs_ce:>15.0}%");
+        rows.push(serde_json::json!({
+            "variant": name,
+            "vs_inplace_pct": vs_ip,
+            "vs_centralized_pct": vs_ce,
+            "avg_response_s": r.avg_response(),
+            "wan_gb": r.total_wan_gb,
+        }));
+    }
+    println!(
+        "(paper: Tetrium 42% / 50%; Tetrium+FS 26% / 35%; +I-task and +I-data below Tetrium)"
+    );
+
+    println!("\n(b) CDF of per-job reduction vs In-Place / vs Centralized");
+    let cdf_ip = Cdf::new(
+        per_job_reduction(&inplace, &tetrium)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect(),
+    );
+    let cdf_ce = Cdf::new(
+        per_job_reduction(&central, &tetrium)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect(),
+    );
+    let mut cdf_rows = Vec::new();
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let a = cdf_ip.quantile(q);
+        let b = cdf_ce.quantile(q);
+        println!("  p{:>2}: {a:>6.0}% / {b:>6.0}%", (q * 100.0) as u32);
+        cdf_rows.push(serde_json::json!({"q": q, "vs_inplace_pct": a, "vs_centralized_pct": b}));
+    }
+
+    write_record(
+        "fig8",
+        &serde_json::json!({
+            "reductions": rows,
+            "cdf": cdf_rows,
+            "baselines": {
+                "inplace_avg_s": inplace.avg_response(),
+                "centralized_avg_s": central.avg_response(),
+            },
+        }),
+    );
+}

@@ -1,0 +1,14 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fwd_rev;
+pub mod skew_sweep;
+pub mod vs_tetris;

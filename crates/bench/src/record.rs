@@ -1,0 +1,50 @@
+//! Experiment records: JSON files consumed by EXPERIMENTS.md.
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// Whether the harness runs in shrunk smoke-test mode.
+pub fn quick_mode() -> bool {
+    std::env::var_os("TETRIUM_QUICK").is_some()
+}
+
+/// Writes an experiment's JSON record to `target/experiments/<id>.json`,
+/// returning the path. Failures are reported but non-fatal (the console
+/// output remains the primary artifact).
+pub fn write_record(id: &str, value: &Value) -> Option<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                return None;
+            }
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot serialize record for {id}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip() {
+        let v = serde_json::json!({"id": "test", "rows": [1, 2, 3]});
+        let path = write_record("_harness_selftest", &v).expect("writable target dir");
+        let back: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back["rows"][2], 3);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--name value` pairs; rejects dangling or unknown-form args.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let name = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{a}'"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Optional flag parsed to a type, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&sv(&["--jobs", "16", "--seed", "7"])).unwrap();
+        assert_eq!(a.require("jobs").unwrap(), "16");
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get_or::<f64>("rho", 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_dangling_and_duplicates() {
+        assert!(Args::parse(&sv(&["--jobs"])).is_err());
+        assert!(Args::parse(&sv(&["jobs", "16"])).is_err());
+        assert!(Args::parse(&sv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = Args::parse(&sv(&["--oops", "1"])).unwrap();
+        assert!(a.allow_only(&["jobs"]).is_err());
+        assert!(a.allow_only(&["oops"]).is_ok());
+    }
+}

@@ -1,0 +1,261 @@
+//! Subcommand implementations: generate / run / compare.
+
+use crate::args::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::Cluster;
+use tetrium::core::{TetriumConfig, WanKnob};
+use tetrium::sim::EngineConfig;
+use tetrium::workload::{
+    bigdata_like_jobs, tpcds_like_jobs, trace_like_jobs, Scenario, TraceParams,
+};
+use tetrium::{run_workload, SchedulerKind};
+
+/// Help text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  tetrium-cli generate --kind trace|tpcds|bigdata --sites ec2-8|ec2-30|trace-50
+                       [--jobs N] [--seed S] [--interarrival SECS] [--scale GB]
+                       --out scenario.json
+  tetrium-cli run      --scenario scenario.json
+                       [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
+                       [--rho R] [--epsilon E] [--seed S] [--json out.json]
+                       [--trace chrome_trace.json]
+  tetrium-cli compare  --scenario scenario.json [--seed S]";
+
+/// Routes a command line to its subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("no subcommand given")?;
+    match cmd.as_str() {
+        "generate" => generate(&Args::parse(rest)?),
+        "run" => run(&Args::parse(rest)?),
+        "compare" => compare(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn cluster_preset(name: &str, seed: u64) -> Result<Cluster, String> {
+    match name {
+        "ec2-8" => Ok(tetrium::cluster::ec2_eight_regions()),
+        "ec2-30" => Ok(tetrium::cluster::ec2_thirty_instances()),
+        "trace-50" => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Ok(tetrium::cluster::trace_fifty_sites(&mut rng))
+        }
+        other => Err(format!(
+            "unknown site preset '{other}' (ec2-8, ec2-30, trace-50)"
+        )),
+    }
+}
+
+fn scheduler_kind(name: &str, rho: f64, epsilon: f64) -> Result<SchedulerKind, String> {
+    let custom = rho < 1.0 || epsilon < 1.0;
+    match name {
+        "tetrium" if !custom => Ok(SchedulerKind::Tetrium),
+        "tetrium" => Ok(SchedulerKind::TetriumWith(TetriumConfig {
+            wan: WanKnob::new(rho),
+            epsilon,
+            ..TetriumConfig::default()
+        })),
+        "in-place" => Ok(SchedulerKind::InPlace),
+        "iridium" => Ok(SchedulerKind::Iridium),
+        "centralized" => Ok(SchedulerKind::Centralized),
+        "tetris" => Ok(SchedulerKind::Tetris),
+        "swag" => Ok(SchedulerKind::Swag),
+        other => Err(format!("unknown scheduler '{other}'")),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    args.allow_only(&[
+        "kind",
+        "sites",
+        "jobs",
+        "seed",
+        "interarrival",
+        "scale",
+        "out",
+    ])?;
+    let kind = args.require("kind")?;
+    let sites = args.require("sites")?;
+    let out = args.require("out")?;
+    let jobs_n: usize = args.get_or("jobs", 12)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let interarrival: f64 = args.get_or("interarrival", 30.0)?;
+    let scale: f64 = args.get_or("scale", 10.0)?;
+
+    let cluster = cluster_preset(sites, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let jobs = match kind {
+        "trace" => {
+            let params = TraceParams {
+                mean_interarrival_secs: interarrival,
+                median_input_gb: scale,
+                ..TraceParams::default()
+            };
+            trace_like_jobs(&cluster, jobs_n, &params, &mut rng)
+        }
+        "tpcds" => tpcds_like_jobs(&cluster, jobs_n, interarrival, scale, &mut rng),
+        "bigdata" => bigdata_like_jobs(&cluster, jobs_n, interarrival, scale, &mut rng),
+        other => return Err(format!("unknown workload kind '{other}'")),
+    };
+    let description = format!(
+        "kind={kind} sites={sites} jobs={jobs_n} seed={seed} interarrival={interarrival} scale={scale}"
+    );
+    let scenario =
+        Scenario::new(description, cluster, jobs).map_err(|e| e.to_string())?;
+    scenario.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} jobs, {} sites, {:.1} GB total input",
+        scenario.jobs.len(),
+        scenario.cluster.len(),
+        scenario.jobs.iter().map(|j| j.input_gb()).sum::<f64>()
+    );
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    args.allow_only(&["scenario", "scheduler", "rho", "epsilon", "seed", "json", "trace"])?;
+    let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
+    let rho: f64 = args.get_or("rho", 1.0)?;
+    let epsilon: f64 = args.get_or("epsilon", 1.0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let kind = scheduler_kind(args.get("scheduler").unwrap_or("tetrium"), rho, epsilon)?;
+
+    let mut cfg = EngineConfig::trace_like(seed);
+    cfg.record_trace = args.get("trace").is_some();
+    let report = run_workload(scenario.cluster, scenario.jobs, kind, cfg)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{}: {} jobs, avg response {:.1} s, p90 {:.1} s, WAN {:.1} GB, makespan {:.1} s",
+        report.scheduler,
+        report.jobs.len(),
+        report.avg_response(),
+        report.response_percentile(0.9),
+        report.total_wan_gb,
+        report.makespan
+    );
+    for j in &report.jobs {
+        println!(
+            "  {:<12} arrival {:>8.1}  response {:>8.1} s  wan {:>7.2} GB  stages {}",
+            j.name, j.arrival, j.response, j.wan_gb, j.num_stages
+        );
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, tetrium::metrics::chrome_trace(&report.trace))
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path} (load in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = args.get("json") {
+        let rows: Vec<serde_json::Value> = report
+            .jobs
+            .iter()
+            .map(|j| {
+                serde_json::json!({
+                    "id": j.id.index(), "name": j.name, "arrival_s": j.arrival,
+                    "response_s": j.response, "wan_gb": j.wan_gb,
+                })
+            })
+            .collect();
+        let v = serde_json::json!({
+            "scheduler": report.scheduler,
+            "avg_response_s": report.avg_response(),
+            "wan_gb": report.total_wan_gb,
+            "makespan_s": report.makespan,
+            "jobs": rows,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&v).unwrap())
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), String> {
+    args.allow_only(&["scenario", "seed"])?;
+    let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    println!(
+        "{:<13} {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "avg (s)", "p90 (s)", "WAN (GB)", "makespan"
+    );
+    for kind in [
+        SchedulerKind::Tetrium,
+        SchedulerKind::Iridium,
+        SchedulerKind::InPlace,
+        SchedulerKind::Swag,
+        SchedulerKind::Tetris,
+        SchedulerKind::Centralized,
+    ] {
+        let report = run_workload(
+            scenario.cluster.clone(),
+            scenario.jobs.clone(),
+            kind,
+            EngineConfig::trace_like(seed),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{:<13} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            report.scheduler,
+            report.avg_response(),
+            report.response_percentile(0.9),
+            report.total_wan_gb,
+            report.makespan
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn end_to_end_generate_run_compare() {
+        let dir = std::env::temp_dir().join("tetrium_cli_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("scenario.json");
+        let out = path.to_str().unwrap();
+        dispatch(&sv(&[
+            "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "3", "--seed", "5",
+            "--scale", "2.0", "--out", out,
+        ]))
+        .unwrap();
+        dispatch(&sv(&["run", "--scenario", out, "--scheduler", "tetrium"])).unwrap();
+        dispatch(&sv(&["run", "--scenario", out, "--scheduler", "swag"])).unwrap();
+        let trace_out = dir.join("trace.json");
+        dispatch(&sv(&[
+            "run", "--scenario", out, "--trace", trace_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&trace_out).unwrap();
+        assert!(body.starts_with('['), "chrome trace must be a JSON array");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+        assert!(dispatch(&sv(&["generate", "--kind", "nope"])).is_err());
+        assert!(dispatch(&sv(&["run", "--scenario", "/nonexistent.json"])).is_err());
+        assert!(scheduler_kind("alien", 1.0, 1.0).is_err());
+        assert!(cluster_preset("mars", 0).is_err());
+    }
+
+    #[test]
+    fn custom_knobs_build_custom_scheduler() {
+        let k = scheduler_kind("tetrium", 0.5, 1.0).unwrap();
+        assert!(matches!(k, SchedulerKind::TetriumWith(_)));
+        let k = scheduler_kind("tetrium", 1.0, 1.0).unwrap();
+        assert!(matches!(k, SchedulerKind::Tetrium));
+    }
+}

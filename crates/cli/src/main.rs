@@ -1,0 +1,29 @@
+//! `tetrium-cli` — generate, run and compare geo-distributed scheduling
+//! scenarios from the command line.
+//!
+//! ```text
+//! tetrium-cli generate --kind trace --sites trace-50 --jobs 16 --seed 7 --out scenario.json
+//! tetrium-cli run      --scenario scenario.json --scheduler tetrium --rho 0.75
+//! tetrium-cli compare  --scenario scenario.json
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs) to keep the
+//! workspace dependency-light.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

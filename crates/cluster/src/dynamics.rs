@@ -1,0 +1,104 @@
+//! Resource dynamics: sudden capacity drops at sites (§4.2 of the paper).
+
+use crate::{Cluster, Site, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// A capacity degradation event at one site.
+///
+/// The paper motivates these with higher-priority non-analytics load taking
+/// compute slots, and WAN link failures shrinking available bandwidth. A
+/// drop of `fraction` scales both compute and network capacity at the site
+/// to `1 - fraction` of the configured value (the experiment in Fig 11
+/// degrades both together).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityDrop {
+    /// Site whose capacity drops.
+    pub site: SiteId,
+    /// Simulation time at which the drop takes effect, in seconds.
+    pub at_time: f64,
+    /// Fraction of capacity lost, in `[0, 1)`.
+    pub fraction: f64,
+}
+
+impl CapacityDrop {
+    /// Creates a drop event.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= fraction < 1` and `at_time >= 0`.
+    pub fn new(site: SiteId, at_time: f64, fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "fraction must be in [0,1)");
+        assert!(at_time >= 0.0 && at_time.is_finite());
+        Self {
+            site,
+            at_time,
+            fraction,
+        }
+    }
+
+    /// Returns the degraded version of `site`'s configuration.
+    ///
+    /// Slots are rounded down but kept at a minimum of one, matching the
+    /// invariant that a live site can always run at least one task.
+    pub fn degraded(&self, site: &Site) -> Site {
+        let keep = 1.0 - self.fraction;
+        Site {
+            name: site.name.clone(),
+            slots: ((site.slots as f64 * keep).floor() as usize).max(1),
+            up_gbps: site.up_gbps * keep,
+            down_gbps: site.down_gbps * keep,
+        }
+    }
+
+    /// Applies this drop to a cluster, returning the degraded cluster.
+    pub fn apply(&self, cluster: &Cluster) -> Cluster {
+        let sites = cluster
+            .iter()
+            .map(|(id, s)| {
+                if id == self.site {
+                    self.degraded(s)
+                } else {
+                    s.clone()
+                }
+            })
+            .collect();
+        Cluster::new(sites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_scales_all_capacities() {
+        let s = Site::new("x", 100, 2.0, 4.0);
+        let d = CapacityDrop::new(SiteId(0), 10.0, 0.3);
+        let g = d.degraded(&s);
+        assert_eq!(g.slots, 70);
+        assert!((g.up_gbps - 1.4).abs() < 1e-12);
+        assert!((g.down_gbps - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_never_drop_to_zero() {
+        let s = Site::new("x", 1, 2.0, 4.0);
+        let d = CapacityDrop::new(SiteId(0), 0.0, 0.9);
+        assert_eq!(d.degraded(&s).slots, 1);
+    }
+
+    #[test]
+    fn apply_touches_only_target_site() {
+        let c = Cluster::new(vec![Site::new("a", 10, 1.0, 1.0), Site::new("b", 10, 1.0, 1.0)]);
+        let d = CapacityDrop::new(SiteId(1), 5.0, 0.5);
+        let c2 = d.apply(&c);
+        assert_eq!(c2.site(SiteId(0)).slots, 10);
+        assert_eq!(c2.site(SiteId(1)).slots, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_full_drop() {
+        CapacityDrop::new(SiteId(0), 0.0, 1.0);
+    }
+}

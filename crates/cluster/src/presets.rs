@@ -1,0 +1,174 @@
+//! Cluster presets mirroring the paper's evaluation setups (§6.1).
+
+use crate::{Cluster, Site};
+use rand::Rng;
+
+/// The paper's 8-region EC2 deployment: one instance per region, slot counts
+/// between 4 (`c4.xlarge`) and 16 (`c4.4xlarge`), inter-site bandwidth
+/// between 100 Mbps and 1 Gbps (0.0125–0.125 GB/s).
+pub fn ec2_eight_regions() -> Cluster {
+    // (region, slots, up GB/s, down GB/s) — slots spread over [4, 16] and
+    // bandwidths over [100 Mbps, 1 Gbps] as reported in §6.1; per-region
+    // values are chosen to reflect relative EC2 connectivity (US/EU well
+    // provisioned, Sao Paulo/Sydney/Singapore constrained).
+    let spec: [(&str, usize, f64, f64); 8] = [
+        ("us-west-2 (Oregon)", 16, 0.125, 0.125),
+        ("us-east-1 (Virginia)", 16, 0.125, 0.125),
+        ("sa-east-1 (Sao Paulo)", 4, 0.0125, 0.025),
+        ("eu-central-1 (Frankfurt)", 8, 0.1, 0.1),
+        ("eu-west-1 (Ireland)", 8, 0.1, 0.1),
+        ("ap-northeast-1 (Tokyo)", 8, 0.05, 0.0625),
+        ("ap-southeast-2 (Sydney)", 4, 0.025, 0.025),
+        ("ap-southeast-1 (Singapore)", 4, 0.0125, 0.0175),
+    ];
+    Cluster::new(
+        spec.iter()
+            .map(|&(name, slots, up, down)| Site::new(name, slots, up, down))
+            .collect(),
+    )
+}
+
+/// The paper's "30-site" deployment mimicked with 30 instances: capacities
+/// cycle over the same heterogeneity envelope as the 8-region setup.
+pub fn ec2_thirty_instances() -> Cluster {
+    let slots = [16, 4, 8, 12, 4, 16, 8, 4, 12, 8];
+    let bw = [0.125, 0.0125, 0.1, 0.05, 0.025, 0.125, 0.0625, 0.0175, 0.1, 0.05];
+    let sites = (0..30)
+        .map(|i| {
+            Site::new(
+                format!("inst-{i:02}"),
+                slots[i % slots.len()],
+                bw[i % bw.len()],
+                bw[(i + 3) % bw.len()],
+            )
+        })
+        .collect();
+    Cluster::new(sites)
+}
+
+/// The 50-site trace-driven configuration (§6.1): slots between 25 and 5000
+/// (a mix of large datacenters and small edge clusters), bandwidth between
+/// 100 Mbps and 2 Gbps (0.0125–0.25 GB/s).
+pub fn trace_fifty_sites(rng: &mut impl Rng) -> Cluster {
+    let n = 50;
+    let profile = crate::HeterogeneityProfile {
+        spread: 5000.0 / 25.0,
+        min_value: 25.0,
+    };
+    let slots = profile.sample(n, rng);
+    let bwp = crate::HeterogeneityProfile {
+        spread: 0.25 / 0.0125,
+        min_value: 0.0125,
+    };
+    let up = bwp.sample(n, rng);
+    let down = bwp.sample(n, rng);
+    Cluster::new(
+        (0..n)
+            .map(|i| {
+                Site::new(
+                    format!("dc-{i:02}"),
+                    slots[i].round() as usize,
+                    up[i],
+                    down[i],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// A cluster whose slot and bandwidth skew follow Zipf distributions with the
+/// given exponents — the §6.4 "heterogeneity of resources" sweep, where
+/// exponent 0 is uniform and larger exponents concentrate capacity on a few
+/// sites.
+pub fn zipf_cluster(
+    n: usize,
+    slot_exponent: f64,
+    bw_exponent: f64,
+    total_slots: usize,
+    rng: &mut impl Rng,
+) -> Cluster {
+    assert!(n >= 2);
+    let slot_w = zipf_weights(n, slot_exponent, rng);
+    let bw_w = zipf_weights(n, bw_exponent, rng);
+    let sites = (0..n)
+        .map(|i| {
+            let slots = ((total_slots as f64 * slot_w[i]).round() as usize).max(1);
+            // Bandwidth envelope matches the 50-site preset: min 100 Mbps.
+            let up = 0.0125 + bw_w[i] * n as f64 * 0.1;
+            Site::new(format!("z-{i:02}"), slots, up, up)
+        })
+        .collect();
+    Cluster::new(sites)
+}
+
+/// Normalized Zipf weights of ranks `1..=n`, randomly permuted so that the
+/// largest site is not always site 0.
+fn zipf_weights(n: usize, exponent: f64, rng: &mut impl Rng) -> Vec<f64> {
+    let mut w: Vec<f64> = if exponent <= 0.0 {
+        vec![1.0; n]
+    } else {
+        (1..=n).map(|r| 1.0 / (r as f64).powf(exponent)).collect()
+    };
+    // Fisher-Yates permutation of the rank weights.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        w.swap(i, j);
+    }
+    let total: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= total;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ec2_preset_matches_paper_envelope() {
+        let c = ec2_eight_regions();
+        assert_eq!(c.len(), 8);
+        let max_slots = c.iter().map(|(_, s)| s.slots).max().unwrap();
+        let min_slots = c.iter().map(|(_, s)| s.slots).min().unwrap();
+        assert_eq!((min_slots, max_slots), (4, 16));
+        for (_, s) in c.iter() {
+            assert!(s.up_gbps >= 0.0125 - 1e-12 && s.up_gbps <= 0.125 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn thirty_instances() {
+        assert_eq!(ec2_thirty_instances().len(), 30);
+    }
+
+    #[test]
+    fn fifty_site_envelope() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = trace_fifty_sites(&mut rng);
+        assert_eq!(c.len(), 50);
+        let max = c.iter().map(|(_, s)| s.slots).max().unwrap();
+        let min = c.iter().map(|(_, s)| s.slots).min().unwrap();
+        assert!(min >= 25);
+        assert!(max <= 5001 && max >= 1000, "max slots {max}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = zipf_cluster(10, 0.0, 0.0, 1000, &mut rng);
+        let slots: Vec<usize> = c.iter().map(|(_, s)| s.slots).collect();
+        assert!(slots.iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    fn zipf_high_exponent_concentrates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = zipf_cluster(10, 1.6, 1.6, 1000, &mut rng);
+        let max = c.iter().map(|(_, s)| s.slots).max().unwrap();
+        assert!(max > 300, "expected concentration, max={max}");
+        assert!(c.slot_skew_cv() > 0.8);
+    }
+}

@@ -1,0 +1,91 @@
+//! Site identity and per-site capacities.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a site within a [`crate::Cluster`].
+///
+/// Site ids are dense indices (`0..cluster.len()`), which lets every data
+/// structure in the workspace use plain vectors indexed by site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+impl SiteId {
+    /// The dense index of this site.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site-{}", self.0)
+    }
+}
+
+/// Capacities of one geo-distributed site.
+///
+/// A *slot* is the unit of compute (a fixed bundle of cores and memory, as in
+/// the paper §2.1); uplink and downlink are the WAN capacities toward the
+/// congestion-free core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable name (e.g. the EC2 region).
+    pub name: String,
+    /// Number of compute slots (`S_x`).
+    pub slots: usize,
+    /// Uplink bandwidth in GB/s (`B_x^up`).
+    pub up_gbps: f64,
+    /// Downlink bandwidth in GB/s (`B_x^down`).
+    pub down_gbps: f64,
+}
+
+impl Site {
+    /// Creates a site with the given capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bandwidth is non-positive or non-finite, or if the site
+    /// has zero slots (a site that can hold data but never compute is
+    /// expressed with data distributions, not zero slots).
+    pub fn new(name: impl Into<String>, slots: usize, up_gbps: f64, down_gbps: f64) -> Self {
+        assert!(slots > 0, "a site must have at least one slot");
+        assert!(
+            up_gbps > 0.0 && up_gbps.is_finite(),
+            "uplink bandwidth must be positive and finite"
+        );
+        assert!(
+            down_gbps > 0.0 && down_gbps.is_finite(),
+            "downlink bandwidth must be positive and finite"
+        );
+        Self {
+            name: name.into(),
+            slots,
+            up_gbps,
+            down_gbps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_display_and_index() {
+        let id = SiteId(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "site-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        Site::new("x", 0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uplink")]
+    fn bad_bandwidth_rejected() {
+        Site::new("x", 1, 0.0, 1.0);
+    }
+}

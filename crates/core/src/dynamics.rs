@@ -1,0 +1,159 @@
+//! Limited re-assignment under resource dynamics (§4.2).
+//!
+//! When a site's capacity drops, re-optimizing placement from scratch and
+//! updating every site manager is expensive; the paper instead updates at
+//! most `k` sites, choosing the new assignment `f'` that minimizes the
+//! distance `Q = sqrt(Σ_i (f'_i - f*_i)^2)` to the unrestricted optimum
+//! `f*`. We implement the paper's heuristic: pick the `k` sites with the
+//! largest `|f*_z - f_z|` as updatable and redistribute their task mass to
+//! track `f*` as closely as possible, leaving all other sites untouched.
+
+use tetrium_jobs::largest_remainder_round;
+
+/// Adjusts a previous per-site assignment `f` toward the new optimum
+/// `f_star`, changing at most `k` sites. The returned assignment sums to
+/// `f_star`'s total (the number of tasks to place now).
+///
+/// With `k >= f.len()` the unrestricted optimum is returned. When even the
+/// chosen `k` sites cannot absorb the required mass difference (e.g. the
+/// untouched sites already exceed the total), the updatable sites absorb as
+/// much as possible and the remainder is shaved from untouched sites in
+/// order of largest overshoot — a fallback the paper does not need to
+/// discuss but an implementation must handle.
+///
+/// # Examples
+///
+/// ```
+/// use tetrium_core::dynamics::limited_update;
+/// // Only two sites may change: the two worst deviations reach the
+/// // optimum, the rest keep their assignment.
+/// let adjusted = limited_update(&[10, 10, 10, 10], &[0, 20, 10, 10], 2);
+/// assert_eq!(adjusted, vec![0, 20, 10, 10]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `k == 0`.
+pub fn limited_update(f: &[usize], f_star: &[usize], k: usize) -> Vec<usize> {
+    assert_eq!(f.len(), f_star.len());
+    assert!(k > 0, "must be allowed to update at least one site");
+    let n = f.len();
+    let total: usize = f_star.iter().sum();
+    if k >= n {
+        return f_star.to_vec();
+    }
+
+    // Rank sites by how badly they deviate from the optimum.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let d = (f[i] as i64 - f_star[i] as i64).abs();
+        (std::cmp::Reverse(d), i)
+    });
+    let updatable: Vec<usize> = order[..k].to_vec();
+    let mut chosen = vec![false; n];
+    for &i in &updatable {
+        chosen[i] = true;
+    }
+
+    let untouched_sum: usize = (0..n).filter(|&i| !chosen[i]).map(|i| f[i]).sum();
+    let mut out: Vec<usize> = (0..n).map(|i| if chosen[i] { 0 } else { f[i] }).collect();
+
+    if untouched_sum <= total {
+        // Distribute the remaining mass over updatable sites, tracking f*.
+        let budget = total - untouched_sum;
+        let weights: Vec<f64> = updatable.iter().map(|&i| f_star[i] as f64).collect();
+        let weights = if weights.iter().sum::<f64>() > 0.0 {
+            weights
+        } else {
+            vec![1.0; updatable.len()]
+        };
+        let parts = largest_remainder_round(&weights, budget);
+        for (j, &i) in updatable.iter().enumerate() {
+            out[i] = parts[j];
+        }
+    } else {
+        // Untouched sites alone exceed the total: zero the updatable sites
+        // and shave the overflow from untouched sites with the largest
+        // overshoot relative to f*.
+        let mut overflow = untouched_sum - total;
+        let mut shave: Vec<usize> = (0..n).filter(|&i| !chosen[i]).collect();
+        shave.sort_by_key(|&i| std::cmp::Reverse(f[i] as i64 - f_star[i] as i64));
+        for i in shave {
+            if overflow == 0 {
+                break;
+            }
+            let cut = overflow.min(out[i]);
+            out[i] -= cut;
+            overflow -= cut;
+        }
+    }
+    debug_assert_eq!(out.iter().sum::<usize>(), total);
+    out
+}
+
+/// Euclidean distance `Q` between two assignments (§4.2's objective).
+pub fn assignment_distance(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_k_returns_optimum() {
+        let f = [10, 10, 10];
+        let fs = [5, 20, 5];
+        assert_eq!(limited_update(&f, &fs, 3), vec![5, 20, 5]);
+        assert_eq!(limited_update(&f, &fs, 10), vec![5, 20, 5]);
+    }
+
+    #[test]
+    fn k_sites_change_at_most() {
+        let f = [10, 10, 10, 10];
+        let fs = [0, 20, 10, 10];
+        let out = limited_update(&f, &fs, 2);
+        let changed = out.iter().zip(&f).filter(|(a, b)| a != b).count();
+        assert!(changed <= 2, "changed {changed} sites: {out:?}");
+        assert_eq!(out.iter().sum::<usize>(), 40);
+        // The two most-deviating sites are 0 and 1; they should reach f*.
+        assert_eq!(out, vec![0, 20, 10, 10]);
+    }
+
+    #[test]
+    fn updating_more_sites_never_hurts_distance() {
+        let f = [8, 8, 8, 8, 8];
+        let fs = [0, 4, 12, 16, 8];
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let out = limited_update(&f, &fs, k);
+            let q = assignment_distance(&out, &fs);
+            assert!(q <= prev + 1e-9, "k={k} worsened Q");
+            prev = q;
+        }
+        assert_eq!(assignment_distance(&limited_update(&f, &fs, 5), &fs), 0.0);
+    }
+
+    #[test]
+    fn overflow_fallback_preserves_total() {
+        // Untouched sites hold more than the new (smaller) total.
+        let f = [10, 10, 10];
+        let fs = [2, 2, 2]; // Total shrank to 6.
+        let out = limited_update(&f, &fs, 1);
+        assert_eq!(out.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn distance_metric() {
+        assert_eq!(assignment_distance(&[0, 3], &[4, 0]), 5.0);
+        assert_eq!(assignment_distance(&[1, 1], &[1, 1]), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Intra-stage task ordering (§3.3).
+//!
+//! With constrained slots a stage runs in waves, so *which* tasks launch
+//! first matters. The paper's rules: start long tasks first. For map stages
+//! the long tasks are the remote ones (bounded by the source's uplink), so
+//! launch remote before local while *spreading* remote launches across
+//! source sites instead of draining the most-constrained site first. For
+//! reduce stages, launch the tasks with the largest input (longest shuffle)
+//! first. Fig 9 compares these against Local-First and Random.
+
+use tetrium_cluster::SiteId;
+
+/// Map-stage ordering strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapOrdering {
+    /// Remote tasks first, longest fetch first, interleaved across source
+    /// sites (the paper's proposal).
+    #[default]
+    RemoteFirstSpread,
+    /// Local tasks first (the strawman of Fig 9).
+    LocalFirst,
+    /// Stage order as-is (no reordering).
+    Fifo,
+}
+
+/// Reduce-stage ordering strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceOrdering {
+    /// Largest-input (longest transfer) first (the paper's proposal).
+    #[default]
+    LongestFirst,
+    /// Arbitrary order (the strawman of Fig 9); deterministic given `seed`.
+    Random,
+}
+
+/// A map task queued for ordering: `(task index, source site, volume GB,
+/// destination site)`.
+pub type MapTaskRef = (usize, SiteId, f64, SiteId);
+
+/// Orders map tasks, returning task indices in launch order.
+///
+/// `up_gbps` provides the source uplink bandwidths used to estimate fetch
+/// times for `RemoteFirstSpread`.
+pub fn order_map_tasks(
+    ordering: MapOrdering,
+    tasks: &[MapTaskRef],
+    up_gbps: &[f64],
+) -> Vec<usize> {
+    match ordering {
+        MapOrdering::Fifo => tasks.iter().map(|t| t.0).collect(),
+        MapOrdering::LocalFirst => {
+            let mut local: Vec<usize> = Vec::new();
+            let mut remote: Vec<usize> = Vec::new();
+            for &(i, src, _, dst) in tasks {
+                if src == dst {
+                    local.push(i);
+                } else {
+                    remote.push(i);
+                }
+            }
+            local.into_iter().chain(remote).collect()
+        }
+        MapOrdering::RemoteFirstSpread => {
+            // Group remote tasks by source site, each group sorted by fetch
+            // time descending.
+            let mut groups: Vec<(f64, Vec<(f64, usize)>)> = Vec::new();
+            let mut by_src: std::collections::BTreeMap<usize, Vec<(f64, usize)>> =
+                std::collections::BTreeMap::new();
+            let mut local: Vec<usize> = Vec::new();
+            for &(i, src, gb, dst) in tasks {
+                if src == dst {
+                    local.push(i);
+                } else {
+                    let fetch = gb / up_gbps[src.index()].max(1e-12);
+                    by_src.entry(src.index()).or_default().push((fetch, i));
+                }
+            }
+            for (_, mut g) in by_src {
+                g.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                let head = g[0].0;
+                groups.push((head, g));
+            }
+            // Most-constrained source first, but interleave round-robin so no
+            // single uplink is hammered by consecutive launches.
+            groups.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let mut order = Vec::with_capacity(tasks.len());
+            let mut cursors: Vec<std::vec::IntoIter<(f64, usize)>> =
+                groups.into_iter().map(|(_, g)| g.into_iter()).collect();
+            loop {
+                let mut emitted = false;
+                for c in &mut cursors {
+                    if let Some((_, i)) = c.next() {
+                        order.push(i);
+                        emitted = true;
+                    }
+                }
+                if !emitted {
+                    break;
+                }
+            }
+            order.extend(local);
+            order
+        }
+    }
+}
+
+/// Orders reduce tasks, returning task indices in launch order.
+///
+/// `inputs` is `(task index, input volume GB)`; `seed` drives the `Random`
+/// strategy (a small xorshift so this crate stays dependency-light).
+pub fn order_reduce_tasks(ordering: ReduceOrdering, inputs: &[(usize, f64)], seed: u64) -> Vec<usize> {
+    match ordering {
+        ReduceOrdering::LongestFirst => {
+            let mut v: Vec<(usize, f64)> = inputs.to_vec();
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            v.into_iter().map(|(i, _)| i).collect()
+        }
+        ReduceOrdering::Random => {
+            let mut v: Vec<usize> = inputs.iter().map(|t| t.0).collect();
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for i in (1..v.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SiteId {
+        SiteId(i)
+    }
+
+    #[test]
+    fn remote_first_puts_remote_before_local() {
+        let tasks = vec![
+            (0, s(0), 1.0, s(0)), // local
+            (1, s(1), 1.0, s(0)), // remote
+            (2, s(0), 1.0, s(0)), // local
+            (3, s(2), 1.0, s(0)), // remote
+        ];
+        let order = order_map_tasks(MapOrdering::RemoteFirstSpread, &tasks, &[1.0, 0.5, 2.0]);
+        assert_eq!(order.len(), 4);
+        // Remote tasks (1, 3) come first; source 1 has the slowest uplink so
+        // its task leads.
+        assert_eq!(&order[..2], &[1, 3]);
+        assert_eq!(&order[2..], &[0, 2]);
+    }
+
+    #[test]
+    fn remote_first_spreads_across_sources() {
+        // Two remote tasks per source; they must interleave 1,2,1,2 rather
+        // than 1,1,2,2.
+        let tasks = vec![
+            (0, s(1), 4.0, s(0)),
+            (1, s(1), 3.0, s(0)),
+            (2, s(2), 2.0, s(0)),
+            (3, s(2), 1.0, s(0)),
+        ];
+        let order = order_map_tasks(MapOrdering::RemoteFirstSpread, &tasks, &[1.0, 0.5, 2.0]);
+        // Source 1 fetch times: 8, 6; source 2: 1, 0.5. Round-robin by
+        // group: 0 (src1, longest), 2 (src2 longest), 1, 3.
+        assert_eq!(order, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn local_first_reverses_the_bias() {
+        let tasks = vec![(0, s(1), 1.0, s(0)), (1, s(0), 1.0, s(0))];
+        let order = order_map_tasks(MapOrdering::LocalFirst, &tasks, &[1.0, 1.0]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn fifo_keeps_order() {
+        let tasks = vec![(5, s(0), 1.0, s(1)), (2, s(0), 1.0, s(0))];
+        assert_eq!(order_map_tasks(MapOrdering::Fifo, &tasks, &[1.0, 1.0]), vec![5, 2]);
+    }
+
+    #[test]
+    fn longest_first_sorts_by_input() {
+        let inputs = vec![(0, 1.0), (1, 5.0), (2, 3.0)];
+        assert_eq!(
+            order_reduce_tasks(ReduceOrdering::LongestFirst, &inputs, 0),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_permutes() {
+        let inputs: Vec<(usize, f64)> = (0..20).map(|i| (i, i as f64)).collect();
+        let a = order_reduce_tasks(ReduceOrdering::Random, &inputs, 7);
+        let b = order_reduce_tasks(ReduceOrdering::Random, &inputs, 7);
+        let c = order_reduce_tasks(ReduceOrdering::Random, &inputs, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,160 @@
+//! Multi-replica input selection (§8, discussion item (a)).
+//!
+//! The paper's models assume a single primary copy of each input partition
+//! and note that replica choice could be folded into the placement LPs.
+//! This module implements the extension as a pre-pass: given each
+//! partition's replica sites, pick the copy a job should read so that the
+//! prospective drain time of every uplink is balanced — a greedy
+//! longest-processing-time assignment over `load_x / B_x^up`. The chosen
+//! homes then feed the ordinary map-placement LP, which keeps the LP itself
+//! identical to the paper's.
+
+use tetrium_cluster::{Cluster, DataDistribution, SiteId};
+
+/// One input partition and the sites holding a copy of it.
+#[derive(Debug, Clone)]
+pub struct ReplicatedPartition {
+    /// Partition size in GB.
+    pub gb: f64,
+    /// Sites holding a replica (non-empty).
+    pub replicas: Vec<SiteId>,
+}
+
+/// Chooses a read replica per partition, balancing prospective uplink drain
+/// time (`assigned bytes / B^up`) across sites; ties prefer the site with
+/// more slots, then the lower id, so the choice is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use tetrium_core::{select_replicas, ReplicatedPartition};
+/// use tetrium_cluster::{Cluster, Site, SiteId};
+///
+/// let cluster = Cluster::new(vec![
+///     Site::new("fast", 8, 4.0, 4.0),
+///     Site::new("slow", 8, 0.5, 0.5),
+/// ]);
+/// let parts = vec![ReplicatedPartition {
+///     gb: 2.0,
+///     replicas: vec![SiteId(0), SiteId(1)],
+/// }];
+/// assert_eq!(select_replicas(&parts, &cluster), vec![SiteId(0)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any partition has no replicas or refers to an unknown site.
+pub fn select_replicas(
+    partitions: &[ReplicatedPartition],
+    cluster: &Cluster,
+) -> Vec<SiteId> {
+    let n = cluster.len();
+    let mut load = vec![0.0f64; n];
+    // Largest partitions first (LPT): bounds imbalance like classic
+    // makespan scheduling.
+    let mut order: Vec<usize> = (0..partitions.len()).collect();
+    order.sort_by(|&a, &b| {
+        partitions[b]
+            .gb
+            .partial_cmp(&partitions[a].gb)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut choice = vec![SiteId(0); partitions.len()];
+    for i in order {
+        let p = &partitions[i];
+        assert!(!p.replicas.is_empty(), "partition {i} has no replicas");
+        let best = *p
+            .replicas
+            .iter()
+            .min_by(|&&a, &&b| {
+                assert!(a.index() < n && b.index() < n, "replica site out of range");
+                let da = (load[a.index()] + p.gb) / cluster.site(a).up_gbps;
+                let db = (load[b.index()] + p.gb) / cluster.site(b).up_gbps;
+                da.partial_cmp(&db)
+                    .unwrap()
+                    .then(cluster.site(b).slots.cmp(&cluster.site(a).slots))
+                    .then(a.index().cmp(&b.index()))
+            })
+            .expect("non-empty replicas");
+        load[best.index()] += p.gb;
+        choice[i] = best;
+    }
+    choice
+}
+
+/// Materializes the per-site input distribution induced by a replica choice.
+pub fn replicated_input(
+    partitions: &[ReplicatedPartition],
+    choice: &[SiteId],
+    n_sites: usize,
+) -> DataDistribution {
+    assert_eq!(partitions.len(), choice.len());
+    let mut gb = vec![0.0; n_sites];
+    for (p, &site) in partitions.iter().zip(choice) {
+        gb[site.index()] += p.gb;
+    }
+    DataDistribution::new(gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrium_cluster::Site;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![
+            Site::new("fast", 20, 4.0, 4.0),
+            Site::new("slow", 20, 0.5, 0.5),
+            Site::new("mid", 5, 2.0, 2.0),
+        ])
+    }
+
+    fn part(gb: f64, replicas: &[usize]) -> ReplicatedPartition {
+        ReplicatedPartition {
+            gb,
+            replicas: replicas.iter().map(|&i| SiteId(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn single_replica_is_identity() {
+        let parts = vec![part(1.0, &[1]), part(2.0, &[2])];
+        let choice = select_replicas(&parts, &cluster());
+        assert_eq!(choice, vec![SiteId(1), SiteId(2)]);
+    }
+
+    #[test]
+    fn prefers_the_fast_uplink() {
+        let parts = vec![part(4.0, &[0, 1])];
+        let choice = select_replicas(&parts, &cluster());
+        assert_eq!(choice, vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn balances_load_across_equal_replicas() {
+        // Eight 1 GB partitions all replicated on fast+mid: the greedy must
+        // split ~drain-proportionally (4 GB/s vs 2 GB/s => about 2:1).
+        let parts: Vec<_> = (0..9).map(|_| part(1.0, &[0, 2])).collect();
+        let choice = select_replicas(&parts, &cluster());
+        let at0 = choice.iter().filter(|&&s| s == SiteId(0)).count();
+        let at2 = choice.iter().filter(|&&s| s == SiteId(2)).count();
+        assert_eq!(at0 + at2, 9);
+        assert!(at0 > at2, "faster uplink should take more: {at0} vs {at2}");
+        assert!(at2 >= 2, "slower replica should still absorb some load");
+    }
+
+    #[test]
+    fn induced_distribution_conserves_volume() {
+        let parts = vec![part(1.5, &[0, 1]), part(2.5, &[1, 2]), part(1.0, &[2])];
+        let choice = select_replicas(&parts, &cluster());
+        let dist = replicated_input(&parts, &choice, 3);
+        assert!((dist.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn rejects_unreplicated_partition() {
+        select_replicas(&[part(1.0, &[])], &cluster());
+    }
+}

@@ -1,0 +1,249 @@
+//! Reverse (reduce-first) stage planning and forward/reverse selection
+//! (§3.4).
+//!
+//! Tetrium normally plans stage-by-stage in DAG order ("forward"), which can
+//! hand the reduce stage an unfavourable intermediate distribution. The
+//! paper's diagnostic alternative plans in reverse: (i) pin reduce fractions
+//! to the slot distribution `r_x = S_x / Σ S_x`; (ii) solve the reduce LP
+//! with the *intermediate distribution* as the decision variable, yielding a
+//! desired distribution `I'`; (iii) solve the map LP constrained to produce
+//! `I'`. The evaluation (§6.3.1) found best-of-forward/reverse buys only
+//! ~3 points over forward, which is why forward is Tetrium's default; both
+//! are implemented here so the `fwd_rev` bench can regenerate that
+//! comparison.
+
+use crate::map_placement::{solve_map_placement, MapPlacement, MapProblem};
+use crate::reduce_placement::{solve_reduce_placement, ReducePlacement, ReduceProblem};
+use tetrium_lp::{LpError, Problem, Relation};
+
+/// A joint plan for a map stage followed by a reduce stage.
+#[derive(Debug, Clone)]
+pub struct JointPlan {
+    /// Map-stage placement.
+    pub map: MapPlacement,
+    /// Reduce-stage placement (planned against the intermediate
+    /// distribution the map placement induces).
+    pub reduce: ReducePlacement,
+    /// Estimated end-to-end duration (sum of both stages' LP times).
+    pub est_total: f64,
+    /// Which direction produced this plan.
+    pub direction: PlanDirection,
+}
+
+/// Planning direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDirection {
+    /// Map stage planned first (Tetrium's default).
+    Forward,
+    /// Reduce stage planned first (§3.4's alternative).
+    Reverse,
+}
+
+/// Parameters of the downstream reduce stage used for joint planning.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceStageSpec {
+    /// Number of reduce tasks.
+    pub num_tasks: usize,
+    /// Mean reduce-task seconds.
+    pub task_secs: f64,
+    /// Output/input ratio of the map stage (how much intermediate data the
+    /// map stage produces per GB of input).
+    pub map_output_ratio: f64,
+}
+
+/// Plans forward: map LP first, then the reduce LP on the induced
+/// intermediate distribution.
+pub fn plan_forward(map_p: &MapProblem, red: &ReduceStageSpec) -> Result<JointPlan, LpError> {
+    let map = solve_map_placement(map_p)?;
+    let shuffle = induced_intermediate(map_p, &map, red.map_output_ratio);
+    let reduce = solve_reduce_placement(&ReduceProblem {
+        shuffle_gb: shuffle,
+        num_tasks: red.num_tasks,
+        task_secs: red.task_secs,
+        up_gbps: map_p.up_gbps.clone(),
+        down_gbps: map_p.down_gbps.clone(),
+        slots: map_p.slots.clone(),
+        wan_budget_gb: None,
+        network_only: false,
+        next_stage_out_gb: None,
+    })?;
+    let est_total = map.times.total() + reduce.times.total();
+    Ok(JointPlan {
+        map,
+        reduce,
+        est_total,
+        direction: PlanDirection::Forward,
+    })
+}
+
+/// Plans in reverse per §3.4 steps (i)–(iii).
+pub fn plan_reverse(map_p: &MapProblem, red: &ReduceStageSpec) -> Result<JointPlan, LpError> {
+    let n = map_p.slots.len();
+    let total_slots: f64 = map_p.slots.iter().map(|&s| s as f64).sum();
+    // (i) Reduce fractions proportional to slots.
+    let r: Vec<f64> = map_p.slots.iter().map(|&s| s as f64 / total_slots).collect();
+    let total_inter: f64 = map_p.input_gb.iter().sum::<f64>() * red.map_output_ratio;
+
+    // (ii) Choose the intermediate distribution minimizing shuffle time for
+    // the pinned fractions. Variables: I'_x (n), then T_shufl.
+    let t_shufl = n;
+    let mut lp = Problem::minimize(n + 1);
+    lp.set_objective(&[(t_shufl, 1.0)]);
+    for x in 0..n {
+        // Upload: I'_x (1 - r_x) <= T * up_x.
+        lp.add_constraint(
+            &[(x, 1.0 - r[x]), (t_shufl, -map_p.up_gbps[x])],
+            Relation::Le,
+            0.0,
+        );
+        // Download: r_x (total - I'_x) <= T * down_x.
+        lp.add_constraint(
+            &[(x, -r[x]), (t_shufl, -map_p.down_gbps[x])],
+            Relation::Le,
+            -r[x] * total_inter,
+        );
+    }
+    let ones: Vec<(usize, f64)> = (0..n).map(|x| (x, 1.0)).collect();
+    lp.add_constraint(&ones, Relation::Eq, total_inter);
+    let sol = lp.solve()?;
+    let desired_inter: Vec<f64> = (0..n).map(|x| sol.values[x].max(0.0)).collect();
+
+    // (iii) Map LP constrained to produce that intermediate distribution
+    // (equivalently: process the matching share of input at each site).
+    let input_total: f64 = map_p.input_gb.iter().sum();
+    let scale = if total_inter > 0.0 {
+        input_total / total_inter
+    } else {
+        0.0
+    };
+    let mut constrained = map_p.clone();
+    constrained.forced_dest_gb = Some(desired_inter.iter().map(|v| v * scale).collect());
+    let map = solve_map_placement(&constrained)?;
+
+    // Evaluate the reduce stage with the pinned fractions on the desired
+    // distribution.
+    let reduce = {
+        let tasks_at = tetrium_jobs::largest_remainder_round(&r, red.num_tasks);
+        let times = crate::analytic::evaluate_reduce_counts(
+            &desired_inter,
+            &r,
+            &tasks_at,
+            red.task_secs,
+            &map_p.up_gbps,
+            &map_p.down_gbps,
+            &map_p.slots,
+            false,
+        );
+        let wan_gb = (0..n).map(|x| desired_inter[x] * (1.0 - r[x])).sum();
+        ReducePlacement {
+            fractions: r,
+            times,
+            slot_demand: (0..n).map(|x| map_p.slots[x].min(tasks_at[x])).collect(),
+            tasks_at,
+            wan_gb,
+        }
+    };
+    let est_total = map.times.total() + reduce.times.total();
+    Ok(JointPlan {
+        map,
+        reduce,
+        est_total,
+        direction: PlanDirection::Reverse,
+    })
+}
+
+/// Computes both plans and returns the better (§6.3.1's "mixed" method).
+pub fn plan_best(map_p: &MapProblem, red: &ReduceStageSpec) -> Result<JointPlan, LpError> {
+    let fwd = plan_forward(map_p, red)?;
+    match plan_reverse(map_p, red) {
+        Ok(rev) if rev.est_total < fwd.est_total => Ok(rev),
+        _ => Ok(fwd),
+    }
+}
+
+/// Intermediate data each site holds after the map placement runs: the data
+/// processed at a site times the stage's output ratio.
+pub fn induced_intermediate(map_p: &MapProblem, map: &MapPlacement, ratio: f64) -> Vec<f64> {
+    let n = map_p.input_gb.len();
+    let mut inter = vec![0.0; n];
+    for x in 0..n {
+        for y in 0..n {
+            inter[y] += map_p.input_gb[x] * map.fractions[x][y] * ratio;
+        }
+    }
+    inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_map() -> MapProblem {
+        MapProblem {
+            input_gb: vec![20.0, 30.0, 50.0],
+            tasks_from: vec![200, 300, 500],
+            task_secs: 2.0,
+            up_gbps: vec![5.0, 1.0, 2.0],
+            down_gbps: vec![5.0, 1.0, 5.0],
+            slots: vec![40, 10, 20],
+            wan_budget_gb: None,
+            forced_dest_gb: None,
+            next_stage_ratio: None,
+            dest_limit: None,
+        }
+    }
+
+    fn fig4_reduce() -> ReduceStageSpec {
+        ReduceStageSpec {
+            num_tasks: 500,
+            task_secs: 1.0,
+            map_output_ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn forward_plan_beats_paper_iridium_total() {
+        let plan = plan_forward(&fig4_map(), &fig4_reduce()).unwrap();
+        // Paper: Iridium 88.5 s end-to-end, better approach 59.83 s
+        // (ceil-wave accounting); the LP relaxation must be below both.
+        assert!(plan.est_total < 60.0, "forward total {}", plan.est_total);
+        assert_eq!(plan.direction, PlanDirection::Forward);
+    }
+
+    #[test]
+    fn induced_intermediate_conserves_volume() {
+        let p = fig4_map();
+        let plan = plan_forward(&p, &fig4_reduce()).unwrap();
+        let inter = induced_intermediate(&p, &plan.map, 0.5);
+        let total: f64 = inter.iter().sum();
+        assert!((total - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reverse_plan_is_feasible_and_complete() {
+        let plan = plan_reverse(&fig4_map(), &fig4_reduce()).unwrap();
+        assert_eq!(plan.map.tasks_at.iter().sum::<usize>(), 1000);
+        assert_eq!(plan.reduce.tasks_at.iter().sum::<usize>(), 500);
+        assert_eq!(plan.direction, PlanDirection::Reverse);
+        // Reduce fractions are slot-proportional: 40/70, 10/70, 20/70.
+        assert!((plan.reduce.fractions[0] - 40.0 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_is_no_worse_than_forward() {
+        let fwd = plan_forward(&fig4_map(), &fig4_reduce()).unwrap();
+        let best = plan_best(&fig4_map(), &fig4_reduce()).unwrap();
+        assert!(best.est_total <= fwd.est_total + 1e-9);
+    }
+
+    #[test]
+    fn paper_notes_marginal_improvement() {
+        // §3.4: joint planning gives 44.875 vs 50.88 for the worked example
+        // under the paper's own accounting. We check the qualitative claim:
+        // reverse/mixed is within a modest factor of forward, not a
+        // breakthrough.
+        let fwd = plan_forward(&fig4_map(), &fig4_reduce()).unwrap();
+        let best = plan_best(&fig4_map(), &fig4_reduce()).unwrap();
+        assert!(best.est_total >= 0.75 * fwd.est_total);
+    }
+}

@@ -1,0 +1,90 @@
+//! Largest-remainder rounding of fractional allocations.
+
+/// Rounds non-negative `fractions` (summing to roughly 1) into integer counts
+/// summing exactly to `total`, using the largest-remainder (Hamilton) method.
+///
+/// This is how the fractional task placements produced by the LP models are
+/// turned into integral task counts per site (§3.1: "the number of tasks at
+/// each site needs to be integral; hence, we round the solution").
+///
+/// Fractions that do not sum to 1 are normalized first; an all-zero input
+/// yields all counts at index 0.
+///
+/// # Examples
+///
+/// ```
+/// use tetrium_jobs::largest_remainder_round;
+/// let counts = largest_remainder_round(&[0.5, 0.3, 0.2], 10);
+/// assert_eq!(counts, vec![5, 3, 2]);
+/// assert_eq!(largest_remainder_round(&[0.34, 0.33, 0.33], 10), vec![4, 3, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any fraction is negative or non-finite.
+pub fn largest_remainder_round(fractions: &[f64], total: usize) -> Vec<usize> {
+    assert!(
+        fractions.iter().all(|f| f.is_finite() && *f >= -1e-9),
+        "fractions must be finite and non-negative"
+    );
+    let n = fractions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum: f64 = fractions.iter().map(|f| f.max(0.0)).sum();
+    if sum <= 0.0 {
+        let mut out = vec![0usize; n];
+        out[0] = total;
+        return out;
+    }
+    let scaled: Vec<f64> = fractions
+        .iter()
+        .map(|f| f.max(0.0) / sum * total as f64)
+        .collect();
+    let mut counts: Vec<usize> = scaled.iter().map(|s| s.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut remainder: Vec<(usize, f64)> = scaled
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s - s.floor()))
+        .collect();
+    // Sort by remainder descending, breaking ties by index for determinism.
+    remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for k in 0..total.saturating_sub(assigned) {
+        counts[remainder[k % n].0] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fractions_round_exactly() {
+        assert_eq!(largest_remainder_round(&[0.25, 0.75], 4), vec![1, 3]);
+    }
+
+    #[test]
+    fn sums_are_preserved() {
+        for total in [0usize, 1, 7, 100, 501] {
+            let counts = largest_remainder_round(&[0.15, 0.05, 0.4, 0.4], total);
+            assert_eq!(counts.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn unnormalized_input_is_normalized() {
+        assert_eq!(largest_remainder_round(&[2.0, 2.0], 4), vec![2, 2]);
+    }
+
+    #[test]
+    fn zero_vector_dumps_on_first() {
+        assert_eq!(largest_remainder_round(&[0.0, 0.0, 0.0], 5), vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(largest_remainder_round(&[], 3).is_empty());
+    }
+}

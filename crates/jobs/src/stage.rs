@@ -1,0 +1,169 @@
+//! Stages: sets of parallel tasks with a communication pattern.
+
+use serde::{Deserialize, Serialize};
+use tetrium_cluster::DataDistribution;
+
+/// Communication pattern of a stage (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// One-to-one: each task reads one input partition that lives at a
+    /// specific site (map stages, §3.1).
+    Map,
+    /// All-to-all: each task reads its share of the intermediate data from
+    /// every site (reduce stages, §3.2).
+    Reduce,
+}
+
+/// One stage of a job's DAG.
+///
+/// Stages are stored in topological order within a [`crate::Job`]; `deps`
+/// refer to earlier stage indices. A stage with no deps is a *root* and reads
+/// the external input in `input`; non-root stages read the outputs of their
+/// parents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stage {
+    /// Communication pattern.
+    pub kind: StageKind,
+    /// Indices of parent stages within the job (all `<` this stage's index).
+    pub deps: Vec<usize>,
+    /// Number of parallel tasks.
+    pub num_tasks: usize,
+    /// Mean compute time of one task in seconds (`t_map` / `t_red`),
+    /// excluding any network fetch time.
+    pub task_secs: f64,
+    /// Output volume as a fraction of this stage's input volume (the
+    /// intermediate/input ratio of Fig 12(a) when applied to the whole job).
+    pub output_ratio: f64,
+    /// External input for root stages (GB per site); `None` for non-roots.
+    pub input: Option<DataDistribution>,
+    /// Optional per-task share of the stage's input for reduce stages with
+    /// key skew; uniform when `None`. Normalized on construction.
+    pub task_weights: Option<Vec<f64>>,
+}
+
+impl Stage {
+    /// Creates a root map stage reading the given external input.
+    pub fn root_map(input: DataDistribution, num_tasks: usize, task_secs: f64, output_ratio: f64) -> Self {
+        assert!(num_tasks > 0, "a stage needs at least one task");
+        Self {
+            kind: StageKind::Map,
+            deps: Vec::new(),
+            num_tasks,
+            task_secs,
+            output_ratio,
+            input: Some(input),
+            task_weights: None,
+        }
+    }
+
+    /// Creates a non-root map stage reading the outputs of `deps` one-to-one.
+    pub fn map(deps: Vec<usize>, num_tasks: usize, task_secs: f64, output_ratio: f64) -> Self {
+        assert!(num_tasks > 0, "a stage needs at least one task");
+        assert!(!deps.is_empty(), "non-root map stages need parents");
+        Self {
+            kind: StageKind::Map,
+            deps,
+            num_tasks,
+            task_secs,
+            output_ratio,
+            input: None,
+            task_weights: None,
+        }
+    }
+
+    /// Creates a reduce stage shuffling the outputs of `deps`.
+    pub fn reduce(deps: Vec<usize>, num_tasks: usize, task_secs: f64, output_ratio: f64) -> Self {
+        assert!(num_tasks > 0, "a stage needs at least one task");
+        assert!(!deps.is_empty(), "reduce stages need parents");
+        Self {
+            kind: StageKind::Reduce,
+            deps,
+            num_tasks,
+            task_secs,
+            output_ratio,
+            input: None,
+            task_weights: None,
+        }
+    }
+
+    /// Attaches key-skew weights (one per task); they are normalized to sum
+    /// to 1 so each weight is the task's share of the stage input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `num_tasks`, any weight is negative
+    /// or non-finite, or all weights are zero.
+    pub fn with_task_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.num_tasks, "one weight per task");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        self.task_weights = Some(weights.into_iter().map(|w| w / total).collect());
+        self
+    }
+
+    /// Whether this stage reads external input.
+    pub fn is_root(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// The share of the stage's input read by task `i` (uniform unless
+    /// key-skew weights were attached).
+    pub fn task_share(&self, i: usize) -> f64 {
+        assert!(i < self.num_tasks);
+        match &self.task_weights {
+            Some(w) => w[i],
+            None => 1.0 / self.num_tasks as f64,
+        }
+    }
+
+    /// Coefficient of variation of per-task shares (0 when uniform); the
+    /// intermediate-data-skew statistic of Fig 12(c).
+    pub fn task_skew_cv(&self) -> f64 {
+        match &self.task_weights {
+            None => 0.0,
+            Some(w) => {
+                let mean = 1.0 / w.len() as f64;
+                let var =
+                    w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / w.len() as f64;
+                var.sqrt() / mean
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shares_sum_to_one() {
+        let s = Stage::reduce(vec![0], 4, 1.0, 0.5);
+        let sum: f64 = (0..4).map(|i| s.task_share(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(s.task_skew_cv(), 0.0);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let s = Stage::reduce(vec![0], 3, 1.0, 0.5).with_task_weights(vec![2.0, 1.0, 1.0]);
+        assert!((s.task_share(0) - 0.5).abs() < 1e-12);
+        assert!(s.task_skew_cv() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per task")]
+    fn weight_length_checked() {
+        Stage::reduce(vec![0], 3, 1.0, 0.5).with_task_weights(vec![1.0]);
+    }
+
+    #[test]
+    fn root_detection() {
+        let input = DataDistribution::new(vec![1.0, 2.0]);
+        assert!(Stage::root_map(input, 2, 1.0, 0.5).is_root());
+        assert!(!Stage::map(vec![0], 2, 1.0, 0.5).is_root());
+    }
+}

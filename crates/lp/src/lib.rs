@@ -1,0 +1,42 @@
+//! Dense two-phase primal simplex solver for linear programs.
+//!
+//! Tetrium's task-placement models (map-stage, reduce-stage, WAN-budget
+//! variants) are small linear programs — on the order of `n^2` variables for
+//! `n` sites, with `n ≤ 50` in every configuration the paper evaluates. The
+//! original system calls out to Gurobi; this crate is the from-scratch
+//! substitute. Since the models are exact LPs, any exact solver produces the
+//! same optima, so a dense tableau simplex preserves all scheduling behaviour
+//! while keeping the workspace dependency-free.
+//!
+//! The solver supports:
+//!
+//! - minimization and maximization objectives,
+//! - `≤`, `≥` and `=` constraints with arbitrary-sign right-hand sides,
+//! - non-negative decision variables (the only kind Tetrium's models need),
+//! - infeasibility and unboundedness detection,
+//! - Bland's anti-cycling rule (engaged after a Dantzig warm-up) so degenerate
+//!   placement instances cannot loop forever.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetrium_lp::{Problem, Relation};
+//!
+//! // Minimize x + 2y subject to x + y >= 4, y <= 3, x, y >= 0.
+//! let mut p = Problem::minimize(2);
+//! p.set_objective(&[(0, 1.0), (1, 2.0)]);
+//! p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 4.0);
+//! p.add_constraint(&[(1, 1.0)], Relation::Le, 3.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective - 4.0).abs() < 1e-9);
+//! assert!((sol.values[0] - 4.0).abs() < 1e-9);
+//! ```
+
+mod problem;
+mod simplex;
+
+pub use problem::{Constraint, Problem, Relation, Sense};
+pub use simplex::{LpError, Solution};
+
+#[cfg(test)]
+mod tests;

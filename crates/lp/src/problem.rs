@@ -1,0 +1,169 @@
+//! Problem-construction API: variables, objective, constraints.
+
+use crate::simplex::{solve_standard, LpError, Solution};
+
+/// Direction of the objective function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Min,
+    /// Maximize the objective.
+    Max,
+}
+
+/// Relation between a constraint's left-hand side and its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Left-hand side must be less than or equal to the right-hand side.
+    Le,
+    /// Left-hand side must be greater than or equal to the right-hand side.
+    Ge,
+    /// Left-hand side must equal the right-hand side.
+    Eq,
+}
+
+/// A single linear constraint in sparse form.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices may repeat (summed).
+    pub terms: Vec<(usize, f64)>,
+    /// The relation between the linear form and `rhs`.
+    pub relation: Relation,
+    /// Right-hand-side constant.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// Variables are indexed `0..num_vars` and implicitly constrained to be
+/// non-negative, which matches every model in Tetrium (task fractions,
+/// stage durations and WAN volumes are all non-negative quantities).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    num_vars: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates a minimization problem with `num_vars` non-negative variables.
+    pub fn minimize(num_vars: usize) -> Self {
+        Self::new(num_vars, Sense::Min)
+    }
+
+    /// Creates a maximization problem with `num_vars` non-negative variables.
+    pub fn maximize(num_vars: usize) -> Self {
+        Self::new(num_vars, Sense::Max)
+    }
+
+    /// Creates a problem with the given objective sense.
+    pub fn new(num_vars: usize, sense: Sense) -> Self {
+        Self {
+            num_vars,
+            sense,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficients from sparse `(index, coefficient)`
+    /// pairs; unspecified coefficients stay zero, repeated indices are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn set_objective(&mut self, terms: &[(usize, f64)]) {
+        self.objective = vec![0.0; self.num_vars];
+        for &(i, c) in terms {
+            assert!(i < self.num_vars, "objective index {i} out of range");
+            self.objective[i] += c;
+        }
+    }
+
+    /// Adds `coefficient` to the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn add_objective_term(&mut self, var: usize, coefficient: f64) {
+        assert!(var < self.num_vars, "objective index {var} out of range");
+        self.objective[var] += coefficient;
+    }
+
+    /// Adds a constraint from sparse `(index, coefficient)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or any value is non-finite.
+    pub fn add_constraint(&mut self, terms: &[(usize, f64)], relation: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        for &(i, c) in terms {
+            assert!(i < self.num_vars, "constraint index {i} out of range");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+        }
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Solves the problem, returning variable values and objective value.
+    ///
+    /// Returns [`LpError::Infeasible`] when no assignment satisfies all
+    /// constraints and [`LpError::Unbounded`] when the objective can improve
+    /// without limit.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        // Normalize to a minimization problem; flip the objective back at the
+        // end for maximization.
+        let flip = matches!(self.sense, Sense::Max);
+        let objective: Vec<f64> = if flip {
+            self.objective.iter().map(|c| -c).collect()
+        } else {
+            self.objective.clone()
+        };
+        let mut sol = solve_standard(self.num_vars, &objective, &self.constraints)?;
+        if flip {
+            sol.objective = -sol.objective;
+            // Duals computed against the negated objective flip with it.
+            for d in &mut sol.duals {
+                *d = -*d;
+            }
+        }
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn objective_terms_accumulate() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(&[(0, 1.0), (0, 2.0)]);
+        p.add_objective_term(1, 4.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+        p.add_constraint(&[(1, 1.0)], Relation::Ge, 1.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        let mut p = Problem::minimize(1);
+        p.add_constraint(&[(3, 1.0)], Relation::Le, 1.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Two-phase primal simplex over a dense tableau.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic feasible
+//! solution (detecting infeasibility); phase 2 minimizes the user objective
+//! from that basis (detecting unboundedness). Entering-variable selection is
+//! Dantzig's rule for a warm-up period, then Bland's rule, which guarantees
+//! termination on degenerate instances.
+
+use crate::problem::{Constraint, Relation};
+
+/// Absolute tolerance used for all feasibility and pivoting comparisons.
+///
+/// Rows are rescaled to unit max-magnitude before solving, so an absolute
+/// tolerance behaves like a relative one.
+const EPS: f64 = 1e-9;
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No assignment satisfies all constraints.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The pivot-iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Value of each decision variable (non-negative).
+    pub values: Vec<f64>,
+    /// Objective value at the optimum (in the problem's original sense).
+    pub objective: f64,
+    /// Shadow price of each constraint, in input order: the marginal change
+    /// of the optimal objective per unit increase of that constraint's
+    /// right-hand side (in the problem's original sense). Zero for
+    /// non-binding constraints; one valid assignment when duals are
+    /// degenerate. In the placement models these read as "seconds saved per
+    /// extra GB/s on this link / per extra slot at this site".
+    pub duals: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub pivots: usize,
+}
+
+/// Dense simplex tableau: `rows` constraint rows of `cols` entries each
+/// (the last entry of a row is the right-hand side), plus a reduced-cost row.
+struct Tableau {
+    rows: usize,
+    /// Number of structural columns (variables), excluding the RHS column.
+    vars: usize,
+    /// Row-major data; each row has `vars + 1` entries.
+    a: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Reduced costs per variable plus the (negated) objective value.
+    cost: Vec<f64>,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.vars + 1) + c]
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.vars)
+    }
+
+    /// Rebuilds the reduced-cost row for cost vector `c` (length `vars`)
+    /// given the current basis: `cost[j] = c_j - c_B^T B^{-1} A_j`.
+    #[allow(clippy::needless_range_loop)]
+    fn price(&mut self, c: &[f64]) {
+        let w = self.vars + 1;
+        let mut row = vec![0.0; w];
+        row[..self.vars].copy_from_slice(c);
+        for r in 0..self.rows {
+            let cb = c[self.basis[r]];
+            if cb != 0.0 {
+                let base = r * w;
+                for j in 0..w {
+                    row[j] -= cb * self.a[base + j];
+                }
+            }
+        }
+        self.cost = row;
+    }
+
+    /// Performs one pivot on `(row, col)`, updating constraint rows, the
+    /// reduced-cost row and the basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.vars + 1;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > EPS, "pivot on near-zero element");
+        let base = row * w;
+        let inv = 1.0 / piv;
+        for j in 0..w {
+            self.a[base + j] *= inv;
+        }
+        // Re-normalize the pivot entry exactly to avoid drift.
+        self.a[base + col] = 1.0;
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let f = self.at(r, col);
+            if f.abs() > 0.0 {
+                let rb = r * w;
+                for j in 0..w {
+                    self.a[rb + j] -= f * self.a[base + j];
+                }
+                self.a[rb + col] = 0.0;
+            }
+        }
+        let f = self.cost[col];
+        if f.abs() > 0.0 {
+            for j in 0..w {
+                self.cost[j] -= f * self.a[base + j];
+            }
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Runs simplex iterations to optimality for the current cost row.
+    ///
+    /// `allowed` limits the columns that may enter the basis (used to bar
+    /// artificial variables in phase 2).
+    fn optimize(&mut self, allowed: usize) -> Result<(), LpError> {
+        let limit = 200 * (self.rows + self.vars) + 1000;
+        let dantzig_until = 20 * (self.rows + self.vars) + 200;
+        for iter in 0..limit {
+            let col = if iter < dantzig_until {
+                // Dantzig: most negative reduced cost.
+                let mut best = None;
+                let mut best_v = -EPS;
+                for j in 0..allowed {
+                    if self.cost[j] < best_v {
+                        best_v = self.cost[j];
+                        best = Some(j);
+                    }
+                }
+                best
+            } else {
+                // Bland: smallest index with negative reduced cost.
+                (0..allowed).find(|&j| self.cost[j] < -EPS)
+            };
+            let Some(col) = col else {
+                return Ok(());
+            };
+            // Ratio test: smallest rhs/a over rows with positive a; ties are
+            // broken toward the smallest basis index (Bland-compatible).
+            let mut pivot_row = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let a = self.at(r, col);
+                if a > EPS {
+                    let ratio = self.rhs(r) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && pivot_row.is_some_and(|pr: usize| self.basis[r] < self.basis[pr]));
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(r);
+                    }
+                }
+            }
+            let Some(row) = pivot_row else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solves `min c^T x` subject to `constraints` and `x >= 0`.
+///
+/// This is the internal entry point used by [`crate::Problem::solve`]; the
+/// cost vector must already be in minimization sense.
+pub(crate) fn solve_standard(
+    num_vars: usize,
+    objective: &[f64],
+    constraints: &[Constraint],
+) -> Result<Solution, LpError> {
+    let m = constraints.len();
+
+    // Densify each constraint, normalize to non-negative RHS and rescale the
+    // row to unit max magnitude so the absolute EPS behaves relatively.
+    struct Row {
+        coef: Vec<f64>,
+        rel: Relation,
+        rhs: f64,
+        scale: f64,
+        flipped: bool,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(m);
+    for c in constraints {
+        let mut coef = vec![0.0; num_vars];
+        for &(i, v) in &c.terms {
+            coef[i] += v;
+        }
+        let mut rel = c.relation;
+        let mut rhs = c.rhs;
+        let mut flipped = false;
+        if rhs < 0.0 {
+            for v in &mut coef {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            flipped = true;
+            rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        let scale = coef
+            .iter()
+            .map(|v| v.abs())
+            .fold(rhs.abs(), f64::max)
+            .max(1e-300);
+        if scale > 0.0 {
+            for v in &mut coef {
+                *v /= scale;
+            }
+            rhs /= scale;
+        }
+        rows.push(Row {
+            coef,
+            rel,
+            rhs,
+            scale,
+            flipped,
+        });
+    }
+
+    // Column layout: [structural | slacks/surplus | artificials | RHS].
+    let num_slack = rows
+        .iter()
+        .filter(|r| !matches!(r.rel, Relation::Eq))
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|r| matches!(r.rel, Relation::Ge | Relation::Eq))
+        .count();
+    let vars = num_vars + num_slack + num_art;
+    let w = vars + 1;
+
+    let mut a = vec![0.0; m * w];
+    let mut basis = vec![0usize; m];
+    let mut next_slack = num_vars;
+    let mut next_art = num_vars + num_slack;
+    let art_start = num_vars + num_slack;
+    // For each constraint: the auxiliary column whose final reduced cost
+    // yields its dual, and the sign relating that reduced cost to y.
+    let mut dual_col = vec![0usize; m];
+    let mut dual_sign = vec![0.0f64; m];
+    for (r, row) in rows.iter().enumerate() {
+        let base = r * w;
+        a[base..base + num_vars].copy_from_slice(&row.coef);
+        a[base + vars] = row.rhs;
+        match row.rel {
+            Relation::Le => {
+                a[base + next_slack] = 1.0;
+                basis[r] = next_slack;
+                // Reduced cost of a +1 slack is -y.
+                dual_col[r] = next_slack;
+                dual_sign[r] = -1.0;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                a[base + next_slack] = -1.0;
+                // Reduced cost of a -1 surplus is +y.
+                dual_col[r] = next_slack;
+                dual_sign[r] = 1.0;
+                next_slack += 1;
+                a[base + next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+            Relation::Eq => {
+                a[base + next_art] = 1.0;
+                basis[r] = next_art;
+                // Equalities have no slack; the +1 artificial's phase-2
+                // reduced cost is -y (its own cost is zero).
+                dual_col[r] = next_art;
+                dual_sign[r] = -1.0;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        rows: m,
+        vars,
+        a,
+        basis,
+        cost: vec![],
+        pivots: 0,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if num_art > 0 {
+        let mut c1 = vec![0.0; vars];
+        for c in c1.iter_mut().take(vars).skip(art_start) {
+            *c = 1.0;
+        }
+        t.price(&c1);
+        t.optimize(vars)?;
+        // The phase-1 objective value is -cost[vars].
+        let v1 = -t.cost[vars];
+        if v1 > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining basic artificials out of the basis; drop redundant
+        // rows where no structural pivot exists.
+        let mut r = 0;
+        while r < t.rows {
+            if t.basis[r] >= art_start {
+                let mut pivot_col = None;
+                for j in 0..art_start {
+                    if t.at(r, j).abs() > 1e-7 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    t.pivot(r, j);
+                } else {
+                    // Redundant constraint: remove the row entirely.
+                    let w = t.vars + 1;
+                    let start = r * w;
+                    t.a.drain(start..start + w);
+                    t.basis.remove(r);
+                    t.rows -= 1;
+                    continue;
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // Phase 2: minimize the real objective, barring artificial columns.
+    let mut c2 = vec![0.0; vars];
+    c2[..num_vars].copy_from_slice(objective);
+    t.price(&c2);
+    t.optimize(art_start)?;
+
+    let mut values = vec![0.0; num_vars];
+    for r in 0..t.rows {
+        let b = t.basis[r];
+        if b < num_vars {
+            values[b] = t.rhs(r).max(0.0);
+        }
+    }
+    let objective_value = values
+        .iter()
+        .zip(objective)
+        .map(|(x, c)| x * c)
+        .sum::<f64>();
+    // Duals from the final reduced costs of the auxiliary columns; undo the
+    // per-row rescaling and the sign flip of negative-RHS normalization.
+    let duals = (0..m)
+        .map(|r| {
+            let y_scaled = dual_sign[r] * t.cost[dual_col[r]];
+            let y = y_scaled / rows[r].scale;
+            if rows[r].flipped {
+                -y
+            } else {
+                y
+            }
+        })
+        .collect();
+    Ok(Solution {
+        values,
+        objective: objective_value,
+        duals,
+        pivots: t.pivots,
+    })
+}

@@ -1,0 +1,104 @@
+//! Bucketed gain characterization (Fig 12).
+//!
+//! Fig 12 groups per-job gains by a workload characteristic (the
+//! intermediate/input ratio, input skew CV, intermediate skew CV or the
+//! estimation error) and reports, per bucket, the fraction of queries that
+//! fall into it and the mean gain within it.
+
+/// One bucket of the characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Human-readable range label (e.g. `"0.2-0.5"`).
+    pub label: String,
+    /// Number of jobs in the bucket.
+    pub count: usize,
+    /// Fraction of all jobs that landed in this bucket (the "Queries (%)"
+    /// bars of Fig 12).
+    pub fraction: f64,
+    /// Mean gain within the bucket (the "Gains (%)" bars).
+    pub mean_gain: f64,
+}
+
+/// Buckets `(key, gain)` pairs by `edges` (ascending interior boundaries).
+///
+/// With edges `[a, b]`, three buckets form: `< a`, `a..b`, `>= b` — the
+/// `<x / x-y / >z` layout of the paper's figures.
+///
+/// # Panics
+///
+/// Panics if `edges` is empty or not strictly increasing.
+pub fn bucket_by(pairs: &[(f64, f64)], edges: &[f64]) -> Vec<Bucket> {
+    assert!(!edges.is_empty(), "need at least one boundary");
+    assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "edges must be strictly increasing"
+    );
+    let n_buckets = edges.len() + 1;
+    let mut counts = vec![0usize; n_buckets];
+    let mut sums = vec![0.0f64; n_buckets];
+    for &(key, gain) in pairs {
+        let b = edges.partition_point(|&e| key >= e);
+        counts[b] += 1;
+        sums[b] += gain;
+    }
+    let total: usize = counts.iter().sum();
+    (0..n_buckets)
+        .map(|b| {
+            let label = if b == 0 {
+                format!("<{}", edges[0])
+            } else if b == edges.len() {
+                format!(">={}", edges[b - 1])
+            } else {
+                format!("{}-{}", edges[b - 1], edges[b])
+            };
+            Bucket {
+                label,
+                count: counts[b],
+                fraction: if total == 0 {
+                    0.0
+                } else {
+                    counts[b] as f64 / total as f64
+                },
+                mean_gain: if counts[b] == 0 {
+                    0.0
+                } else {
+                    sums[b] / counts[b] as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_and_average() {
+        let pairs = [(0.1, 10.0), (0.3, 20.0), (0.4, 40.0), (1.5, 50.0)];
+        let b = bucket_by(&pairs, &[0.2, 0.5, 1.0]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0].count, 1);
+        assert_eq!(b[1].count, 2);
+        assert_eq!(b[1].mean_gain, 30.0);
+        assert_eq!(b[2].count, 0);
+        assert_eq!(b[2].mean_gain, 0.0);
+        assert_eq!(b[3].count, 1);
+        let total: f64 = b.iter().map(|x| x.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_values_go_right() {
+        let b = bucket_by(&[(0.2, 1.0)], &[0.2]);
+        assert_eq!(b[0].count, 0);
+        assert_eq!(b[1].count, 1);
+        assert_eq!(b[1].label, ">=0.2");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_bad_edges() {
+        bucket_by(&[], &[1.0, 1.0]);
+    }
+}

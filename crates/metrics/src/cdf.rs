@@ -1,0 +1,108 @@
+//! Empirical CDFs (Fig 2, Fig 8b).
+
+/// An empirical cumulative distribution over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use tetrium_metrics::Cdf;
+/// let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(c.quantile(0.5), 3.0);
+/// assert_eq!(c.fraction_leq(2.5), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from a sample (non-finite values are dropped).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| v.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0..=1) by nearest rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(!self.sorted.is_empty(), "empty CDF");
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cumulative fraction)` pairs suitable for plotting; thinned
+    /// to at most `max_points` evenly spaced points.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || max_points == 0 {
+            return Vec::new();
+        }
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_fractions() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.fraction_leq(2.5), 0.5);
+        assert_eq!(c.fraction_leq(0.0), 0.0);
+        assert_eq!(c.fraction_leq(10.0), 1.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let c = Cdf::new(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let c = Cdf::new((0..100).map(|i| i as f64).collect());
+        let pts = c.points(10);
+        assert!(pts.len() <= 12);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Trace export in Chrome trace-event format.
+//!
+//! A recorded run (`EngineConfig::record_trace`) can be dumped to the JSON
+//! array format that `chrome://tracing` / Perfetto render as a Gantt chart:
+//! one row per site, one bar per task, fetch and compute phases as nested
+//! slices. Handy for eyeballing wave structure and placement decisions.
+
+use tetrium_sim::TaskTrace;
+
+/// Serializes task traces as a Chrome trace-event JSON array.
+///
+/// Each site becomes a "process" row (`pid` = site index); each task emits
+/// a complete event (`ph: "X"`) for its slot occupancy and a nested one for
+/// its compute phase. Times are exported in microseconds as the format
+/// expects.
+pub fn chrome_trace(trace: &[TaskTrace]) -> String {
+    let mut events = Vec::with_capacity(trace.len() * 2 + 1);
+    for t in trace {
+        let name = format!(
+            "{}/s{}/t{}{}",
+            t.job,
+            t.stage,
+            t.task,
+            if t.was_copy { " (copy)" } else { "" }
+        );
+        let pid = t.site.index();
+        // Slot occupancy (fetch + compute).
+        events.push(serde_json::json!({
+            "name": name,
+            "cat": "task",
+            "ph": "X",
+            "pid": pid,
+            "tid": t.task % 64,
+            "ts": (t.launched_at * 1e6) as i64,
+            "dur": (((t.finished_at - t.launched_at).max(0.0)) * 1e6) as i64,
+            "args": {
+                "job": t.job.index(),
+                "stage": t.stage,
+                "fetch_s": t.fetch_secs(),
+                "compute_s": t.compute_secs(),
+                "copy": t.was_copy,
+            },
+        }));
+        if t.compute_secs() > 0.0 {
+            events.push(serde_json::json!({
+                "name": "compute",
+                "cat": "phase",
+                "ph": "X",
+                "pid": pid,
+                "tid": t.task % 64,
+                "ts": (t.compute_started * 1e6) as i64,
+                "dur": (t.compute_secs() * 1e6) as i64,
+            }));
+        }
+    }
+    serde_json::to_string(&events).expect("trace events serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrium_cluster::SiteId;
+    use tetrium_jobs::JobId;
+
+    fn tr(task: usize, copy: bool) -> TaskTrace {
+        TaskTrace {
+            job: JobId(1),
+            stage: 0,
+            task,
+            site: SiteId(2),
+            launched_at: 1.0,
+            compute_started: 1.5,
+            finished_at: 3.0,
+            was_copy: copy,
+        }
+    }
+
+    #[test]
+    fn emits_valid_json_with_expected_fields() {
+        let out = chrome_trace(&[tr(0, false), tr(1, true)]);
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let events = parsed.as_array().unwrap();
+        // Two tasks x (occupancy + compute slice).
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["pid"], 2);
+        assert_eq!(events[0]["ts"], 1_000_000);
+        assert_eq!(events[0]["dur"], 2_000_000);
+        assert!(events[2]["name"].as_str().unwrap().contains("(copy)"));
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let parsed: serde_json::Value = serde_json::from_str(&chrome_trace(&[])).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 0);
+    }
+}

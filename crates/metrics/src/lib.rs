@@ -1,0 +1,19 @@
+//! Evaluation metrics for scheduler comparisons (§6).
+//!
+//! The paper reports results as *reductions* relative to a baseline
+//! (response time, slowdown, WAN usage), per-job reduction CDFs (Fig 8b),
+//! and gain distributions bucketed by workload characteristics (Fig 12).
+//! This crate holds the pure-math side of that reporting; runs come from
+//! [`tetrium_sim::RunReport`].
+
+mod buckets;
+mod cdf;
+mod export;
+mod gains;
+mod timeline;
+
+pub use buckets::{bucket_by, Bucket};
+pub use cdf::Cdf;
+pub use export::chrome_trace;
+pub use gains::{jain_index, per_job_reduction, reduction_pct, slowdowns, wan_reduction_pct};
+pub use timeline::{copy_win_fraction, fetch_compute_split, site_busy_secs, site_utilization};

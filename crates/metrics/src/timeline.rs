@@ -1,0 +1,99 @@
+//! Timeline analysis over task traces: where did the time go?
+
+use tetrium_sim::TaskTrace;
+
+/// Per-site busy time (slot-seconds of occupancy) over a trace.
+pub fn site_busy_secs(trace: &[TaskTrace], n_sites: usize) -> Vec<f64> {
+    let mut busy = vec![0.0; n_sites];
+    for t in trace {
+        busy[t.site.index()] += (t.finished_at - t.launched_at).max(0.0);
+    }
+    busy
+}
+
+/// Per-site slot utilization over `[0, makespan]`: busy slot-seconds divided
+/// by available slot-seconds.
+pub fn site_utilization(trace: &[TaskTrace], slots: &[usize], makespan: f64) -> Vec<f64> {
+    let busy = site_busy_secs(trace, slots.len());
+    slots
+        .iter()
+        .zip(busy)
+        .map(|(&s, b)| {
+            if makespan <= 0.0 || s == 0 {
+                0.0
+            } else {
+                (b / (s as f64 * makespan)).min(1.0)
+            }
+        })
+        .collect()
+}
+
+/// Splits total slot occupancy into fetch and compute seconds — the
+/// "where does a slot's time go" diagnostic behind the paper's argument
+/// that network transfers must be scheduled, not just compute.
+pub fn fetch_compute_split(trace: &[TaskTrace]) -> (f64, f64) {
+    trace.iter().fold((0.0, 0.0), |(f, c), t| {
+        (f + t.fetch_secs(), c + t.compute_secs())
+    })
+}
+
+/// Fraction of tasks whose result came from a speculative copy.
+pub fn copy_win_fraction(trace: &[TaskTrace]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().filter(|t| t.was_copy).count() as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrium_cluster::SiteId;
+    use tetrium_jobs::JobId;
+
+    fn tr(site: usize, launched: f64, compute: f64, done: f64, was_copy: bool) -> TaskTrace {
+        TaskTrace {
+            job: JobId(0),
+            stage: 0,
+            task: 0,
+            site: SiteId(site),
+            launched_at: launched,
+            compute_started: compute,
+            finished_at: done,
+            was_copy,
+        }
+    }
+
+    #[test]
+    fn busy_and_utilization() {
+        let trace = vec![tr(0, 0.0, 1.0, 3.0, false), tr(1, 2.0, 2.0, 4.0, false)];
+        let busy = site_busy_secs(&trace, 2);
+        assert_eq!(busy, vec![3.0, 2.0]);
+        let util = site_utilization(&trace, &[1, 2], 4.0);
+        assert!((util[0] - 0.75).abs() < 1e-12);
+        assert!((util[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fetch_compute_accounting() {
+        let trace = vec![tr(0, 0.0, 1.5, 3.0, false)];
+        let (fetch, compute) = fetch_compute_split(&trace);
+        assert!((fetch - 1.5).abs() < 1e-12);
+        assert!((compute - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_fraction() {
+        let trace = vec![
+            tr(0, 0.0, 0.0, 1.0, false),
+            tr(0, 0.0, 0.0, 1.0, true),
+        ];
+        assert_eq!(copy_win_fraction(&trace), 0.5);
+        assert_eq!(copy_win_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn utilization_handles_degenerate_inputs() {
+        assert_eq!(site_utilization(&[], &[4], 0.0), vec![0.0]);
+    }
+}

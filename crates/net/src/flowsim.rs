@@ -1,0 +1,475 @@
+//! Fluid-flow simulator over the max-min fair model.
+//!
+//! Flows between the same `(src, dst)` pair always share one max-min rate,
+//! so the simulator keeps them in per-pair *groups*. Each group carries a
+//! virtual drain clock (`drained`: bytes sent per member flow since the
+//! group was created); a flow joining at drain level `d` with `size` bytes
+//! completes when the clock reaches `d + size`. Advancing time is then
+//! `O(groups)`, finding the next completion is `O(groups · log)`, and rate
+//! recomputation is one heap-based waterfilling pass — independent of the
+//! number of concurrent flows, which is what keeps shuffle-heavy
+//! simulations (thousands of tasks × dozens of sources) tractable.
+
+use crate::maxmin::{waterfill_groups, GroupSpec};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use tetrium_cluster::SiteId;
+
+/// Handle to a flow inside a [`FlowSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey(usize);
+
+#[derive(Debug, Clone)]
+struct FlowRec {
+    size_gb: f64,
+    /// Group the flow belongs to (`None` for local flows).
+    group: Option<usize>,
+    /// Group drain level when the flow joined.
+    join_drain: f64,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct Group {
+    src: usize,
+    dst: usize,
+    count: usize,
+    /// Current per-flow rate in GB/s.
+    rate: f64,
+    /// Bytes drained per member flow since group creation.
+    drained: f64,
+    /// Completion thresholds `(join_drain + size, flow index)`, min-first;
+    /// entries for removed flows are discarded lazily.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+/// Orders non-negative f64 thresholds as u64 keys.
+fn key(v: f64) -> u64 {
+    v.max(0.0).to_bits()
+}
+
+/// Fluid simulation of concurrent WAN transfers.
+///
+/// Time does not advance on its own: the owner (the discrete-event engine)
+/// calls [`FlowSim::advance_to`] to move the clock forward — draining bytes
+/// at the current max-min rates — and uses [`FlowSim::next_completion`] to
+/// schedule its next network event. Rates are recomputed lazily whenever the
+/// flow set or link capacities change.
+///
+/// Local flows (`src == dst`) complete instantly (zero remaining time), as
+/// local reads do not cross the WAN in the paper's model.
+///
+/// # Examples
+///
+/// ```
+/// use tetrium_net::FlowSim;
+/// use tetrium_cluster::SiteId;
+///
+/// let mut sim = FlowSim::new(vec![1.0, 4.0], vec![4.0, 2.0]);
+/// let flow = sim.add_flow(SiteId(0), SiteId(1), 10.0);
+/// let (done, t) = sim.next_completion().unwrap();
+/// assert_eq!(done, flow);
+/// assert!((t - 10.0).abs() < 1e-9); // 10 GB over the 1 GB/s uplink.
+/// sim.advance_to(t);
+/// assert!(sim.remaining_gb(flow) < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct FlowSim {
+    up_gbps: Vec<f64>,
+    down_gbps: Vec<f64>,
+    flows: Vec<FlowRec>,
+    free: Vec<usize>,
+    groups: Vec<Group>,
+    group_index: HashMap<(usize, usize), usize>,
+    now: f64,
+    total_wan_gb: f64,
+    active: usize,
+    /// Alive local flows (rarely used; the engine short-circuits local
+    /// reads before they reach the WAN model).
+    locals: Vec<usize>,
+    dirty: bool,
+    /// Memoized result of [`FlowSim::next_completion`]: completion times are
+    /// absolute, so the answer stays valid until the flow set or capacities
+    /// change.
+    cached_next: Option<Option<(FlowKey, f64)>>,
+}
+
+impl FlowSim {
+    /// Creates a simulator over sites with the given link capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or any capacity is
+    /// non-positive.
+    pub fn new(up_gbps: Vec<f64>, down_gbps: Vec<f64>) -> Self {
+        assert_eq!(up_gbps.len(), down_gbps.len());
+        assert!(up_gbps.iter().chain(&down_gbps).all(|&c| c > 0.0));
+        Self {
+            up_gbps,
+            down_gbps,
+            flows: Vec::new(),
+            free: Vec::new(),
+            groups: Vec::new(),
+            group_index: HashMap::new(),
+            now: 0.0,
+            total_wan_gb: 0.0,
+            active: 0,
+            locals: Vec::new(),
+            dirty: false,
+            cached_next: None,
+        }
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Cumulative bytes (GB) that crossed the WAN so far — the WAN-usage
+    /// metric of §4.3 (local flows do not count).
+    pub fn total_wan_gb(&self) -> f64 {
+        self.total_wan_gb
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// Starts a transfer of `gb` from `src` to `dst` and returns its handle.
+    ///
+    /// WAN usage is accounted at start time (the bytes will cross the WAN
+    /// unless the flow is cancelled).
+    pub fn add_flow(&mut self, src: SiteId, dst: SiteId, gb: f64) -> FlowKey {
+        assert!(gb >= 0.0 && gb.is_finite());
+        let local = src == dst;
+        if !local {
+            self.total_wan_gb += gb;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.flows.push(FlowRec {
+                size_gb: 0.0,
+                group: None,
+                join_drain: 0.0,
+                alive: false,
+            });
+            self.flows.len() - 1
+        });
+        let (group, join_drain) = if local {
+            self.locals.push(idx);
+            self.cached_next = None;
+            (None, 0.0)
+        } else {
+            let g = *self
+                .group_index
+                .entry((src.index(), dst.index()))
+                .or_insert_with(|| {
+                    self.groups.push(Group {
+                        src: src.index(),
+                        dst: dst.index(),
+                        count: 0,
+                        rate: 0.0,
+                        drained: 0.0,
+                        heap: BinaryHeap::new(),
+                    });
+                    self.groups.len() - 1
+                });
+            let grp = &mut self.groups[g];
+            grp.count += 1;
+            grp.heap.push(Reverse((key(grp.drained + gb), idx)));
+            self.dirty = true;
+            self.cached_next = None;
+            (Some(g), grp.drained)
+        };
+        self.flows[idx] = FlowRec {
+            size_gb: gb,
+            group,
+            join_drain,
+            alive: true,
+        };
+        self.active += 1;
+        FlowKey(idx)
+    }
+
+    /// Removes a completed (or cancelled) flow.
+    ///
+    /// Returns the bytes that were still unsent (zero for a completed flow).
+    pub fn remove_flow(&mut self, fkey: FlowKey) -> f64 {
+        let remaining = self.remaining_gb(fkey);
+        let rec = &mut self.flows[fkey.0];
+        assert!(rec.alive, "flow already removed");
+        rec.alive = false;
+        self.cached_next = None;
+        match rec.group {
+            Some(g) => {
+                self.groups[g].count -= 1;
+                // Heap entries are discarded lazily when popped.
+                self.dirty = true;
+                // Refund WAN accounting for unsent bytes of a cancelled flow.
+                self.total_wan_gb -= remaining;
+            }
+            None => self.locals.retain(|&i| i != fkey.0),
+        }
+        self.free.push(fkey.0);
+        self.active -= 1;
+        remaining
+    }
+
+    /// Updates a site's link capacities (resource dynamics, §4.2).
+    pub fn set_capacity(&mut self, site: SiteId, up_gbps: f64, down_gbps: f64) {
+        assert!(up_gbps > 0.0 && down_gbps > 0.0);
+        self.up_gbps[site.index()] = up_gbps;
+        self.down_gbps[site.index()] = down_gbps;
+        self.dirty = true;
+        self.cached_next = None;
+    }
+
+    /// Advances the clock to `t`, draining every flow at its current rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.now - 1e-9, "time must be monotone");
+        let dt = (t - self.now).max(0.0);
+        if dt > 0.0 {
+            self.refresh();
+            for g in &mut self.groups {
+                if g.count > 0 && g.rate > 0.0 {
+                    g.drained += g.rate * dt;
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// The earliest `(flow, absolute completion time)` among in-flight flows
+    /// at current rates, or `None` when no flows are active.
+    ///
+    /// Local flows and zero-byte flows complete "now".
+    pub fn next_completion(&mut self) -> Option<(FlowKey, f64)> {
+        if let Some(cached) = self.cached_next {
+            return cached;
+        }
+        self.refresh();
+        let mut best: Option<(FlowKey, f64)> = None;
+        // Local flows (no group) complete immediately.
+        if let Some(&i) = self.locals.first() {
+            return Some((FlowKey(i), self.now));
+        }
+        for g in 0..self.groups.len() {
+            // Discard heap entries of removed flows or stale re-additions.
+            let (threshold, idx) = loop {
+                let Some(&Reverse((th, idx))) = self.groups[g].heap.peek() else {
+                    break (u64::MAX, usize::MAX);
+                };
+                let f = &self.flows[idx];
+                let valid = f.alive
+                    && f.group == Some(g)
+                    && key(f.join_drain + f.size_gb) == th;
+                if valid {
+                    break (th, idx);
+                }
+                self.groups[g].heap.pop();
+            };
+            if idx == usize::MAX {
+                continue;
+            }
+            let grp = &self.groups[g];
+            let remaining = (f64::from_bits(threshold) - grp.drained).max(0.0);
+            let eta = if remaining <= 1e-12 {
+                self.now
+            } else if grp.rate <= 0.0 {
+                continue; // Stalled (cannot happen with positive capacities).
+            } else {
+                self.now + remaining / grp.rate
+            };
+            if best.is_none_or(|(_, t)| eta < t) {
+                best = Some((FlowKey(idx), eta));
+            }
+        }
+        self.cached_next = Some(best);
+        best
+    }
+
+    /// Remaining volume of a flow in GB (zero for local flows, which never
+    /// queue).
+    pub fn remaining_gb(&self, fkey: FlowKey) -> f64 {
+        let f = &self.flows[fkey.0];
+        assert!(f.alive, "flow was removed");
+        match f.group {
+            None => 0.0,
+            Some(g) => (f.join_drain + f.size_gb - self.groups[g].drained).max(0.0),
+        }
+    }
+
+    /// Current rate of a flow in GB/s (`f64::INFINITY` for local flows).
+    pub fn rate_gbps(&mut self, fkey: FlowKey) -> f64 {
+        self.refresh();
+        let f = &self.flows[fkey.0];
+        assert!(f.alive, "flow was removed");
+        match f.group {
+            None => f64::INFINITY,
+            Some(g) => self.groups[g].rate,
+        }
+    }
+
+    /// Aggregate rate currently allocated on each site's uplink and
+    /// downlink, in GB/s — the basis for available-bandwidth estimation
+    /// (paper §5). Local flows consume nothing.
+    pub fn link_usage(&mut self) -> (Vec<f64>, Vec<f64>) {
+        self.refresh();
+        let n = self.up_gbps.len();
+        let mut up = vec![0.0; n];
+        let mut down = vec![0.0; n];
+        for g in &self.groups {
+            if g.count > 0 {
+                up[g.src] += g.rate * g.count as f64;
+                down[g.dst] += g.rate * g.count as f64;
+            }
+        }
+        (up, down)
+    }
+
+    /// Recomputes group rates if any mutation happened since the last
+    /// refresh.
+    fn refresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let specs: Vec<GroupSpec> = self
+            .groups
+            .iter()
+            .map(|g| GroupSpec {
+                src: g.src,
+                dst: g.dst,
+                count: g.count,
+            })
+            .collect();
+        let rates = waterfill_groups(&specs, &self.up_gbps, &self.down_gbps);
+        for (g, r) in self.groups.iter_mut().zip(rates) {
+            g.rate = r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer_finishes_at_bottleneck_time() {
+        let mut sim = FlowSim::new(vec![1.0, 4.0], vec![4.0, 2.0]);
+        let k = sim.add_flow(SiteId(0), SiteId(1), 10.0);
+        let (kk, t) = sim.next_completion().unwrap();
+        assert_eq!(kk, k);
+        assert!((t - 10.0).abs() < 1e-9); // Uplink 1 GB/s is the bottleneck.
+        sim.advance_to(t);
+        assert!(sim.remaining_gb(k) < 1e-9);
+        assert!((sim.total_wan_gb() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn competing_flows_slow_each_other_then_speed_up() {
+        let mut sim = FlowSim::new(vec![2.0, 9.0, 9.0], vec![9.0; 3]);
+        let a = sim.add_flow(SiteId(0), SiteId(1), 4.0);
+        let b = sim.add_flow(SiteId(0), SiteId(2), 8.0);
+        // Shared uplink 2 GB/s -> 1 GB/s each; flow a completes at t=4.
+        let (first, t1) = sim.next_completion().unwrap();
+        assert_eq!(first, a);
+        assert!((t1 - 4.0).abs() < 1e-9);
+        sim.advance_to(t1);
+        sim.remove_flow(a);
+        // Flow b has 4 GB left and now gets the full 2 GB/s: +2 s.
+        let (second, t2) = sim.next_completion().unwrap();
+        assert_eq!(second, b);
+        assert!((t2 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_pair_flows_share_and_complete_in_size_order() {
+        let mut sim = FlowSim::new(vec![2.0, 2.0], vec![2.0, 2.0]);
+        let small = sim.add_flow(SiteId(0), SiteId(1), 1.0);
+        let big = sim.add_flow(SiteId(0), SiteId(1), 3.0);
+        // Each gets 1 GB/s; small finishes at t=1.
+        let (first, t1) = sim.next_completion().unwrap();
+        assert_eq!(first, small);
+        assert!((t1 - 1.0).abs() < 1e-9);
+        sim.advance_to(t1);
+        sim.remove_flow(small);
+        // Big has 2 GB left at the full 2 GB/s.
+        let (second, t2) = sim.next_completion().unwrap();
+        assert_eq!(second, big);
+        assert!((t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_flow_completes_immediately_and_costs_no_wan() {
+        let mut sim = FlowSim::new(vec![1.0], vec![1.0]);
+        let k = sim.add_flow(SiteId(0), SiteId(0), 100.0);
+        let (kk, t) = sim.next_completion().unwrap();
+        assert_eq!(kk, k);
+        assert_eq!(t, 0.0);
+        assert_eq!(sim.total_wan_gb(), 0.0);
+    }
+
+    #[test]
+    fn cancelling_a_flow_refunds_wan_accounting() {
+        let mut sim = FlowSim::new(vec![1.0, 1.0], vec![1.0, 1.0]);
+        let k = sim.add_flow(SiteId(0), SiteId(1), 10.0);
+        sim.advance_to(2.0);
+        let unsent = sim.remove_flow(k);
+        assert!((unsent - 8.0).abs() < 1e-9);
+        assert!((sim.total_wan_gb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_drop_slows_flows() {
+        let mut sim = FlowSim::new(vec![4.0, 9.0], vec![9.0, 9.0]);
+        let k = sim.add_flow(SiteId(0), SiteId(1), 8.0);
+        sim.advance_to(1.0); // 4 GB sent, 4 left.
+        sim.set_capacity(SiteId(0), 1.0, 9.0);
+        let (_, t) = sim.next_completion().unwrap();
+        assert!((t - 5.0).abs() < 1e-9); // 4 GB at 1 GB/s from t=1.
+        assert!((sim.rate_gbps(k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_reuse_is_safe() {
+        let mut sim = FlowSim::new(vec![1.0, 1.0], vec![1.0, 1.0]);
+        let a = sim.add_flow(SiteId(0), SiteId(1), 1.0);
+        sim.advance_to(1.0);
+        sim.remove_flow(a);
+        let b = sim.add_flow(SiteId(1), SiteId(0), 2.0);
+        assert_eq!(sim.active_flows(), 1);
+        assert!((sim.remaining_gb(b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_flows_scale_and_conserve_bytes() {
+        // A stress shape: 200 flows across 4 sites; drain to completion and
+        // verify every flow finishes with total WAN equal to the bytes sent.
+        let mut sim = FlowSim::new(vec![1.0; 4], vec![1.0; 4]);
+        let mut keys = Vec::new();
+        let mut expected = 0.0;
+        for i in 0..200 {
+            let src = i % 4;
+            let dst = (i + 1 + i / 4) % 4;
+            let gb = 0.1 + (i % 7) as f64 * 0.05;
+            if src != dst {
+                expected += gb;
+            }
+            keys.push(sim.add_flow(SiteId(src), SiteId(dst), gb));
+        }
+        let mut done = 0;
+        while let Some((k, t)) = sim.next_completion() {
+            sim.advance_to(t);
+            let rem = sim.remove_flow(k);
+            assert!(rem < 1e-6, "flow removed with {rem} GB left");
+            done += 1;
+        }
+        assert_eq!(done, 200);
+        assert!((sim.total_wan_gb() - expected).abs() < 1e-6);
+    }
+}

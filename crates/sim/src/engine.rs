@@ -1,0 +1,1281 @@
+//! The discrete-event engine: event loop, task launching, dispatch.
+
+use crate::config::{BatchPolicy, EngineConfig, SpeculationConfig};
+use crate::event::{Event, EventQueue};
+use crate::report::{JobOutcome, RunReport, TaskTrace};
+use crate::sched::{
+    JobSnapshot, Scheduler, SiteState, Snapshot, StageSnapshot, TaskPhase, TaskSnapshot,
+};
+use crate::state::{build_tasks, CopyRt, JobRt, StageRt, StageStatus, TaskState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+use tetrium_cluster::{CapacityDrop, Cluster, SiteId};
+use tetrium_jobs::{Job, JobId, StageKind};
+use tetrium_net::{FlowKey, FlowSim};
+
+/// Errors terminating a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The scheduler stopped assigning tasks while work remained.
+    Stalled {
+        /// Number of unfinished jobs at the stall.
+        unfinished: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { unfinished } => {
+                write!(f, "scheduler stalled with {unfinished} unfinished jobs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What a WAN flow feeds: an original task's fetch or a speculative copy's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowOwner {
+    Task(usize, usize, usize),
+    Copy(usize, usize, usize, u64),
+}
+
+/// The execution engine. Construct with a cluster, a workload and a
+/// scheduler; call [`Engine::run`] to simulate to completion.
+pub struct Engine {
+    cluster: Cluster,
+    // Current (possibly degraded) capacities.
+    cur_slots: Vec<usize>,
+    cur_up: Vec<f64>,
+    cur_down: Vec<f64>,
+    occupied: Vec<usize>,
+    flows: FlowSim,
+    events: EventQueue,
+    jobs: Vec<JobRt>,
+    job_index: HashMap<JobId, usize>,
+    flow_map: HashMap<FlowKey, FlowOwner>,
+    copies: HashMap<(usize, usize, usize), CopyRt>,
+    next_copy_id: u64,
+    scheduler: Box<dyn Scheduler>,
+    cfg: EngineConfig,
+    rng: StdRng,
+    now: f64,
+    drops: Vec<CapacityDrop>,
+    sched_pending: bool,
+    recent_secs: VecDeque<f64>,
+    sched_invocations: usize,
+    sched_wall_secs: f64,
+    copies_launched: usize,
+    copies_won: usize,
+    task_failures: usize,
+    trace: Vec<TaskTrace>,
+}
+
+impl Engine {
+    /// Creates an engine over `cluster` running `jobs` under `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's root inputs do not match the cluster's site count.
+    pub fn new(
+        cluster: Cluster,
+        jobs: Vec<Job>,
+        scheduler: Box<dyn Scheduler>,
+        cfg: EngineConfig,
+    ) -> Self {
+        for j in &jobs {
+            assert!(
+                j.matches_cluster(&cluster),
+                "job {} input does not match cluster",
+                j.id
+            );
+        }
+        let n = cluster.len();
+        let cur_slots = cluster.slots_vec();
+        let cur_up: Vec<f64> = cluster.iter().map(|(_, s)| s.up_gbps).collect();
+        let cur_down: Vec<f64> = cluster.iter().map(|(_, s)| s.down_gbps).collect();
+        let flows = FlowSim::new(cur_up.clone(), cur_down.clone());
+        let job_index: HashMap<JobId, usize> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.id, i))
+            .collect();
+        assert_eq!(job_index.len(), jobs.len(), "job ids must be unique");
+        let seed = cfg.seed;
+        Self {
+            cluster,
+            cur_slots,
+            cur_up,
+            cur_down,
+            occupied: vec![0; n],
+            flows,
+            events: EventQueue::new(),
+            jobs: jobs.into_iter().map(|j| JobRt::new(j, n)).collect(),
+            job_index,
+            flow_map: HashMap::new(),
+            copies: HashMap::new(),
+            next_copy_id: 0,
+            scheduler,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0.0,
+            drops: Vec::new(),
+            sched_pending: false,
+            recent_secs: VecDeque::with_capacity(64),
+            sched_invocations: 0,
+            sched_wall_secs: 0.0,
+            copies_launched: 0,
+            copies_won: 0,
+            task_failures: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Adds capacity-drop events that fire during the run (§4.2).
+    pub fn with_drops(mut self, drops: Vec<CapacityDrop>) -> Self {
+        self.drops = drops;
+        self
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> Result<RunReport, SimError> {
+        for i in 0..self.jobs.len() {
+            self.events.push(self.jobs[i].job.arrival, Event::JobArrival(i));
+        }
+        for (i, d) in self.drops.iter().enumerate() {
+            self.events.push(d.at_time, Event::CapacityDrop(i));
+        }
+
+        loop {
+            let t_heap = self.events.peek_time();
+            let t_net = self.flows.next_completion().map(|(_, t)| t);
+            match (t_heap, t_net) {
+                (None, None) => {
+                    if self.unfinished() == 0 {
+                        break;
+                    }
+                    // Idle but unfinished: give the scheduler one more chance
+                    // (e.g. it withheld assignments waiting for more slots).
+                    let launched = self.run_scheduler();
+                    if launched == 0 {
+                        return Err(SimError::Stalled {
+                            unfinished: self.unfinished(),
+                        });
+                    }
+                }
+                (heap, net) => {
+                    let take_net = match (heap, net) {
+                        (Some(h), Some(n)) => n <= h,
+                        (None, Some(_)) => true,
+                        _ => false,
+                    };
+                    if take_net {
+                        let (key, t) = self.flows.next_completion().expect("net event");
+                        self.advance_to(t);
+                        self.on_flow_done(key);
+                    } else {
+                        let (t, ev) = self.events.pop().expect("heap event");
+                        self.advance_to(t);
+                        self.on_event(ev);
+                    }
+                }
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    fn unfinished(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.arrived && !j.is_finished())
+            .count()
+            + self.jobs.iter().filter(|j| !j.arrived).count()
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        let t = t.max(self.now);
+        self.flows.advance_to(t);
+        self.now = t;
+    }
+
+    fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::JobArrival(i) => {
+                self.jobs[i].arrived = true;
+                self.activate_stages(i);
+                self.request_sched(true);
+            }
+            Event::ComputeDone(j, s, t) => self.on_compute_done(j, s, t),
+            Event::CopyComputeDone(j, s, t, id) => self.on_copy_compute_done(j, s, t, id),
+            Event::SchedulingPoint => {
+                self.sched_pending = false;
+                self.run_scheduler();
+                self.maybe_speculate();
+            }
+            Event::CapacityDrop(i) => {
+                let d = self.drops[i];
+                let site = d.site.index();
+                let degraded = d.degraded(self.cluster.site(d.site));
+                self.cur_slots[site] = degraded.slots;
+                self.cur_up[site] = degraded.up_gbps;
+                self.cur_down[site] = degraded.down_gbps;
+                self.flows
+                    .set_capacity(d.site, degraded.up_gbps, degraded.down_gbps);
+                self.request_sched(true);
+            }
+        }
+    }
+
+    /// Activates every stage of job `j` whose parents are done: realizes its
+    /// input distribution, builds task records and samples the duration
+    /// estimate shown to the scheduler.
+    fn activate_stages(&mut self, j: usize) {
+        let n = self.cluster.len();
+        for s in self.jobs[j].activatable_stages() {
+            let input = self.jobs[j].realized_input(s, n);
+            let spec = self.jobs[j].job.stages[s].clone();
+            let tasks = build_tasks(spec.kind, spec.num_tasks, &input, |i| spec.task_share(i));
+            let e = self.cfg.estimation_error;
+            let err = if e > 0.0 {
+                self.rng.gen_range(-e..=e)
+            } else {
+                0.0
+            };
+            let st = &mut self.jobs[j].stages[s];
+            st.status = StageStatus::Runnable;
+            st.input = Some(input);
+            st.tasks = tasks;
+            st.est_task_secs = (spec.task_secs * (1.0 + err)).max(1e-6);
+            st.activated_at = Some(self.now);
+        }
+    }
+
+    fn on_flow_done(&mut self, key: FlowKey) {
+        self.flows.remove_flow(key);
+        let Some(owner) = self.flow_map.remove(&key) else {
+            return;
+        };
+        let (j, s, t) = match owner {
+            FlowOwner::Task(j, s, t) => (j, s, t),
+            FlowOwner::Copy(j, s, t, id) => {
+                self.on_copy_flow_done(j, s, t, id, key);
+                return;
+            }
+        };
+        let (open_next, site) = {
+            let task = &mut self.jobs[j].stages[s].tasks[t];
+            let TaskState::Fetching { pending, queued } = &mut task.state else {
+                unreachable!("flow completion for a non-fetching task");
+            };
+            pending.retain(|k| *k != key);
+            (queued.pop(), task.run_site.expect("fetching task has a site"))
+        };
+        if let Some((src, gb)) = open_next {
+            let flow = self.flows.add_flow(src, site, gb);
+            self.flow_map.insert(flow, FlowOwner::Task(j, s, t));
+            if let TaskState::Fetching { pending, .. } = &mut self.jobs[j].stages[s].tasks[t].state
+            {
+                pending.push(flow);
+            }
+        }
+        let done = matches!(
+            &self.jobs[j].stages[s].tasks[t].state,
+            TaskState::Fetching { pending, queued } if pending.is_empty() && queued.is_empty()
+        );
+        if done {
+            self.begin_compute(j, s, t);
+        }
+    }
+
+    /// Transitions a task whose inputs are local/arrived into its compute
+    /// phase.
+    fn begin_compute(&mut self, j: usize, s: usize, t: usize) {
+        let secs = self.jobs[j].stages[s].tasks[t]
+            .actual_secs
+            .expect("duration sampled at launch");
+        let done_at = self.now + secs;
+        let task = &mut self.jobs[j].stages[s].tasks[t];
+        task.state = TaskState::Computing { done_at };
+        task.compute_started = Some(self.now);
+        self.events.push(done_at, Event::ComputeDone(j, s, t));
+    }
+
+    fn on_compute_done(&mut self, j: usize, s: usize, t: usize) {
+        let (site, secs) = {
+            let task = &mut self.jobs[j].stages[s].tasks[t];
+            if !matches!(task.state, TaskState::Computing { .. }) {
+                // A speculative copy already finished this task.
+                return;
+            }
+            task.state = TaskState::Done;
+            (
+                task.run_site.expect("running task has a site"),
+                task.actual_secs.unwrap_or(0.0),
+            )
+        };
+        // Fail-over injection (§6.1 trace): the attempt is lost and the task
+        // returns to the pool for re-placement. A live speculative copy, if
+        // any, keeps running and may still complete the task.
+        if self.cfg.failure_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.failure_prob {
+            self.occupied[site.index()] -= 1;
+            self.task_failures += 1;
+            let task = &mut self.jobs[j].stages[s].tasks[t];
+            task.state = TaskState::Unlaunched;
+            task.run_site = None;
+            task.actual_secs = None;
+            task.compute_started = None;
+            task.launched_at = None;
+            self.request_sched(true);
+            return;
+        }
+        self.occupied[site.index()] -= 1;
+        self.cancel_copy(j, s, t);
+        self.finish_task(j, s, t, site, secs, false);
+    }
+
+    /// Shared completion accounting for originals and winning copies:
+    /// materializes the task's output at `site`, advances stage/job state
+    /// and requests scheduling.
+    fn finish_task(&mut self, j: usize, s: usize, t: usize, site: SiteId, secs: f64, was_copy: bool) {
+        if self.cfg.record_trace {
+            let task = &self.jobs[j].stages[s].tasks[t];
+            self.trace.push(TaskTrace {
+                job: self.jobs[j].job.id,
+                stage: s,
+                task: t,
+                site,
+                launched_at: task.launched_at.unwrap_or(self.now),
+                compute_started: (self.now - secs).max(0.0),
+                finished_at: self.now,
+                was_copy,
+            });
+        }
+        self.recent_secs.push_back(secs);
+        if self.recent_secs.len() > 64 {
+            self.recent_secs.pop_front();
+        }
+        // Materialize this task's output where it ran.
+        let ratio = self.jobs[j].job.stages[s].output_ratio;
+        let input_gb = self.jobs[j].stages[s].tasks[t].input_gb;
+        *self.jobs[j].stages[s].output.at_mut(site) += input_gb * ratio;
+        self.jobs[j].stages[s].done_tasks += 1;
+
+        let stage_done = self.jobs[j].stages[s].done_tasks == self.jobs[j].stages[s].tasks.len();
+        if stage_done {
+            self.jobs[j].stages[s].status = StageStatus::Done;
+            self.jobs[j].stages[s].finished_at = Some(self.now);
+            self.jobs[j].done_stages += 1;
+            if self.jobs[j].is_finished() {
+                self.jobs[j].finished_at = Some(self.now);
+            } else {
+                self.activate_stages(j);
+            }
+            self.request_sched(true);
+        } else {
+            self.request_sched(false);
+        }
+    }
+
+    /// Queues a scheduling instance. `immediate` instances (arrivals, stage
+    /// activations, capacity drops) fire now; slot releases are batched per
+    /// the configured policy (§5).
+    fn request_sched(&mut self, immediate: bool) {
+        if self.sched_pending {
+            return;
+        }
+        let delay = if immediate {
+            0.0
+        } else {
+            match self.cfg.batch {
+                BatchPolicy::None => 0.0,
+                BatchPolicy::Fixed(w) => w,
+                BatchPolicy::Adaptive { factor, max_secs } => {
+                    if self.recent_secs.is_empty() {
+                        0.0
+                    } else {
+                        let mean =
+                            self.recent_secs.iter().sum::<f64>() / self.recent_secs.len() as f64;
+                        (mean * factor).min(max_secs)
+                    }
+                }
+            }
+        };
+        self.sched_pending = true;
+        self.events.push(self.now + delay, Event::SchedulingPoint);
+    }
+
+    /// Builds a snapshot, invokes the scheduler, applies its plans and
+    /// dispatches launchable tasks. Returns the number launched.
+    fn run_scheduler(&mut self) -> usize {
+        let snapshot = self.build_snapshot();
+        if snapshot.jobs.is_empty() {
+            return 0;
+        }
+        let started = Instant::now();
+        let plans = self.scheduler.schedule(&snapshot);
+        self.sched_wall_secs += started.elapsed().as_secs_f64();
+        self.sched_invocations += 1;
+
+        for plan in plans {
+            let j = *self
+                .job_index
+                .get(&plan.job)
+                .unwrap_or_else(|| panic!("plan for unknown job {}", plan.job));
+            let s = plan.stage;
+            assert!(
+                s < self.jobs[j].stages.len(),
+                "plan for unknown stage {s} of {}",
+                plan.job
+            );
+            if self.jobs[j].stages[s].status != StageStatus::Runnable {
+                continue;
+            }
+            for a in plan.assignments {
+                assert!(a.site.index() < self.cluster.len(), "bad site in plan");
+                let task = &mut self.jobs[j].stages[s].tasks[a.task];
+                if task.state == TaskState::Unlaunched {
+                    task.assigned_site = Some(a.site);
+                    task.priority = a.priority;
+                }
+            }
+        }
+        self.dispatch()
+    }
+
+    /// Fills free slots: at each site, launches assigned unlaunched tasks in
+    /// priority order. Returns the number of tasks launched.
+    #[allow(clippy::needless_range_loop)]
+    fn dispatch(&mut self) -> usize {
+        let n = self.cluster.len();
+        // Collect launch candidates per site: (priority, j, s, t).
+        let mut per_site: Vec<Vec<(i64, usize, usize, usize)>> = vec![Vec::new(); n];
+        for (j, job) in self.jobs.iter().enumerate() {
+            if !job.arrived || job.is_finished() {
+                continue;
+            }
+            for (s, st) in job.stages.iter().enumerate() {
+                if st.status != StageStatus::Runnable {
+                    continue;
+                }
+                for (t, task) in st.tasks.iter().enumerate() {
+                    if task.state == TaskState::Unlaunched {
+                        if let Some(site) = task.assigned_site {
+                            per_site[site.index()].push((task.priority, j, s, t));
+                        }
+                    }
+                }
+            }
+        }
+        let mut launched = 0;
+        for site in 0..n {
+            let free = self.cur_slots[site].saturating_sub(self.occupied[site]);
+            if free == 0 || per_site[site].is_empty() {
+                continue;
+            }
+            per_site[site].sort_unstable();
+            let take = free.min(per_site[site].len());
+            // Split the borrow: move the list out to launch against `self`.
+            let list: Vec<_> = per_site[site].drain(..take).collect();
+            for (_, j, s, t) in list {
+                self.launch(j, s, t, SiteId(site));
+                launched += 1;
+            }
+        }
+        launched
+    }
+
+    /// Launches one task at `site`: samples its actual duration, starts its
+    /// input flows (map: one source partition; reduce: a fetch from every
+    /// site holding shuffle data) and begins compute immediately when all
+    /// inputs are local.
+    fn launch(&mut self, j: usize, s: usize, t: usize, site: SiteId) {
+        self.occupied[site.index()] += 1;
+        let kind = self.jobs[j].job.stages[s].kind;
+        let mean = self.jobs[j].job.stages[s].task_secs;
+        let secs = self.sample_duration(mean);
+        let (input_site, input_gb, share) = {
+            let task = &mut self.jobs[j].stages[s].tasks[t];
+            task.run_site = Some(site);
+            task.actual_secs = Some(secs);
+            task.launched_at = Some(self.now);
+            (task.input_site, task.input_gb, task.share)
+        };
+
+        // Collect this task's remote fetches, then open at most
+        // `max_fetch_concurrency` immediately; the rest queue behind them.
+        let mut fetches: Vec<(SiteId, f64)> = Vec::new();
+        match kind {
+            StageKind::Map => {
+                let src = input_site.expect("map task has a home partition");
+                if src != site && input_gb > 1e-12 {
+                    fetches.push((src, input_gb));
+                }
+            }
+            StageKind::Reduce => {
+                let input = self.jobs[j].stages[s]
+                    .input
+                    .clone()
+                    .expect("runnable stage has realized input");
+                for x in 0..self.cluster.len() {
+                    let vol = share * input.at(SiteId(x));
+                    if SiteId(x) != site && vol > 1e-12 {
+                        fetches.push((SiteId(x), vol));
+                    }
+                }
+            }
+        }
+        if fetches.is_empty() {
+            self.begin_compute(j, s, t);
+            return;
+        }
+        for (_, gb) in &fetches {
+            self.jobs[j].wan_gb += gb;
+        }
+        let cap = self.cfg.max_fetch_concurrency.max(1);
+        let mut pending = Vec::new();
+        let mut queued = Vec::new();
+        for (i, (src, gb)) in fetches.into_iter().enumerate() {
+            if i < cap {
+                let key = self.flows.add_flow(src, site, gb);
+                self.flow_map.insert(key, FlowOwner::Task(j, s, t));
+                pending.push(key);
+            } else {
+                queued.push((src, gb));
+            }
+        }
+        self.jobs[j].stages[s].tasks[t].state = TaskState::Fetching { pending, queued };
+    }
+
+    fn sample_duration(&mut self, mean: f64) -> f64 {
+        let mut secs = mean;
+        if self.cfg.duration_cv > 0.0 {
+            let cv = self.cfg.duration_cv;
+            let sigma2 = (1.0 + cv * cv).ln();
+            let ln = LogNormal::new(-sigma2 / 2.0, sigma2.sqrt()).expect("valid lognormal");
+            secs *= ln.sample(&mut self.rng);
+        }
+        if self.cfg.straggler_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.straggler_prob {
+            let (a, b) = self.cfg.straggler_mult;
+            secs *= self.rng.gen_range(a..=b);
+        }
+        secs.max(1e-9)
+    }
+
+    /// Launches speculative copies for straggling tasks (§8): any task
+    /// computing longer than `threshold` × its stage estimate gets a copy at
+    /// the free-est site, bounded by `max_copies_frac` live copies per
+    /// stage. The first finisher wins; the loser is cancelled.
+    fn maybe_speculate(&mut self) {
+        let Some(spec) = self.cfg.speculation else {
+            return;
+        };
+        let n = self.cluster.len();
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for (j, job) in self.jobs.iter().enumerate() {
+            if !job.arrived || job.is_finished() {
+                continue;
+            }
+            for (si, st) in job.stages.iter().enumerate() {
+                if st.status != StageStatus::Runnable {
+                    continue;
+                }
+                let cap = ((st.tasks.len() as f64 * spec.max_copies_frac).ceil() as usize).max(1);
+                let live = (0..st.tasks.len())
+                    .filter(|&t| self.copies.contains_key(&(j, si, t)))
+                    .count();
+                if live >= cap {
+                    continue;
+                }
+                let mut budget = cap - live;
+                for (t, task) in st.tasks.iter().enumerate() {
+                    if budget == 0 {
+                        break;
+                    }
+                    let straggling = matches!(task.state, TaskState::Computing { .. })
+                        && task.compute_started.is_some_and(|start| {
+                            self.now - start > spec.threshold * st.est_task_secs
+                        })
+                        && !self.copies.contains_key(&(j, si, t));
+                    if straggling {
+                        candidates.push((j, si, t));
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        for (j, si, t) in candidates {
+            // Free-est site; skip speculation when the cluster is full.
+            let Some(site) = (0..n)
+                .max_by_key(|&x| self.cur_slots[x].saturating_sub(self.occupied[x]))
+                .filter(|&x| self.cur_slots[x] > self.occupied[x])
+            else {
+                return;
+            };
+            self.launch_copy(j, si, t, SiteId(site), spec);
+        }
+    }
+
+    fn launch_copy(&mut self, j: usize, s: usize, t: usize, site: SiteId, _spec: SpeculationConfig) {
+        self.occupied[site.index()] += 1;
+        let id = self.next_copy_id;
+        self.next_copy_id += 1;
+        let mean = self.jobs[j].job.stages[s].task_secs;
+        let secs = self.sample_duration(mean);
+        let kind = self.jobs[j].job.stages[s].kind;
+        let (input_site, input_gb, share) = {
+            let task = &self.jobs[j].stages[s].tasks[t];
+            (task.input_site, task.input_gb, task.share)
+        };
+        let mut fetches: Vec<(SiteId, f64)> = Vec::new();
+        match kind {
+            StageKind::Map => {
+                let src = input_site.expect("map task has a home partition");
+                if src != site && input_gb > 1e-12 {
+                    fetches.push((src, input_gb));
+                }
+            }
+            StageKind::Reduce => {
+                let input = self.jobs[j].stages[s]
+                    .input
+                    .clone()
+                    .expect("runnable stage has realized input");
+                for x in 0..self.cluster.len() {
+                    let vol = share * input.at(SiteId(x));
+                    if SiteId(x) != site && vol > 1e-12 {
+                        fetches.push((SiteId(x), vol));
+                    }
+                }
+            }
+        }
+        for (_, gb) in &fetches {
+            self.jobs[j].wan_gb += gb;
+        }
+        let cap = self.cfg.max_fetch_concurrency.max(1);
+        let mut pending = Vec::new();
+        let mut queued = Vec::new();
+        for (i, (src, gb)) in fetches.into_iter().enumerate() {
+            if i < cap {
+                let key = self.flows.add_flow(src, site, gb);
+                self.flow_map.insert(key, FlowOwner::Copy(j, s, t, id));
+                pending.push(key);
+            } else {
+                queued.push((src, gb));
+            }
+        }
+        self.copies_launched += 1;
+        let computing = pending.is_empty();
+        if computing {
+            self.events.push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
+        }
+        self.copies.insert(
+            (j, s, t),
+            CopyRt {
+                id,
+                site,
+                pending,
+                queued,
+                computing,
+                secs,
+            },
+        );
+    }
+
+    fn on_copy_flow_done(&mut self, j: usize, s: usize, t: usize, id: u64, key: FlowKey) {
+        let Some(copy) = self.copies.get_mut(&(j, s, t)) else {
+            return; // Copy was cancelled; the flow was already torn down.
+        };
+        if copy.id != id {
+            return;
+        }
+        copy.pending.retain(|k| *k != key);
+        let site = copy.site;
+        if let Some((src, gb)) = copy.queued.pop() {
+            let flow = self.flows.add_flow(src, site, gb);
+            self.flow_map.insert(flow, FlowOwner::Copy(j, s, t, id));
+            if let Some(copy) = self.copies.get_mut(&(j, s, t)) {
+                copy.pending.push(flow);
+            }
+            return;
+        }
+        let copy = self.copies.get_mut(&(j, s, t)).expect("copy checked above");
+        if copy.pending.is_empty() && !copy.computing {
+            copy.computing = true;
+            let secs = copy.secs;
+            self.events
+                .push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
+        }
+    }
+
+    fn on_copy_compute_done(&mut self, j: usize, s: usize, t: usize, id: u64) {
+        let Some(copy) = self.copies.get(&(j, s, t)) else {
+            return; // Cancelled before finishing.
+        };
+        if copy.id != id {
+            return;
+        }
+        let copy_site = copy.site;
+        let copy_secs = copy.secs;
+        // The copy won: tear down the original (if it is still occupying a
+        // slot — a failure injection may have returned it to the pool) and
+        // complete the task here.
+        let (orig_site, orig_flows) = {
+            let task = &mut self.jobs[j].stages[s].tasks[t];
+            let flows = match &task.state {
+                TaskState::Fetching { pending, .. } => pending.clone(),
+                _ => Vec::new(),
+            };
+            if task.state == TaskState::Done {
+                // The original finished in the same instant; it won.
+                self.copies.remove(&(j, s, t));
+                self.occupied[copy_site.index()] -= 1;
+                return;
+            }
+            let site = task.run_site;
+            task.state = TaskState::Done;
+            (site, flows)
+        };
+        for key in orig_flows {
+            let unsent = self.flows.remove_flow(key);
+            self.flow_map.remove(&key);
+            self.jobs[j].wan_gb -= unsent;
+        }
+        if let Some(site) = orig_site {
+            self.occupied[site.index()] -= 1;
+        }
+        self.occupied[copy_site.index()] -= 1;
+        self.copies.remove(&(j, s, t));
+        self.copies_won += 1;
+        self.finish_task(j, s, t, copy_site, copy_secs, true);
+    }
+
+    /// Cancels a live copy after the original finished first.
+    fn cancel_copy(&mut self, j: usize, s: usize, t: usize) {
+        let Some(copy) = self.copies.remove(&(j, s, t)) else {
+            return;
+        };
+        for key in copy.pending {
+            let unsent = self.flows.remove_flow(key);
+            self.flow_map.remove(&key);
+            self.jobs[j].wan_gb -= unsent;
+        }
+        self.occupied[copy.site.index()] -= 1;
+        // A pending CopyComputeDone event becomes stale: the id check in
+        // `on_copy_compute_done` ignores it.
+    }
+
+    fn build_snapshot(&mut self) -> Snapshot {
+        // Report *available* bandwidth: capacity minus what in-flight flows
+        // currently consume (the paper measures available bandwidth rather
+        // than configured capacity, §5). A 5% floor keeps the placement
+        // models finite when a link is saturated.
+        let (up_used, down_used) = self.flows.link_usage();
+        let sites = (0..self.cluster.len())
+            .map(|s| SiteState {
+                slots: self.cur_slots[s],
+                free_slots: self.cur_slots[s].saturating_sub(self.occupied[s]),
+                up_gbps: (self.cur_up[s] - up_used[s]).max(self.cur_up[s] * 0.05),
+                down_gbps: (self.cur_down[s] - down_used[s]).max(self.cur_down[s] * 0.05),
+            })
+            .collect();
+        let mut jobs = Vec::new();
+        for job in &self.jobs {
+            if !job.arrived || job.is_finished() {
+                continue;
+            }
+            let runnable = job
+                .stages
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.status == StageStatus::Runnable)
+                .map(|(si, st)| self.stage_snapshot(&job.job, si, st))
+                .collect();
+            let stages = job
+                .job
+                .stages
+                .iter()
+                .zip(&job.stages)
+                .map(|(spec, rt)| crate::sched::StageMeta {
+                    kind: spec.kind,
+                    deps: spec.deps.clone(),
+                    num_tasks: spec.num_tasks,
+                    task_secs: spec.task_secs,
+                    output_ratio: spec.output_ratio,
+                    done: rt.status == StageStatus::Done,
+                })
+                .collect();
+            jobs.push(JobSnapshot {
+                id: job.job.id,
+                arrival: job.job.arrival,
+                total_stages: job.stages.len(),
+                remaining_stages: job.stages.len() - job.done_stages,
+                stages,
+                runnable,
+            });
+        }
+        Snapshot {
+            now: self.now,
+            sites,
+            jobs,
+        }
+    }
+
+    fn stage_snapshot(&self, job: &Job, si: usize, st: &StageRt) -> StageSnapshot {
+        let tasks = st
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| TaskSnapshot {
+                index: i,
+                phase: match task.state {
+                    TaskState::Unlaunched => TaskPhase::Unlaunched,
+                    TaskState::Fetching { .. } | TaskState::Computing { .. } => TaskPhase::Running,
+                    TaskState::Done => TaskPhase::Done,
+                },
+                input_site: task.input_site,
+                input_gb: task.input_gb,
+                share: task.share,
+                running_site: task.run_site,
+            })
+            .collect();
+        StageSnapshot {
+            stage_index: si,
+            kind: job.stages[si].kind,
+            est_task_secs: st.est_task_secs,
+            num_tasks: st.tasks.len(),
+            input_gb: st
+                .input
+                .as_ref()
+                .map(|d| d.as_slice().to_vec())
+                .unwrap_or_default(),
+            tasks,
+        }
+    }
+
+    fn into_report(self) -> RunReport {
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for j in &self.jobs {
+            let finished = j.finished_at.expect("run() verified completion");
+            let input_skew = j
+                .job
+                .stages
+                .iter()
+                .filter_map(|s| s.input.as_ref())
+                .map(|d| d.skew_cv())
+                .fold(0.0f64, f64::max);
+            let est_error = {
+                let errs: Vec<f64> = j
+                    .stages
+                    .iter()
+                    .zip(&j.job.stages)
+                    .filter(|(_, spec)| spec.task_secs > 0.0)
+                    .map(|(rt, spec)| ((rt.est_task_secs - spec.task_secs) / spec.task_secs).abs())
+                    .collect();
+                if errs.is_empty() {
+                    0.0
+                } else {
+                    errs.iter().sum::<f64>() / errs.len() as f64
+                }
+            };
+            jobs.push(JobOutcome {
+                id: j.job.id,
+                name: j.job.name.clone(),
+                arrival: j.job.arrival,
+                finished,
+                response: finished - j.job.arrival,
+                wan_gb: j.wan_gb,
+                num_stages: j.job.num_stages(),
+                total_tasks: j.job.total_tasks(),
+                input_gb: j.job.input_gb(),
+                intermediate_gb: j.job.expected_intermediate_gb(),
+                input_skew_cv: input_skew,
+                est_error,
+                stage_spans: j
+                    .stages
+                    .iter()
+                    .map(|st| {
+                        (
+                            st.activated_at.unwrap_or(f64::NAN),
+                            st.finished_at.unwrap_or(f64::NAN),
+                        )
+                    })
+                    .collect(),
+            });
+        }
+        let makespan = jobs.iter().map(|j| j.finished).fold(0.0f64, f64::max);
+        RunReport {
+            scheduler: self.scheduler.name().to_string(),
+            jobs,
+            makespan,
+            total_wan_gb: self.flows.total_wan_gb(),
+            sched_invocations: self.sched_invocations,
+            sched_wall_secs: self.sched_wall_secs,
+            copies_launched: self.copies_launched,
+            copies_won: self.copies_won,
+            task_failures: self.task_failures,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{StagePlan, TaskAssignment};
+    use tetrium_cluster::{DataDistribution, Site};
+    use tetrium_jobs::JobId;
+
+    /// A minimal site-locality scheduler used to exercise the engine: map
+    /// tasks run where their partition lives, reduce tasks run proportional
+    /// to intermediate data, FIFO priorities.
+    struct LocalScheduler;
+
+    impl Scheduler for LocalScheduler {
+        fn name(&self) -> &str {
+            "test-local"
+        }
+
+        fn schedule(&mut self, snap: &Snapshot) -> Vec<StagePlan> {
+            let mut plans = Vec::new();
+            for job in &snap.jobs {
+                for st in &job.runnable {
+                    let mut assignments = Vec::new();
+                    for task in st.unlaunched() {
+                        let site = match st.kind {
+                            StageKind::Map => task.input_site.unwrap(),
+                            StageKind::Reduce => {
+                                // Largest-input site.
+                                let mut best = 0;
+                                for (i, v) in st.input_gb.iter().enumerate() {
+                                    if *v > st.input_gb[best] {
+                                        best = i;
+                                    }
+                                }
+                                SiteId(best)
+                            }
+                        };
+                        assignments.push(TaskAssignment {
+                            task: task.index,
+                            site,
+                            priority: task.index as i64,
+                        });
+                    }
+                    plans.push(StagePlan {
+                        job: job.id,
+                        stage: st.stage_index,
+                        assignments,
+                    });
+                }
+            }
+            plans
+        }
+    }
+
+    fn cluster2() -> Cluster {
+        Cluster::new(vec![
+            Site::new("a", 2, 1.0, 1.0),
+            Site::new("b", 1, 1.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn single_map_job_runs_locally_with_waves() {
+        // 4 map tasks of 1 s at site a (2 slots) -> 2 waves -> 2 s.
+        let input = DataDistribution::new(vec![4.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 4, 1.0, 0.5)],
+        );
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!((report.jobs[0].response - 2.0).abs() < 1e-9);
+        assert_eq!(report.total_wan_gb, 0.0);
+    }
+
+    #[test]
+    fn map_reduce_shuffle_crosses_wan() {
+        // Input at both sites; reduce runs at the larger site and fetches
+        // the remote half over the WAN.
+        let input = DataDistribution::new(vec![2.0, 2.0]);
+        let job = Job::map_reduce(JobId(0), "mr", 0.0, input, 2, 1.0, 0.5, 1, 1.0);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        // Map: 1 s (local, parallel). Intermediate: 1 GB per site. Reduce at
+        // site a fetches 1 GB at 1 GB/s = 1 s, computes 1 s. Total 3 s.
+        assert!((report.jobs[0].response - 3.0).abs() < 1e-9);
+        assert!((report.total_wan_gb - 1.0).abs() < 1e-9);
+        assert!((report.jobs[0].wan_gb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_jobs_contend_for_slots() {
+        let mk = |id: usize, arrival: f64| {
+            Job::new(
+                JobId(id),
+                format!("j{id}"),
+                arrival,
+                vec![tetrium_jobs::Stage::root_map(
+                    DataDistribution::new(vec![0.0, 2.0]),
+                    2,
+                    1.0,
+                    1.0,
+                )],
+            )
+        };
+        let report = Engine::new(
+            cluster2(),
+            vec![mk(0, 0.0), mk(1, 0.0)],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        // Site b has 1 slot; 4 tasks of 1 s -> makespan 4 s.
+        assert!((report.makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_drop_mid_run_slows_job() {
+        // 4 tasks, 2 slots at site a; after 1 s the site drops to 1 slot,
+        // so the remaining 2 tasks serialize: finish at 3 s instead of 2 s.
+        let input = DataDistribution::new(vec![4.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 4, 1.0, 0.5)],
+        );
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .with_drops(vec![CapacityDrop::new(SiteId(0), 0.5, 0.5)])
+        .run()
+        .unwrap();
+        assert!((report.jobs[0].response - 3.0).abs() < 1e-9, "response {}", report.jobs[0].response);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let input = DataDistribution::new(vec![3.0, 2.0]);
+        let mk = || Job::map_reduce(JobId(0), "mr", 0.0, input.clone(), 5, 1.0, 0.5, 3, 1.0);
+        let cfg = EngineConfig {
+            duration_cv: 0.3,
+            straggler_prob: 0.2,
+            seed: 9,
+            ..EngineConfig::default()
+        };
+        let r1 = Engine::new(cluster2(), vec![mk()], Box::new(LocalScheduler), cfg.clone())
+            .run()
+            .unwrap();
+        let r2 = Engine::new(cluster2(), vec![mk()], Box::new(LocalScheduler), cfg)
+            .run()
+            .unwrap();
+        assert_eq!(r1.jobs[0].response, r2.jobs[0].response);
+        assert_eq!(r1.total_wan_gb, r2.total_wan_gb);
+    }
+
+    #[test]
+    fn speculation_rescues_or_completes_cleanly() {
+        use crate::config::SpeculationConfig;
+        // Forced stragglers with a huge multiplier spread: copies resample
+        // their duration and often win. The run must stay consistent either
+        // way (no double completion, slots balanced, WAN non-negative).
+        let input = DataDistribution::new(vec![4.0, 4.0]);
+        let job = Job::map_reduce(JobId(0), "spec", 0.0, input, 8, 1.0, 0.5, 4, 1.0);
+        let cluster = Cluster::new(vec![
+            Site::new("a", 6, 1.0, 1.0),
+            Site::new("b", 6, 1.0, 1.0),
+        ]);
+        let cfg = EngineConfig {
+            straggler_prob: 0.6,
+            straggler_mult: (5.0, 60.0),
+            speculation: Some(SpeculationConfig {
+                threshold: 1.5,
+                max_copies_frac: 0.5,
+            }),
+            batch: crate::config::BatchPolicy::Fixed(0.5),
+            seed: 3,
+            ..EngineConfig::default()
+        };
+        let report = Engine::new(cluster, vec![job], Box::new(LocalScheduler), cfg)
+            .run()
+            .unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.copies_launched > 0, "stragglers should trigger copies");
+        assert!(report.copies_won <= report.copies_launched);
+        assert!(report.jobs[0].wan_gb >= 0.0);
+    }
+
+    #[test]
+    fn speculation_off_launches_no_copies() {
+        let input = DataDistribution::new(vec![2.0, 2.0]);
+        let job = Job::map_reduce(JobId(0), "nospec", 0.0, input, 4, 1.0, 0.5, 2, 1.0);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                straggler_prob: 1.0,
+                straggler_mult: (10.0, 20.0),
+                seed: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.copies_launched, 0);
+        assert_eq!(report.copies_won, 0);
+    }
+
+    #[test]
+    fn trace_recording_captures_every_task() {
+        let input = DataDistribution::new(vec![2.0, 2.0]);
+        let job = Job::map_reduce(JobId(0), "tr", 0.0, input, 4, 1.0, 0.5, 2, 1.0);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                record_trace: true,
+                ..EngineConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.trace.len(), 6);
+        for t in &report.trace {
+            assert!(t.finished_at >= t.compute_started);
+            assert!(t.compute_started >= t.launched_at - 1e-9);
+            assert!(!t.was_copy);
+        }
+        // Off by default.
+        let input = DataDistribution::new(vec![2.0, 2.0]);
+        let job = Job::map_reduce(JobId(0), "tr", 0.0, input, 4, 1.0, 0.5, 2, 1.0);
+        let r2 = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        assert!(r2.trace.is_empty());
+    }
+
+    #[test]
+    fn failure_injection_rexecutes_until_done() {
+        let input = DataDistribution::new(vec![3.0, 3.0]);
+        let job = Job::map_reduce(JobId(0), "flaky", 0.0, input, 6, 1.0, 0.5, 3, 1.0);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                failure_prob: 0.3,
+                seed: 17,
+                ..EngineConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.task_failures > 0, "p=0.3 over 9 tasks should fail some");
+        // Every failure adds at least one task re-execution worth of time.
+        assert!(report.jobs[0].response > 2.0);
+        // No failures => counter stays zero.
+        let input = DataDistribution::new(vec![3.0, 3.0]);
+        let job = Job::map_reduce(JobId(0), "solid", 0.0, input, 6, 1.0, 0.5, 3, 1.0);
+        let clean = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(clean.task_failures, 0);
+    }
+
+    #[test]
+    fn failures_and_speculation_compose() {
+        use crate::config::SpeculationConfig;
+        let input = DataDistribution::new(vec![4.0, 4.0]);
+        let job = Job::map_reduce(JobId(0), "chaos", 0.0, input, 8, 1.0, 0.5, 4, 1.0);
+        let cluster = Cluster::new(vec![
+            Site::new("a", 6, 1.0, 1.0),
+            Site::new("b", 6, 1.0, 1.0),
+        ]);
+        let report = Engine::new(
+            cluster,
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                failure_prob: 0.2,
+                straggler_prob: 0.4,
+                straggler_mult: (4.0, 30.0),
+                speculation: Some(SpeculationConfig {
+                    threshold: 1.5,
+                    max_copies_frac: 0.5,
+                }),
+                batch: crate::config::BatchPolicy::Fixed(0.5),
+                seed: 23,
+                ..EngineConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.jobs[0].response.is_finite());
+    }
+
+    #[test]
+    fn stalled_scheduler_is_reported() {
+        struct NullScheduler;
+        impl Scheduler for NullScheduler {
+            fn name(&self) -> &str {
+                "null"
+            }
+            fn schedule(&mut self, _s: &Snapshot) -> Vec<StagePlan> {
+                Vec::new()
+            }
+        }
+        let input = DataDistribution::new(vec![1.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 1, 1.0, 1.0)],
+        );
+        let err = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(NullScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap_err();
+        assert_eq!(err, SimError::Stalled { unfinished: 1 });
+    }
+}

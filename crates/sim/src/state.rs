@@ -1,0 +1,377 @@
+//! Runtime state of jobs, stages and tasks inside the engine.
+
+use tetrium_cluster::{DataDistribution, SiteId};
+use tetrium_jobs::{largest_remainder_round, Job, StageKind};
+use tetrium_net::FlowKey;
+
+/// Lifecycle of a task inside the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskState {
+    /// Waiting for an assignment and a free slot.
+    Unlaunched,
+    /// Occupying a slot while its input flows drain.
+    Fetching {
+        /// Flows currently in flight.
+        pending: Vec<FlowKey>,
+        /// Fetches not yet opened `(source, GB)`; drained as in-flight
+        /// flows finish, bounding per-task fetch concurrency like a real
+        /// shuffle client.
+        queued: Vec<(SiteId, f64)>,
+    },
+    /// Occupying a slot while computing; finishes at the stored time.
+    Computing {
+        /// Absolute completion time.
+        done_at: f64,
+    },
+    /// Finished.
+    Done,
+}
+
+/// Runtime record of one task.
+#[derive(Debug, Clone)]
+pub struct TaskRt {
+    /// For map tasks, the site holding the input partition.
+    pub input_site: Option<SiteId>,
+    /// Input volume in GB (partition size for map; total shuffle share for
+    /// reduce).
+    pub input_gb: f64,
+    /// Share of the stage input (reduce key skew; uniform otherwise).
+    pub share: f64,
+    /// Scheduler-chosen site (None until first assigned).
+    pub assigned_site: Option<SiteId>,
+    /// Scheduler-chosen launch priority (lower launches first).
+    pub priority: i64,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// Site the task is or was running at.
+    pub run_site: Option<SiteId>,
+    /// Actual compute seconds (sampled at launch).
+    pub actual_secs: Option<f64>,
+    /// When the task's compute phase started (for speculation).
+    pub compute_started: Option<f64>,
+    /// When the task was launched into a slot (for trace recording).
+    pub launched_at: Option<f64>,
+}
+
+/// Stage status within the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Some parent stage has not finished.
+    Blocked,
+    /// Parents finished; tasks may be scheduled.
+    Runnable,
+    /// All tasks finished.
+    Done,
+}
+
+/// Runtime record of one stage.
+#[derive(Debug)]
+pub struct StageRt {
+    /// Current status.
+    pub status: StageStatus,
+    /// Task records (empty until the stage activates).
+    pub tasks: Vec<TaskRt>,
+    /// Realized input distribution (GB per site), set at activation.
+    pub input: Option<DataDistribution>,
+    /// Output accumulated at the sites where tasks ran (GB per site).
+    pub output: DataDistribution,
+    /// Tasks finished so far.
+    pub done_tasks: usize,
+    /// Estimated mean task seconds shown to the scheduler (true mean plus
+    /// estimation error, sampled once per stage).
+    pub est_task_secs: f64,
+    /// Time the stage became runnable.
+    pub activated_at: Option<f64>,
+    /// Time the stage finished.
+    pub finished_at: Option<f64>,
+}
+
+/// A live speculative copy of a running task (§8's straggler mitigation).
+#[derive(Debug, Clone)]
+pub struct CopyRt {
+    /// Monotone id distinguishing re-launched copies in stale events.
+    pub id: u64,
+    /// Site the copy occupies a slot at.
+    pub site: SiteId,
+    /// Copy input flows still in flight.
+    pub pending: Vec<FlowKey>,
+    /// Fetches not yet opened.
+    pub queued: Vec<(SiteId, f64)>,
+    /// Whether the copy reached its compute phase.
+    pub computing: bool,
+    /// Sampled compute duration of the copy.
+    pub secs: f64,
+}
+
+/// Runtime record of one job.
+#[derive(Debug)]
+pub struct JobRt {
+    /// The static description.
+    pub job: Job,
+    /// Per-stage runtime state.
+    pub stages: Vec<StageRt>,
+    /// Stages finished so far.
+    pub done_stages: usize,
+    /// Whether the job has arrived.
+    pub arrived: bool,
+    /// Completion time, when finished.
+    pub finished_at: Option<f64>,
+    /// WAN bytes (GB) this job moved across sites.
+    pub wan_gb: f64,
+}
+
+impl JobRt {
+    /// Creates runtime state for a job (stages all blocked/runnable later).
+    pub fn new(job: Job, n_sites: usize) -> Self {
+        let stages = job
+            .stages
+            .iter()
+            .map(|s| StageRt {
+                status: StageStatus::Blocked,
+                tasks: Vec::new(),
+                input: None,
+                output: DataDistribution::zeros(n_sites),
+                done_tasks: 0,
+                est_task_secs: s.task_secs,
+                activated_at: None,
+                finished_at: None,
+            })
+            .collect();
+        Self {
+            job,
+            stages,
+            done_stages: 0,
+            arrived: false,
+            finished_at: None,
+            wan_gb: 0.0,
+        }
+    }
+
+    /// Whether every stage has finished.
+    pub fn is_finished(&self) -> bool {
+        self.done_stages == self.stages.len()
+    }
+
+    /// Stage indices whose parents are all done but which are still blocked —
+    /// i.e. stages ready to activate.
+    pub fn activatable_stages(&self) -> Vec<usize> {
+        (0..self.stages.len())
+            .filter(|&i| {
+                self.stages[i].status == StageStatus::Blocked
+                    && self.job.stages[i]
+                        .deps
+                        .iter()
+                        .all(|&d| self.stages[d].status == StageStatus::Done)
+            })
+            .collect()
+    }
+
+    /// Realized input distribution of stage `i`: the external input for
+    /// roots, or the summed realized outputs of its parents.
+    pub fn realized_input(&self, i: usize, n_sites: usize) -> DataDistribution {
+        let spec = &self.job.stages[i];
+        if let Some(input) = &spec.input {
+            return input.clone();
+        }
+        let mut acc = vec![0.0; n_sites];
+        for &d in &spec.deps {
+            for (s, v) in acc.iter_mut().enumerate() {
+                *v += self.stages[d].output.at(SiteId(s));
+            }
+        }
+        DataDistribution::new(acc)
+    }
+}
+
+/// Builds the task records for a stage activating with realized `input`.
+///
+/// Map stages split the input into `num_tasks` partitions homed at sites in
+/// proportion to the input distribution: every site holding data receives at
+/// least one partition when task counts allow, remaining partitions follow
+/// largest-remainder on volume, and each site's partitions share its volume
+/// equally. Reduce tasks read `share_i` of every site's data; their
+/// `input_gb` is the total volume they consume.
+pub fn build_tasks(
+    kind: StageKind,
+    num_tasks: usize,
+    input: &DataDistribution,
+    task_share: impl Fn(usize) -> f64,
+) -> Vec<TaskRt> {
+    let blank = |input_site, input_gb, share| TaskRt {
+        input_site,
+        input_gb,
+        share,
+        assigned_site: None,
+        priority: i64::MAX,
+        state: TaskState::Unlaunched,
+        run_site: None,
+        actual_secs: None,
+        compute_started: None,
+        launched_at: None,
+    };
+    match kind {
+        StageKind::Map => {
+            let n_sites = input.len();
+            let total = input.total();
+            let counts = if total <= 1e-12 {
+                // No data anywhere: home all partitions at site 0.
+                let mut c = vec![0usize; n_sites];
+                c[0] = num_tasks;
+                c
+            } else {
+                partition_counts(input, num_tasks)
+            };
+            // Fold volumes of uncovered sites (possible only when tasks are
+            // scarcer than data sites) into the largest covered site so data
+            // is conserved.
+            let mut vols: Vec<f64> = (0..n_sites).map(|s| input.at(SiteId(s))).collect();
+            if let Some(target) = (0..n_sites)
+                .filter(|&s| counts[s] > 0)
+                .max_by(|&a, &b| vols[a].partial_cmp(&vols[b]).unwrap())
+            {
+                for s in 0..n_sites {
+                    if counts[s] == 0 && vols[s] > 0.0 {
+                        let v = vols[s];
+                        vols[s] = 0.0;
+                        vols[target] += v;
+                    }
+                }
+            }
+            let mut tasks = Vec::with_capacity(num_tasks);
+            for (s, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let per = vols[s] / c as f64;
+                for _ in 0..c {
+                    tasks.push(blank(Some(SiteId(s)), per, 1.0 / num_tasks as f64));
+                }
+            }
+            debug_assert_eq!(tasks.len(), num_tasks);
+            tasks
+        }
+        StageKind::Reduce => {
+            let total = input.total();
+            (0..num_tasks)
+                .map(|i| {
+                    let share = task_share(i);
+                    blank(None, total * share, share)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Number of partitions homed at each site: sites with data get at least one
+/// partition when `num_tasks` allows, the rest follow largest remainder.
+fn partition_counts(input: &DataDistribution, num_tasks: usize) -> Vec<usize> {
+    let n_sites = input.len();
+    let with_data: Vec<usize> = (0..n_sites)
+        .filter(|&s| input.at(SiteId(s)) > 1e-12)
+        .collect();
+    if num_tasks <= with_data.len() {
+        // Fewer tasks than data sites: give partitions to the largest sites;
+        // volumes at uncovered sites are folded into the largest covered
+        // site's partitions (a modeling shortcut for pathological inputs —
+        // real workloads have far more tasks than sites).
+        let mut order = with_data.clone();
+        order.sort_by(|&a, &b| {
+            input
+                .at(SiteId(b))
+                .partial_cmp(&input.at(SiteId(a)))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut counts = vec![0usize; n_sites];
+        for &s in order.iter().take(num_tasks) {
+            counts[s] = 1;
+        }
+        return counts;
+    }
+    // Reserve one partition per data site, distribute the rest by volume.
+    let reserve = with_data.len();
+    let fracs: Vec<f64> = (0..n_sites).map(|s| input.at(SiteId(s))).collect();
+    let extra = largest_remainder_round(&fracs, num_tasks - reserve);
+    let mut counts = extra;
+    for &s in &with_data {
+        counts[s] += 1;
+    }
+    // Sites without data must hold no partitions.
+    for s in 0..n_sites {
+        if input.at(SiteId(s)) <= 1e-12 && counts[s] > 0 {
+            // Largest-remainder over zero fractions cannot assign here, but
+            // guard anyway: move stray counts to the largest data site.
+            let target = *with_data
+                .iter()
+                .max_by(|&&a, &&b| input.at(SiteId(a)).partial_cmp(&input.at(SiteId(b))).unwrap())
+                .expect("some site has data");
+            counts[target] += counts[s];
+            counts[s] = 0;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_partitions_follow_data() {
+        let input = DataDistribution::new(vec![20.0, 30.0, 50.0]);
+        let tasks = build_tasks(StageKind::Map, 1000, &input, |_| 0.0);
+        assert_eq!(tasks.len(), 1000);
+        let at = |s: usize| {
+            tasks
+                .iter()
+                .filter(|t| t.input_site == Some(SiteId(s)))
+                .count()
+        };
+        assert_eq!(at(0), 200);
+        assert_eq!(at(1), 300);
+        assert_eq!(at(2), 500);
+        // Volume is conserved.
+        let vol: f64 = tasks.iter().map(|t| t.input_gb).sum();
+        assert!((vol - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_data_site_gets_a_partition() {
+        let input = DataDistribution::new(vec![0.001, 99.0, 0.999]);
+        let tasks = build_tasks(StageKind::Map, 10, &input, |_| 0.0);
+        for s in 0..3 {
+            assert!(
+                tasks.iter().any(|t| t.input_site == Some(SiteId(s))),
+                "site {s} lost its data"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_tasks_share_all_data() {
+        let input = DataDistribution::new(vec![10.0, 15.0, 25.0]);
+        let tasks = build_tasks(StageKind::Reduce, 500, &input, |_| 1.0 / 500.0);
+        assert_eq!(tasks.len(), 500);
+        assert!(tasks.iter().all(|t| t.input_site.is_none()));
+        let vol: f64 = tasks.iter().map(|t| t.input_gb).sum();
+        assert!((vol - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_map_stage_still_builds() {
+        let input = DataDistribution::zeros(3);
+        let tasks = build_tasks(StageKind::Map, 5, &input, |_| 0.0);
+        assert_eq!(tasks.len(), 5);
+        assert!(tasks.iter().all(|t| t.input_gb == 0.0));
+    }
+
+    #[test]
+    fn fewer_tasks_than_sites_takes_largest() {
+        let input = DataDistribution::new(vec![1.0, 5.0, 3.0, 2.0]);
+        let tasks = build_tasks(StageKind::Map, 2, &input, |_| 0.0);
+        assert_eq!(tasks.len(), 2);
+        let sites: Vec<_> = tasks.iter().map(|t| t.input_site.unwrap()).collect();
+        assert!(sites.contains(&SiteId(1)));
+        assert!(sites.contains(&SiteId(2)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Big-Data-Benchmark-like workload (§6.1 workload (b)).
+//!
+//! A mix of scan, join and aggregation queries with short DAGs of 2–5
+//! stages, following the AMPLab benchmark's query classes over the Pavlo
+//! et al. dataset.
+
+use crate::{poisson_arrivals, skewed_input};
+use rand::Rng;
+use tetrium_cluster::Cluster;
+use tetrium_jobs::{Job, JobId, Stage};
+
+/// Generates `n_jobs` BigData-benchmark-like jobs over `cluster`.
+pub fn bigdata_like_jobs(
+    cluster: &Cluster,
+    n_jobs: usize,
+    mean_interarrival_secs: f64,
+    scale_gb: f64,
+    rng: &mut impl Rng,
+) -> Vec<Job> {
+    let arrivals = if mean_interarrival_secs > 0.0 {
+        poisson_arrivals(n_jobs, mean_interarrival_secs, 0.0, rng)
+    } else {
+        vec![0.0; n_jobs]
+    };
+    (0..n_jobs)
+        .map(|i| bigdata_like_job(cluster, JobId(i), arrivals[i], scale_gb, rng))
+        .collect()
+}
+
+/// Generates one job of a random class (scan / aggregation / join).
+pub fn bigdata_like_job(
+    cluster: &Cluster,
+    id: JobId,
+    arrival: f64,
+    scale_gb: f64,
+    rng: &mut impl Rng,
+) -> Job {
+    let input_gb = scale_gb * rng.gen_range(0.5..2.0);
+    let skew = rng.gen_range(0.3..2.0);
+    let tasks_for = |gb: f64| ((gb * 10.0).round() as usize).clamp(2, 300);
+    let class = rng.gen_range(0..3u8);
+    let stages = match class {
+        // Scan: map + small filter output (2 stages with a final gather).
+        0 => vec![
+            Stage::root_map(
+                skewed_input(cluster, input_gb, skew, rng),
+                tasks_for(input_gb),
+                rng.gen_range(0.5..1.5),
+                rng.gen_range(0.05..0.3),
+            ),
+            Stage::reduce(
+                vec![0],
+                tasks_for(input_gb * 0.2).max(2),
+                rng.gen_range(0.3..1.0),
+                0.05,
+            ),
+        ],
+        // Aggregation: scan + group-by shuffle + final aggregate.
+        1 => vec![
+            Stage::root_map(
+                skewed_input(cluster, input_gb, skew, rng),
+                tasks_for(input_gb),
+                rng.gen_range(0.8..2.0),
+                rng.gen_range(0.3..0.8),
+            ),
+            Stage::reduce(
+                vec![0],
+                tasks_for(input_gb * 0.5).max(2),
+                rng.gen_range(0.5..1.5),
+                rng.gen_range(0.05..0.3),
+            ),
+            Stage::reduce(vec![1], tasks_for(input_gb * 0.1).max(2), 0.5, 0.05),
+        ],
+        // Join: two scans, a join shuffle, an aggregate, a final gather.
+        _ => {
+            let a_gb = input_gb * 0.6;
+            let b_gb = input_gb * 0.4;
+            vec![
+                Stage::root_map(
+                    skewed_input(cluster, a_gb, skew, rng),
+                    tasks_for(a_gb),
+                    rng.gen_range(0.8..2.0),
+                    rng.gen_range(0.5..1.0),
+                ),
+                Stage::root_map(
+                    skewed_input(cluster, b_gb, skew, rng),
+                    tasks_for(b_gb),
+                    rng.gen_range(0.8..2.0),
+                    rng.gen_range(0.5..1.0),
+                ),
+                Stage::reduce(
+                    vec![0, 1],
+                    tasks_for(input_gb * 0.7).max(2),
+                    rng.gen_range(1.0..2.5),
+                    rng.gen_range(0.2..0.8),
+                ),
+                Stage::reduce(
+                    vec![2],
+                    tasks_for(input_gb * 0.3).max(2),
+                    rng.gen_range(0.5..1.5),
+                    rng.gen_range(0.05..0.2),
+                ),
+                Stage::reduce(vec![3], 2, 0.3, 0.05),
+            ]
+        }
+    };
+    let name = match class {
+        0 => "bdb-scan",
+        1 => "bdb-agg",
+        _ => "bdb-join",
+    };
+    Job::new(id, format!("{name}-{}", id.index()), arrival, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tetrium_cluster::Site;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![
+            Site::new("a", 16, 0.125, 0.125),
+            Site::new("b", 4, 0.0125, 0.025),
+        ])
+    }
+
+    #[test]
+    fn stage_counts_in_paper_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let jobs = bigdata_like_jobs(&cluster(), 60, 0.0, 2.0, &mut rng);
+        for j in &jobs {
+            assert!(
+                (2..=5).contains(&j.num_stages()),
+                "job has {} stages",
+                j.num_stages()
+            );
+            assert!(j.matches_cluster(&cluster()));
+        }
+        // All three classes occur.
+        assert!(jobs.iter().any(|j| j.name.starts_with("bdb-scan")));
+        assert!(jobs.iter().any(|j| j.name.starts_with("bdb-agg")));
+        assert!(jobs.iter().any(|j| j.name.starts_with("bdb-join")));
+    }
+
+    #[test]
+    fn join_jobs_have_two_roots() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let jobs = bigdata_like_jobs(&cluster(), 60, 0.0, 2.0, &mut rng);
+        let join = jobs
+            .iter()
+            .find(|j| j.name.starts_with("bdb-join"))
+            .expect("a join job");
+        let roots = join.stages.iter().filter(|s| s.is_root()).count();
+        assert_eq!(roots, 2);
+    }
+}

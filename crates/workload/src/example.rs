@@ -1,0 +1,89 @@
+//! The paper's worked examples (§2.2, Fig 3/4).
+
+use tetrium_cluster::{Cluster, DataDistribution, Site};
+use tetrium_jobs::{Job, JobId, Stage};
+
+/// The 3-site setup of Figure 4: slots (40, 10, 20), uplinks
+/// (5, 1, 2) GB/s, downlinks (5, 1, 5) GB/s.
+pub fn fig4_cluster() -> Cluster {
+    Cluster::new(vec![
+        Site::new("site-1", 40, 5.0, 5.0),
+        Site::new("site-2", 10, 1.0, 1.0),
+        Site::new("site-3", 20, 2.0, 5.0),
+    ])
+}
+
+/// The Fig 3/4 job: input (20, 30, 50) GB, 1000 map tasks of 2 s (100 MB
+/// partitions), intermediate data half of input, 500 reduce tasks of 1 s.
+pub fn fig4_job() -> Job {
+    Job::map_reduce(
+        JobId(0),
+        "fig3-worked-example",
+        0.0,
+        DataDistribution::new(vec![20.0, 30.0, 50.0]),
+        1000,
+        2.0,
+        0.5,
+        500,
+        1.0,
+    )
+}
+
+/// The two-job ordering example of §2.2: three sites with 3 slots and
+/// 1 GB/s each; job 1 has (0, 1, 2) tasks of input, job 2 has (2, 4, 6);
+/// map-only, 1 s tasks, 100 MB partitions.
+pub fn two_job_example() -> (Cluster, Vec<Job>) {
+    let cluster = Cluster::new(vec![
+        Site::new("s1", 3, 1.0, 1.0),
+        Site::new("s2", 3, 1.0, 1.0),
+        Site::new("s3", 3, 1.0, 1.0),
+    ]);
+    let job1 = Job::new(
+        JobId(0),
+        "two-job-example-1",
+        0.0,
+        vec![Stage::root_map(
+            DataDistribution::new(vec![0.0, 0.1, 0.2]),
+            3,
+            1.0,
+            0.0,
+        )],
+    );
+    let job2 = Job::new(
+        JobId(1),
+        "two-job-example-2",
+        0.0,
+        vec![Stage::root_map(
+            DataDistribution::new(vec![0.2, 0.4, 0.6]),
+            12,
+            1.0,
+            0.0,
+        )],
+    );
+    (cluster, vec![job1, job2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shapes_match_paper() {
+        let c = fig4_cluster();
+        assert_eq!(c.total_slots(), 70);
+        let j = fig4_job();
+        assert_eq!(j.total_tasks(), 1500);
+        assert!((j.input_gb() - 100.0).abs() < 1e-12);
+        assert!((j.expected_intermediate_gb() - 50.0).abs() < 1e-12);
+        assert!(j.matches_cluster(&c));
+    }
+
+    #[test]
+    fn two_job_example_shapes() {
+        let (c, jobs) = two_job_example();
+        assert_eq!(c.len(), 3);
+        assert_eq!(jobs[0].total_tasks(), 3);
+        assert_eq!(jobs[1].total_tasks(), 12);
+        assert!(jobs.iter().all(|j| j.matches_cluster(&c)));
+    }
+}

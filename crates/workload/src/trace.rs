@@ -1,0 +1,208 @@
+//! Production-trace-like workload (§6.1 trace-driven simulations).
+//!
+//! The paper's large-scale simulations are driven by a proprietary
+//! production trace carrying job arrivals, per-job DAGs and task counts,
+//! input/output sizes, data distribution, stragglers and estimation error.
+//! We do not have the trace, so this generator synthesizes a population
+//! with the same controllable characteristics; every knob corresponds to an
+//! axis the paper reports gains against (Fig 12).
+
+use crate::{key_skew_weights, poisson_arrivals, skewed_input};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Pareto};
+use tetrium_cluster::Cluster;
+use tetrium_jobs::{Job, JobId, Stage};
+
+/// Tunable characteristics of the synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceParams {
+    /// Mean inter-arrival time in seconds (0 = batch arrival at t=0).
+    pub mean_interarrival_secs: f64,
+    /// Median job input size in GB (sizes are log-normal around this).
+    pub median_input_gb: f64,
+    /// Range of the Zipf exponent controlling input skew across sites
+    /// (sampled per job; 0 = uniform). Drives Fig 12(b).
+    pub input_skew_exponent: (f64, f64),
+    /// Range of per-stage output ratios. Long chains still span the whole
+    /// intermediate/input spectrum of Fig 12(a) because the aggregate
+    /// intermediate volume sums over stages; per-stage ratios stay mostly
+    /// below 1 ("the size of intermediate data usually drops quickly in
+    /// data analytics jobs", §6.3.3). An occasional early join stage may
+    /// exceed 1 (see `early_growth_prob`).
+    pub output_ratio: (f64, f64),
+    /// Probability that the second stage is a data-growing join (ratio
+    /// sampled in 1.0..1.5).
+    pub early_growth_prob: f64,
+    /// Probability that a reduce stage has key skew, and its severity
+    /// (drives Fig 12(c)).
+    pub key_skew_prob: f64,
+    /// Zipf severity of the key skew when present.
+    pub key_skew_severity: f64,
+    /// Range of stages per job.
+    pub stages: (usize, usize),
+    /// Mean task compute seconds (per-stage values are sampled around it).
+    pub mean_task_secs: f64,
+    /// Tasks per GB of stage input (~10 for the paper's 100 MB partitions).
+    pub tasks_per_gb: f64,
+    /// Upper bound on tasks per stage (keeps simulations tractable).
+    pub max_tasks: usize,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        Self {
+            mean_interarrival_secs: 15.0,
+            median_input_gb: 20.0,
+            input_skew_exponent: (0.0, 2.5),
+            output_ratio: (0.05, 0.9),
+            early_growth_prob: 0.25,
+            key_skew_prob: 0.35,
+            key_skew_severity: 1.2,
+            stages: (2, 12),
+            mean_task_secs: 2.0,
+            tasks_per_gb: 8.0,
+            max_tasks: 500,
+        }
+    }
+}
+
+/// Generates `n_jobs` trace-like jobs over `cluster`.
+pub fn trace_like_jobs(
+    cluster: &Cluster,
+    n_jobs: usize,
+    params: &TraceParams,
+    rng: &mut impl Rng,
+) -> Vec<Job> {
+    let arrivals = if params.mean_interarrival_secs > 0.0 {
+        poisson_arrivals(n_jobs, params.mean_interarrival_secs, 0.0, rng)
+    } else {
+        vec![0.0; n_jobs]
+    };
+    (0..n_jobs)
+        .map(|i| trace_like_job(cluster, JobId(i), arrivals[i], params, rng))
+        .collect()
+}
+
+/// Generates one trace-like job.
+pub fn trace_like_job(
+    cluster: &Cluster,
+    id: JobId,
+    arrival: f64,
+    params: &TraceParams,
+    rng: &mut impl Rng,
+) -> Job {
+    // Log-normal input sizes: many small jobs, a heavy tail of large ones.
+    let size_dist = LogNormal::new(params.median_input_gb.ln(), 0.8).expect("valid lognormal");
+    let input_gb: f64 = size_dist.sample(rng).clamp(0.5, params.median_input_gb * 20.0);
+    let skew = rng.gen_range(params.input_skew_exponent.0..=params.input_skew_exponent.1);
+    let n_stages = rng.gen_range(params.stages.0..=params.stages.1);
+    // Heavy-tailed task counts (Pareto), scaled to the stage's data volume.
+    let pareto = Pareto::new(1.0, 1.5).expect("valid pareto");
+    let per_gb = params.tasks_per_gb;
+    let max_tasks = params.max_tasks;
+    let tasks_for = move |gb: f64, rng: &mut dyn rand::RngCore| -> usize {
+        let burst: f64 = pareto.sample(&mut *rng);
+        ((gb * per_gb * burst).round() as usize).clamp(2, max_tasks)
+    };
+
+    let mut stages: Vec<Stage> = Vec::with_capacity(n_stages);
+    let input = skewed_input(cluster, input_gb, skew, rng);
+    let first_ratio = rng.gen_range(params.output_ratio.0..=params.output_ratio.1);
+    let n0 = tasks_for(input_gb, rng);
+    stages.push(Stage::root_map(
+        input,
+        n0,
+        params.mean_task_secs * rng.gen_range(0.5..2.0),
+        first_ratio,
+    ));
+    let mut est_gb = input_gb * first_ratio;
+    for idx in 1..n_stages {
+        let last = idx + 1 == n_stages;
+        let ratio = if last {
+            rng.gen_range(0.02..0.15)
+        } else if idx == 1 && rng.gen_bool(params.early_growth_prob) {
+            // An early join can grow the data before the chain narrows.
+            rng.gen_range(1.0..1.5)
+        } else {
+            rng.gen_range(params.output_ratio.0..=params.output_ratio.1)
+        };
+        let n = tasks_for(est_gb.max(0.2), rng);
+        let mut stage = Stage::reduce(
+            vec![idx - 1],
+            n,
+            params.mean_task_secs * rng.gen_range(0.5..2.0),
+            ratio,
+        );
+        if rng.gen_bool(params.key_skew_prob) {
+            let w = key_skew_weights(stage.num_tasks, params.key_skew_severity, rng);
+            stage = stage.with_task_weights(w);
+        }
+        est_gb = (est_gb * ratio).max(0.05);
+        stages.push(stage);
+    }
+    Job::new(id, format!("trace-{}", id.index()), arrival, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tetrium_cluster::Site;
+
+    fn cluster() -> Cluster {
+        // Enough sites that high-skew CV buckets (> 1.0) are reachable.
+        Cluster::new(
+            (0..8)
+                .map(|i| Site::new(format!("s{i}"), 25 * (i + 1), 0.1, 0.1))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn population_spans_fig12_axes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let jobs = trace_like_jobs(&cluster(), 120, &TraceParams::default(), &mut rng);
+        // Intermediate/input ratio spans low and high buckets.
+        let ratios: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.expected_intermediate_gb() / j.input_gb().max(1e-9))
+            .collect();
+        assert!(ratios.iter().any(|&r| r < 0.2));
+        assert!(ratios.iter().any(|&r| r > 1.0));
+        // Input skew spans low and high CV buckets.
+        let skews: Vec<f64> = jobs
+            .iter()
+            .flat_map(|j| j.stages.iter().filter_map(|s| s.input.as_ref()))
+            .map(|d| d.skew_cv())
+            .collect();
+        assert!(skews.iter().any(|&s| s < 0.5));
+        assert!(skews.iter().any(|&s| s > 1.0));
+        // Some reduce stages carry key skew.
+        assert!(jobs
+            .iter()
+            .any(|j| j.stages.iter().any(|s| s.task_skew_cv() > 0.0)));
+    }
+
+    #[test]
+    fn heavy_tail_in_task_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let jobs = trace_like_jobs(&cluster(), 100, &TraceParams::default(), &mut rng);
+        let counts: Vec<usize> = jobs.iter().map(|j| j.total_tasks()).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > 20 * min.max(1), "max {max} min {min}");
+    }
+
+    #[test]
+    fn respects_stage_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = TraceParams {
+            stages: (3, 5),
+            ..TraceParams::default()
+        };
+        for j in trace_like_jobs(&cluster(), 30, &params, &mut rng) {
+            assert!((3..=5).contains(&j.num_stages()));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's motivating scenario: a recurring operational dashboard.
+//!
+//! A fixed analytics DAG re-runs every two minutes over freshly generated
+//! session logs whose per-site volumes follow working hours around the
+//! globe (§1–2.1). Dashboard freshness is the tail response time of the
+//! stream; this example compares schedulers on it.
+//!
+//! Run with: `cargo run --release --example dashboard_pipeline`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::ec2_eight_regions;
+use tetrium::core::TetriumConfig;
+use tetrium::sim::EngineConfig;
+use tetrium::workload::{recurring_dashboard_jobs, RecurringParams};
+use tetrium::{run_workload, SchedulerKind};
+
+fn main() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(8);
+    let params = RecurringParams {
+        period_secs: 120.0,
+        input_gb: 25.0,
+        diurnal_peak_ratio: 12.0,
+        ..RecurringParams::default()
+    };
+    let jobs = recurring_dashboard_jobs(&cluster, 15, &params, &mut rng);
+    println!(
+        "stream: {} dashboard refreshes, every {:.0} s, {:.0} GB each, diurnal skew {}x\n",
+        jobs.len(),
+        params.period_secs,
+        params.input_gb,
+        params.diurnal_peak_ratio
+    );
+    println!(
+        "{:<13} {:>10} {:>10} {:>10} {:>11}",
+        "scheduler", "avg (s)", "p50 (s)", "p90 (s)", "WAN (GB)"
+    );
+    let eps06 = SchedulerKind::TetriumWith(TetriumConfig {
+        epsilon: 0.6,
+        ..TetriumConfig::default()
+    });
+    for (label, kind) in [
+        ("tetrium", SchedulerKind::Tetrium),
+        ("tetrium e=0.6", eps06),
+        ("iridium", SchedulerKind::Iridium),
+        ("in-place", SchedulerKind::InPlace),
+        ("swag", SchedulerKind::Swag),
+    ] {
+        let r = run_workload(
+            cluster.clone(),
+            jobs.clone(),
+            kind,
+            EngineConfig::trace_like(3),
+        )
+        .expect("run completes");
+        println!(
+            "{:<13} {:>10.1} {:>10.1} {:>10.1} {:>11.1}",
+            label,
+            r.avg_response(),
+            r.response_percentile(0.5),
+            r.response_percentile(0.9),
+            r.total_wan_gb,
+        );
+    }
+    println!(
+        "\nThe input's heavy site rotates with the sun, so static provisioning can\n\
+         never match it (§2.1). Pure SRPT (eps=1) wins the median but starves\n\
+         refreshes stuck behind a burst; the eps knob (§4.4) moves along that\n\
+         trade-off, and fair-sharing schedulers bound the tail at the median's\n\
+         expense."
+    );
+}

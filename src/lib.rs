@@ -1,0 +1,163 @@
+//! Tetrium reproduction: multi-resource scheduling for wide-area data
+//! analytics (EuroSys '18), in Rust.
+//!
+//! This facade crate re-exports the workspace and adds the high-level
+//! entry points used by the examples and the benchmark harness:
+//!
+//! - [`SchedulerKind`] names every scheduler of the evaluation (Tetrium and
+//!   all baselines) and builds fresh instances;
+//! - [`run_workload`] simulates a workload under a scheduler and returns
+//!   the per-job report;
+//! - [`isolated_service_times`] runs each job alone to obtain the
+//!   denominators of the slowdown metric (§6.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use tetrium::{run_workload, SchedulerKind};
+//! use tetrium::workload::{fig4_cluster, fig4_job};
+//! use tetrium::sim::EngineConfig;
+//!
+//! let report = run_workload(
+//!     fig4_cluster(),
+//!     vec![fig4_job()],
+//!     SchedulerKind::Tetrium,
+//!     EngineConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(report.jobs.len(), 1);
+//! ```
+
+pub use tetrium_baselines as baselines;
+pub use tetrium_cluster as cluster;
+pub use tetrium_core as core;
+pub use tetrium_jobs as jobs;
+pub use tetrium_lp as lp;
+pub use tetrium_metrics as metrics;
+pub use tetrium_net as net;
+pub use tetrium_sim as sim;
+pub use tetrium_workload as workload;
+
+use tetrium_baselines::{
+    CentralizedScheduler, InPlaceScheduler, IridiumScheduler, SwagScheduler, TetrisScheduler,
+};
+use tetrium_cluster::Cluster;
+use tetrium_core::{TetriumConfig, TetriumScheduler};
+use tetrium_jobs::Job;
+use tetrium_sim::{Engine, EngineConfig, RunReport, Scheduler, SimError};
+
+/// Every scheduler of the paper's evaluation, as a buildable enum.
+#[derive(Debug, Clone)]
+pub enum SchedulerKind {
+    /// Tetrium with the default configuration (§3 + §4).
+    Tetrium,
+    /// Tetrium with a custom configuration (knobs, ablations).
+    TetriumWith(TetriumConfig),
+    /// Default Spark: site-locality and fair sharing.
+    InPlace,
+    /// Iridium: shuffle-optimal reduce placement, network-only.
+    Iridium,
+    /// Aggregate everything to the most capable site.
+    Centralized,
+    /// Tetris: multi-resource packing with static demands.
+    Tetris,
+    /// SWAG: queue-aware job ordering with site-local tasks (compute only).
+    Swag,
+}
+
+impl SchedulerKind {
+    /// Builds a fresh scheduler instance.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Tetrium => Box::new(TetriumScheduler::standard()),
+            SchedulerKind::TetriumWith(cfg) => Box::new(TetriumScheduler::new(cfg.clone())),
+            SchedulerKind::InPlace => Box::new(InPlaceScheduler::new()),
+            SchedulerKind::Iridium => Box::new(IridiumScheduler::new()),
+            SchedulerKind::Centralized => Box::new(CentralizedScheduler::new()),
+            SchedulerKind::Tetris => Box::new(TetrisScheduler::new()),
+            SchedulerKind::Swag => Box::new(SwagScheduler::new()),
+        }
+    }
+
+    /// The scheduler's report name.
+    pub fn name(&self) -> String {
+        self.build().name().to_string()
+    }
+}
+
+/// Runs `jobs` over `cluster` under the given scheduler and returns the
+/// report.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the scheduler stalls (never happens with the
+/// bundled schedulers).
+pub fn run_workload(
+    cluster: Cluster,
+    jobs: Vec<Job>,
+    scheduler: SchedulerKind,
+    cfg: EngineConfig,
+) -> Result<RunReport, SimError> {
+    Engine::new(cluster, jobs, scheduler.build(), cfg).run()
+}
+
+/// Computes each job's isolated service time: the response time when it
+/// runs alone on an otherwise idle cluster under the same scheduler and a
+/// noise-free engine. Returned in the same order as `jobs`.
+pub fn isolated_service_times(
+    cluster: &Cluster,
+    jobs: &[Job],
+    scheduler: SchedulerKind,
+) -> Result<Vec<f64>, SimError> {
+    let mut out = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let mut alone = job.clone();
+        alone.arrival = 0.0;
+        let report = Engine::new(
+            cluster.clone(),
+            vec![alone],
+            scheduler.build(),
+            EngineConfig::default(),
+        )
+        .run()?;
+        out.push(report.jobs[0].response.max(1e-9));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrium_workload::{fig4_cluster, fig4_job};
+
+    #[test]
+    fn all_schedulers_complete_the_worked_example() {
+        for kind in [
+            SchedulerKind::Tetrium,
+            SchedulerKind::InPlace,
+            SchedulerKind::Iridium,
+            SchedulerKind::Centralized,
+            SchedulerKind::Tetris,
+            SchedulerKind::Swag,
+        ] {
+            let report = run_workload(
+                fig4_cluster(),
+                vec![fig4_job()],
+                kind.clone(),
+                EngineConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+            assert_eq!(report.jobs.len(), 1);
+            assert!(report.jobs[0].response > 0.0);
+        }
+    }
+
+    #[test]
+    fn isolated_times_are_positive() {
+        let times =
+            isolated_service_times(&fig4_cluster(), &[fig4_job()], SchedulerKind::Tetrium)
+                .unwrap();
+        assert_eq!(times.len(), 1);
+        assert!(times[0] > 0.0);
+    }
+}

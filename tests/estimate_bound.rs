@@ -1,0 +1,75 @@
+//! The full-DAG what-if estimator vs the engine: the analytic worst-case
+//! estimate should land in the same ballpark as (and normally above) the
+//! realized idle-cluster response, since the engine overlaps fetch and
+//! compute across slots while the estimate adds them per stage.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::ec2_eight_regions;
+use tetrium::core::estimate_job;
+use tetrium::sim::EngineConfig;
+use tetrium::workload::{bigdata_like_jobs, fig4_cluster, fig4_job};
+use tetrium::{run_workload, SchedulerKind};
+
+#[test]
+fn fig4_estimate_brackets_engine_response() {
+    let est = estimate_job(&fig4_job(), &fig4_cluster()).unwrap();
+    let run = run_workload(
+        fig4_cluster(),
+        vec![fig4_job()],
+        SchedulerKind::Tetrium,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let realized = run.jobs[0].response;
+    assert!(
+        realized <= est.total_secs * 1.1,
+        "engine {realized:.1} should not exceed the worst-case estimate {:.1}",
+        est.total_secs
+    );
+    assert!(
+        realized >= est.total_secs * 0.3,
+        "engine {realized:.1} implausibly far below estimate {:.1}",
+        est.total_secs
+    );
+}
+
+#[test]
+fn estimates_track_engine_ordering_across_jobs() {
+    // Jobs with larger estimates should broadly take longer in isolation;
+    // check rank correlation is positive over a small population.
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(17);
+    let jobs = bigdata_like_jobs(&cluster, 6, 0.0, 10.0, &mut rng);
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for job in &jobs {
+        let est = estimate_job(job, &cluster).unwrap().total_secs;
+        let mut alone = job.clone();
+        alone.arrival = 0.0;
+        let realized = run_workload(
+            cluster.clone(),
+            vec![alone],
+            SchedulerKind::Tetrium,
+            EngineConfig::default(),
+        )
+        .unwrap()
+        .jobs[0]
+            .response;
+        pairs.push((est, realized));
+    }
+    // Kendall-style concordance: most pairs ordered the same way.
+    let mut concordant = 0;
+    let mut total = 0;
+    for i in 0..pairs.len() {
+        for j in i + 1..pairs.len() {
+            total += 1;
+            if (pairs[i].0 - pairs[j].0) * (pairs[i].1 - pairs[j].1) >= 0.0 {
+                concordant += 1;
+            }
+        }
+    }
+    assert!(
+        concordant * 3 >= total * 2,
+        "estimates disagree with realized ordering: {concordant}/{total} concordant ({pairs:?})"
+    );
+}

@@ -1,0 +1,72 @@
+//! Cross-crate behaviour under injected task failures (the trace's
+//! fail-over events): every scheduler must drive flaky workloads to
+//! completion, and failures must only ever delay jobs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::ec2_eight_regions;
+use tetrium::sim::EngineConfig;
+use tetrium::workload::bigdata_like_jobs;
+use tetrium::{run_workload, SchedulerKind};
+
+#[test]
+fn every_scheduler_survives_failures() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(41);
+    let jobs = bigdata_like_jobs(&cluster, 5, 20.0, 3.0, &mut rng);
+    for kind in [
+        SchedulerKind::Tetrium,
+        SchedulerKind::InPlace,
+        SchedulerKind::Iridium,
+        SchedulerKind::Swag,
+        SchedulerKind::Tetris,
+        SchedulerKind::Centralized,
+    ] {
+        let report = run_workload(
+            cluster.clone(),
+            jobs.clone(),
+            kind.clone(),
+            EngineConfig {
+                failure_prob: 0.15,
+                seed: 5,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert_eq!(report.jobs.len(), 5, "{}", kind.name());
+        assert!(report.task_failures > 0, "{}", kind.name());
+    }
+}
+
+#[test]
+fn failures_only_delay_never_speed_up() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(43);
+    let jobs = bigdata_like_jobs(&cluster, 4, 0.0, 3.0, &mut rng);
+    let clean = run_workload(
+        cluster.clone(),
+        jobs.clone(),
+        SchedulerKind::InPlace,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let flaky = run_workload(
+        cluster,
+        jobs,
+        SchedulerKind::InPlace,
+        EngineConfig {
+            failure_prob: 0.25,
+            seed: 9,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    // With site-local placement the re-executions strictly add work, so the
+    // makespan cannot shrink.
+    assert!(
+        flaky.makespan >= clean.makespan - 1e-9,
+        "flaky {:.1} vs clean {:.1}",
+        flaky.makespan,
+        clean.makespan
+    );
+}

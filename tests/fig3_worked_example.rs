@@ -1,0 +1,102 @@
+//! End-to-end reproduction of the paper's worked example (Fig 3/4).
+//!
+//! The exact figures of the paper (Iridium 88.5 s, better approach 59.83 s,
+//! Centralized 93 s) use worst-case accounting where a stage's transfer and
+//! compute never overlap; those numbers are pinned in
+//! `tetrium_core::analytic`'s unit tests. Here the same scenario runs through
+//! the discrete-event engine, where tasks start computing as soon as their
+//! own data arrives, so absolute times are lower — but the paper's *ordering*
+//! and rough magnitudes must hold.
+
+use tetrium::sim::EngineConfig;
+use tetrium::workload::{fig4_cluster, fig4_job};
+use tetrium::{run_workload, SchedulerKind};
+
+fn response(kind: SchedulerKind) -> (f64, f64) {
+    let report = run_workload(
+        fig4_cluster(),
+        vec![fig4_job()],
+        kind,
+        EngineConfig::default(),
+    )
+    .expect("run completes");
+    (report.jobs[0].response, report.total_wan_gb)
+}
+
+#[test]
+fn tetrium_beats_iridium_beats_centralized() {
+    let (tetrium, _) = response(SchedulerKind::Tetrium);
+    let (iridium, _) = response(SchedulerKind::Iridium);
+    let (central, _) = response(SchedulerKind::Centralized);
+    assert!(
+        tetrium < iridium,
+        "tetrium {tetrium:.2} vs iridium {iridium:.2}"
+    );
+    assert!(
+        iridium < central,
+        "iridium {iridium:.2} vs centralized {central:.2}"
+    );
+    // The paper reports Tetrium's plan at 68% of Iridium's completion time
+    // under worst-case accounting; with fetch/compute overlap the advantage
+    // persists. Allow a generous band around the 0.68 ratio.
+    let ratio = tetrium / iridium;
+    assert!(
+        ratio < 0.85,
+        "expected a clear win, got ratio {ratio:.2} ({tetrium:.2}/{iridium:.2})"
+    );
+}
+
+#[test]
+fn engine_times_are_below_worst_case_bounds() {
+    // Worst-case accounting is an upper bound for the engine's timing.
+    let (tetrium, _) = response(SchedulerKind::Tetrium);
+    let (iridium, _) = response(SchedulerKind::Iridium);
+    let (central, _) = response(SchedulerKind::Centralized);
+    assert!(tetrium <= 59.83 + 1.0, "tetrium {tetrium:.2}");
+    assert!(iridium <= 88.5 + 1.0, "iridium {iridium:.2}");
+    // Centralized is slightly above the paper's 93 s: the paper's variant
+    // pre-aggregates data before any task starts, while the engine's tasks
+    // occupy a slot during their fetch, serializing some transfer behind
+    // compute. The qualitative conclusion (worst of the three) is unchanged.
+    assert!(central <= 115.0, "centralized {central:.2}");
+    // And they are in the right ballpark (not trivially zero).
+    assert!(tetrium > 25.0);
+    assert!(iridium > 45.0);
+    assert!(central > 55.0);
+}
+
+#[test]
+fn in_place_map_stage_moves_no_input_data() {
+    let report = run_workload(
+        fig4_cluster(),
+        vec![fig4_job()],
+        SchedulerKind::InPlace,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    // In-Place only shuffles intermediate data (50 GB at most); the 100 GB
+    // input never crosses the WAN.
+    assert!(
+        report.total_wan_gb <= 50.0 + 1e-6,
+        "wan {}",
+        report.total_wan_gb
+    );
+}
+
+#[test]
+fn centralized_moves_nearly_all_input() {
+    let report = run_workload(
+        fig4_cluster(),
+        vec![fig4_job()],
+        SchedulerKind::Centralized,
+        EngineConfig::default(),
+    )
+    .unwrap();
+    // Input off-site of the aggregation target: 30 + 50 = 80 GB; everything
+    // after that is local.
+    assert!(
+        (report.total_wan_gb - 80.0).abs() < 1.0,
+        "wan {}",
+        report.total_wan_gb
+    );
+}

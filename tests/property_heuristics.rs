@@ -1,0 +1,120 @@
+//! Property tests for the scheduling heuristics: task ordering, limited
+//! re-assignment and largest-remainder rounding.
+
+use proptest::prelude::*;
+use tetrium::core::dynamics::{assignment_distance, limited_update};
+use tetrium::core::ordering::{
+    order_map_tasks, order_reduce_tasks, MapOrdering, ReduceOrdering,
+};
+use tetrium::jobs::largest_remainder_round;
+use tetrium_cluster::SiteId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every map ordering is a permutation of the input tasks, and
+    /// remote-first puts every remote task before every local one.
+    #[test]
+    fn map_orderings_are_permutations(
+        tasks in proptest::collection::vec((0usize..6, 0usize..6, 1u32..100), 1..40),
+        n_sites in 6usize..8,
+    ) {
+        let refs: Vec<(usize, SiteId, f64, SiteId)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, gb))| (i, SiteId(s), gb as f64 * 0.01, SiteId(d)))
+            .collect();
+        let up = vec![1.0; n_sites];
+        for ordering in [
+            MapOrdering::RemoteFirstSpread,
+            MapOrdering::LocalFirst,
+            MapOrdering::Fifo,
+        ] {
+            let order = order_map_tasks(ordering, &refs, &up);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..refs.len()).collect::<Vec<_>>());
+            if ordering == MapOrdering::RemoteFirstSpread {
+                // No local task may precede any remote task.
+                let is_remote = |i: usize| refs[i].1 != refs[i].3;
+                let first_local = order.iter().position(|&i| !is_remote(i));
+                if let Some(fl) = first_local {
+                    prop_assert!(
+                        order[fl..].iter().all(|&i| !is_remote(i)),
+                        "remote task after a local one"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reduce orderings are permutations; longest-first is sorted by input.
+    #[test]
+    fn reduce_orderings_are_permutations(
+        sizes in proptest::collection::vec(0u32..1000, 1..50),
+        seed in 0u64..100,
+    ) {
+        let inputs: Vec<(usize, f64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i, s as f64 * 0.01))
+            .collect();
+        for ordering in [ReduceOrdering::LongestFirst, ReduceOrdering::Random] {
+            let order = order_reduce_tasks(ordering, &inputs, seed);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..inputs.len()).collect::<Vec<_>>());
+        }
+        let longest = order_reduce_tasks(ReduceOrdering::LongestFirst, &inputs, seed);
+        for w in longest.windows(2) {
+            prop_assert!(inputs[w[0]].1 >= inputs[w[1]].1 - 1e-12);
+        }
+    }
+
+    /// Limited updates conserve the task total, and a full budget reaches
+    /// the optimum exactly.
+    #[test]
+    fn limited_update_conserves_and_converges(
+        f in proptest::collection::vec(0usize..40, 2..10),
+        fs_delta in proptest::collection::vec(-10i64..10, 2..10),
+        k in 1usize..12,
+    ) {
+        let n = f.len().min(fs_delta.len());
+        let f = &f[..n];
+        let f_star: Vec<usize> = f
+            .iter()
+            .zip(&fs_delta[..n])
+            .map(|(&a, &d)| (a as i64 + d).max(0) as usize)
+            .collect();
+        let out = limited_update(f, &f_star, k);
+        prop_assert_eq!(
+            out.iter().sum::<usize>(),
+            f_star.iter().sum::<usize>(),
+            "totals must match the new optimum"
+        );
+        if k >= n {
+            prop_assert_eq!(out, f_star.clone());
+            prop_assert_eq!(assignment_distance(&limited_update(f, &f_star, k), &f_star), 0.0);
+        }
+    }
+
+    /// Largest-remainder rounding: exact total, and every count within one
+    /// task of its exact proportional share.
+    #[test]
+    fn rounding_is_proportional(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..12),
+        total in 0usize..500,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+        let counts = largest_remainder_round(&weights, total);
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        let wsum: f64 = weights.iter().sum();
+        for (c, w) in counts.iter().zip(&weights) {
+            let exact = w / wsum * total as f64;
+            prop_assert!(
+                (*c as f64 - exact).abs() <= 1.0 + 1e-9,
+                "count {} too far from exact share {}", c, exact
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the WAN substrate: waterfilling invariants and the
+//! fluid simulator's byte conservation.
+
+use proptest::prelude::*;
+use tetrium::net::{max_min_rates, waterfill_groups, FlowSpec, GroupSpec};
+use tetrium_cluster::SiteId;
+
+fn caps_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..7).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u32..80, n),
+            proptest::collection::vec(1u32..80, n),
+        )
+            .prop_map(|(u, d)| {
+                (
+                    u.into_iter().map(|v| v as f64 * 0.05).collect(),
+                    d.into_iter().map(|v| v as f64 * 0.05).collect(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Max-min rates never oversubscribe a link, and every non-local flow is
+    /// bottlenecked at some saturated link.
+    #[test]
+    fn maxmin_feasible_and_bottlenecked(
+        (up, down) in caps_strategy(),
+        pairs in proptest::collection::vec((0usize..7, 0usize..7), 1..40),
+    ) {
+        let n = up.len();
+        let flows: Vec<FlowSpec> = pairs
+            .into_iter()
+            .map(|(s, d)| FlowSpec { src: SiteId(s % n), dst: SiteId(d % n) })
+            .collect();
+        let rates = max_min_rates(&flows, &up, &down);
+        let mut used_up = vec![0.0; n];
+        let mut used_down = vec![0.0; n];
+        for (f, &r) in flows.iter().zip(&rates) {
+            if f.is_local() {
+                prop_assert!(r.is_infinite());
+                continue;
+            }
+            prop_assert!(r >= 0.0 && r.is_finite());
+            used_up[f.src.index()] += r;
+            used_down[f.dst.index()] += r;
+        }
+        for x in 0..n {
+            prop_assert!(used_up[x] <= up[x] + 1e-6, "uplink {} over", x);
+            prop_assert!(used_down[x] <= down[x] + 1e-6, "downlink {} over", x);
+        }
+        for (f, &r) in flows.iter().zip(&rates) {
+            if f.is_local() { continue; }
+            let up_sat = used_up[f.src.index()] >= up[f.src.index()] - 1e-6;
+            let down_sat = used_down[f.dst.index()] >= down[f.dst.index()] - 1e-6;
+            prop_assert!(up_sat || down_sat, "flow {:?} at {} not bottlenecked", f, r);
+        }
+    }
+
+    /// Grouped waterfilling agrees with per-flow waterfilling: expanding a
+    /// group into individual flows yields the same per-flow rate.
+    #[test]
+    fn grouped_equals_expanded(
+        (up, down) in caps_strategy(),
+        raw in proptest::collection::vec((0usize..7, 0usize..7, 1usize..5), 1..12),
+    ) {
+        let n = up.len();
+        let mut groups = Vec::new();
+        let mut flows = Vec::new();
+        for (s, d, c) in raw {
+            let (s, d) = (s % n, d % n);
+            if s == d {
+                continue;
+            }
+            groups.push(GroupSpec { src: s, dst: d, count: c });
+            for _ in 0..c {
+                flows.push(FlowSpec { src: SiteId(s), dst: SiteId(d) });
+            }
+        }
+        let group_rates = waterfill_groups(&groups, &up, &down);
+        let flow_rates = max_min_rates(&flows, &up, &down);
+        let mut k = 0;
+        for (g, spec) in groups.iter().enumerate() {
+            for _ in 0..spec.count {
+                prop_assert!(
+                    (group_rates[g] - flow_rates[k]).abs() < 1e-6 * (1.0 + flow_rates[k]),
+                    "group {} rate {} vs flow {} rate {}", g, group_rates[g], k, flow_rates[k]
+                );
+                k += 1;
+            }
+        }
+    }
+
+    /// The fluid simulator conserves bytes: every flow driven to completion
+    /// accounts exactly its size of WAN traffic.
+    #[test]
+    fn flowsim_conserves_bytes(
+        (up, down) in caps_strategy(),
+        specs in proptest::collection::vec((0usize..7, 0usize..7, 1u32..50), 1..30),
+    ) {
+        use tetrium::net::FlowSim;
+        let n = up.len();
+        let mut sim = FlowSim::new(up, down);
+        let mut expected = 0.0;
+        let mut live = 0usize;
+        for (s, d, gb10) in specs {
+            let (s, d) = (s % n, d % n);
+            let gb = gb10 as f64 * 0.1;
+            if s != d {
+                expected += gb;
+            }
+            sim.add_flow(SiteId(s), SiteId(d), gb);
+            live += 1;
+        }
+        let mut guard = 0;
+        while let Some((k, t)) = sim.next_completion() {
+            sim.advance_to(t);
+            let rem = sim.remove_flow(k);
+            prop_assert!(rem < 1e-6, "removed with {} GB left", rem);
+            live -= 1;
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop runaway");
+        }
+        prop_assert_eq!(live, 0);
+        prop_assert!((sim.total_wan_gb() - expected).abs() < 1e-6 * (1.0 + expected));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: invariants of the placement LPs over random instances.
+
+use proptest::prelude::*;
+use tetrium::core::{
+    solve_map_placement, solve_reduce_placement, MapProblem, ReduceProblem,
+};
+use tetrium::core::wan::reduce_min_wan;
+
+fn map_problem_strategy() -> impl Strategy<Value = MapProblem> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.0f64..20.0, n),
+            proptest::collection::vec(0usize..40, n),
+            proptest::collection::vec(1u32..50, n),
+            proptest::collection::vec(1u32..50, n),
+            proptest::collection::vec(1usize..30, n),
+            0.1f64..5.0,
+            proptest::option::of(0.0f64..1.0),
+        )
+            .prop_map(
+                |(input_gb, tasks_from, up, down, slots, task_secs, budget_frac)| {
+                    let total: f64 = input_gb.iter().sum();
+                    MapProblem {
+                        input_gb,
+                        tasks_from,
+                        task_secs,
+                        up_gbps: up.into_iter().map(|v| v as f64 * 0.1).collect(),
+                        down_gbps: down.into_iter().map(|v| v as f64 * 0.1).collect(),
+                        slots,
+                        wan_budget_gb: budget_frac.map(|f| f * total),
+                        forced_dest_gb: None,
+                        next_stage_ratio: None,
+                        dest_limit: None,
+                    }
+                },
+            )
+    })
+}
+
+fn reduce_problem_strategy() -> impl Strategy<Value = ReduceProblem> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.0f64..20.0, n),
+            1usize..200,
+            proptest::collection::vec(1u32..50, n),
+            proptest::collection::vec(1u32..50, n),
+            proptest::collection::vec(1usize..30, n),
+            0.1f64..5.0,
+            proptest::bool::ANY,
+            proptest::option::of(0.0f64..1.0),
+        )
+            .prop_map(
+                |(shuffle_gb, num_tasks, up, down, slots, task_secs, network_only, bf)| {
+                    let total: f64 = shuffle_gb.iter().sum();
+                    let min = reduce_min_wan(&shuffle_gb);
+                    ReduceProblem {
+                        shuffle_gb,
+                        num_tasks,
+                        task_secs,
+                        up_gbps: up.into_iter().map(|v| v as f64 * 0.1).collect(),
+                        down_gbps: down.into_iter().map(|v| v as f64 * 0.1).collect(),
+                        slots,
+                        // Budgets below the feasible minimum are the caller's
+                        // bug; sample within [min, total].
+                        wan_budget_gb: bf.map(|f| min + f * (total - min).max(0.0)),
+                        network_only,
+                        next_stage_out_gb: None,
+                    }
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Map placement conserves tasks per source, keeps fractions on the
+    /// simplex, and its fractional WAN stays within any budget.
+    #[test]
+    fn map_placement_invariants(p in map_problem_strategy()) {
+        let placement = solve_map_placement(&p).expect("map model is feasible");
+        let n = p.input_gb.len();
+        // Per-source task conservation.
+        for x in 0..n {
+            let sum: usize = placement.counts[x].iter().sum();
+            prop_assert_eq!(sum, p.tasks_from[x], "source {}", x);
+        }
+        let total_tasks: usize = p.tasks_from.iter().sum();
+        prop_assert_eq!(placement.tasks_at.iter().sum::<usize>(), total_tasks);
+        // Fractions rows sum to 1 where the row matters.
+        let total_gb: f64 = p.input_gb.iter().sum();
+        if total_gb > 1e-9 && total_tasks > 0 {
+            for x in 0..n {
+                let s: f64 = placement.fractions[x].iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-5, "row {} sums to {}", x, s);
+            }
+        }
+        // Fractional WAN respects the budget.
+        if let Some(w) = p.wan_budget_gb {
+            let moved: f64 = (0..n)
+                .flat_map(|x| (0..n).filter(move |&y| y != x).map(move |y| (x, y)))
+                .map(|(x, y)| p.input_gb[x] * placement.fractions[x][y])
+                .sum();
+            prop_assert!(moved <= w + 1e-5 * (1.0 + w), "moved {} over budget {}", moved, w);
+        }
+        // Times are non-negative and finite.
+        prop_assert!(placement.times.transfer >= 0.0 && placement.times.transfer.is_finite());
+        prop_assert!(placement.times.compute >= 0.0 && placement.times.compute.is_finite());
+        // Slot demand never exceeds capacity.
+        for x in 0..n {
+            prop_assert!(placement.slot_demand[x] <= p.slots[x]);
+        }
+    }
+
+    /// Reduce placement keeps `r` on the simplex, conserves tasks, and
+    /// respects feasible WAN budgets.
+    #[test]
+    fn reduce_placement_invariants(p in reduce_problem_strategy()) {
+        let placement = solve_reduce_placement(&p).expect("budget sampled in feasible range");
+        let s: f64 = placement.fractions.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-5, "fractions sum {}", s);
+        prop_assert!(placement.fractions.iter().all(|&f| f >= -1e-9));
+        prop_assert_eq!(placement.tasks_at.iter().sum::<usize>(), p.num_tasks);
+        if let Some(w) = p.wan_budget_gb {
+            prop_assert!(
+                placement.wan_gb <= w + 1e-5 * (1.0 + w),
+                "wan {} over budget {}", placement.wan_gb, w
+            );
+        }
+        prop_assert!(placement.times.transfer >= 0.0 && placement.times.transfer.is_finite());
+        prop_assert!(placement.times.compute >= 0.0 && placement.times.compute.is_finite());
+    }
+
+    /// Pruned destination sets never lose feasibility, and the restricted
+    /// optimum is no better than the full model's.
+    #[test]
+    fn dest_pruning_is_sound(p in map_problem_strategy(), k in 1usize..4) {
+        let full = solve_map_placement(&p).expect("feasible");
+        let mut restricted = p.clone();
+        restricted.dest_limit = Some(k);
+        let pruned = solve_map_placement(&restricted).expect("pruning keeps local placement feasible");
+        prop_assert_eq!(
+            pruned.tasks_at.iter().sum::<usize>(),
+            p.tasks_from.iter().sum::<usize>()
+        );
+        // The full model can only be as good or better.
+        let full_t = full.times.transfer + full.times.compute;
+        let pruned_t = pruned.times.transfer + pruned.times.compute;
+        prop_assert!(full_t <= pruned_t + 1e-5 * (1.0 + pruned_t),
+            "full {} should not exceed pruned {}", full_t, pruned_t);
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end use of the §8 multi-replica extension: choosing read replicas
+//! before placement should never hurt, and helps when the primary copies
+//! sit behind thin uplinks.
+
+use tetrium::cluster::{Cluster, DataDistribution, Site, SiteId};
+use tetrium::core::{replicated_input, select_replicas, ReplicatedPartition};
+use tetrium::jobs::{Job, JobId, Stage};
+use tetrium::sim::EngineConfig;
+use tetrium::{run_workload, SchedulerKind};
+
+fn cluster() -> Cluster {
+    Cluster::new(vec![
+        Site::new("thin", 8, 0.05, 0.5), // Primary copies live here.
+        Site::new("fat", 8, 2.0, 2.0),   // Replicas live here.
+        Site::new("big", 30, 2.0, 2.0),  // Compute-rich destination.
+    ])
+}
+
+fn partitions(replicated: bool) -> Vec<ReplicatedPartition> {
+    (0..30)
+        .map(|_| ReplicatedPartition {
+            gb: 0.2,
+            replicas: if replicated {
+                vec![SiteId(0), SiteId(1)]
+            } else {
+                vec![SiteId(0)]
+            },
+        })
+        .collect()
+}
+
+fn job_from(input: DataDistribution) -> Job {
+    Job::new(
+        JobId(0),
+        "replicated",
+        0.0,
+        vec![
+            Stage::root_map(input, 30, 2.0, 0.5),
+            Stage::reduce(vec![0], 15, 1.0, 0.1),
+        ],
+    )
+}
+
+fn response(input: DataDistribution) -> f64 {
+    run_workload(
+        cluster(),
+        vec![job_from(input)],
+        SchedulerKind::Tetrium,
+        EngineConfig::default(),
+    )
+    .expect("completes")
+    .jobs[0]
+        .response
+}
+
+#[test]
+fn replica_choice_unlocks_the_fat_uplink() {
+    let c = cluster();
+    let primary_only = partitions(false);
+    let with_replicas = partitions(true);
+
+    let primary_choice = select_replicas(&primary_only, &c);
+    assert!(primary_choice.iter().all(|&s| s == SiteId(0)));
+    let replica_choice = select_replicas(&with_replicas, &c);
+    // The 40x-faster uplink should absorb the bulk of the reads.
+    let at_fat = replica_choice.iter().filter(|&&s| s == SiteId(1)).count();
+    assert!(at_fat > 20, "fat replica took only {at_fat}/30");
+
+    let t_primary = response(replicated_input(&primary_only, &primary_choice, c.len()));
+    let t_replicas = response(replicated_input(&with_replicas, &replica_choice, c.len()));
+    assert!(
+        t_replicas < t_primary,
+        "replicas {t_replicas:.1}s should beat primary-only {t_primary:.1}s"
+    );
+}
+
+#[test]
+fn replica_selection_is_conservative_with_equal_sites() {
+    // When every replica site is identical, the choice must still conserve
+    // volume and be deterministic.
+    let c = Cluster::new(vec![
+        Site::new("a", 4, 1.0, 1.0),
+        Site::new("b", 4, 1.0, 1.0),
+    ]);
+    let parts: Vec<ReplicatedPartition> = (0..10)
+        .map(|_| ReplicatedPartition {
+            gb: 1.0,
+            replicas: vec![SiteId(0), SiteId(1)],
+        })
+        .collect();
+    let choice1 = select_replicas(&parts, &c);
+    let choice2 = select_replicas(&parts, &c);
+    assert_eq!(choice1, choice2);
+    let dist = replicated_input(&parts, &choice1, 2);
+    assert!((dist.total() - 10.0).abs() < 1e-12);
+    // Balanced halves (equal uplinks).
+    assert!((dist.at(SiteId(0)) - 5.0).abs() <= 1.0);
+}

@@ -1,0 +1,120 @@
+//! Cross-crate sanity of all schedulers on realistic workloads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::ec2_eight_regions;
+use tetrium::sim::EngineConfig;
+use tetrium::workload::{bigdata_like_jobs, tpcds_like_jobs};
+use tetrium::{run_workload, SchedulerKind};
+
+fn all_kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Tetrium,
+        SchedulerKind::InPlace,
+        SchedulerKind::Iridium,
+        SchedulerKind::Centralized,
+        SchedulerKind::Tetris,
+    ]
+}
+
+#[test]
+fn every_scheduler_finishes_a_tpcds_mix() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(11);
+    let jobs = tpcds_like_jobs(&cluster, 8, 20.0, 2.0, &mut rng);
+    let total_tasks: usize = jobs.iter().map(|j| j.total_tasks()).sum();
+    for kind in all_kinds() {
+        let report = run_workload(
+            cluster.clone(),
+            jobs.clone(),
+            kind.clone(),
+            EngineConfig::trace_like(1),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert_eq!(report.jobs.len(), 8, "{}", kind.name());
+        assert!(report.jobs.iter().all(|j| j.response > 0.0));
+        assert!(report.makespan >= report.jobs.iter().map(|j| j.response).fold(0.0, f64::max));
+        // Sanity on accounting: every job ran all its tasks.
+        let reported: usize = report.jobs.iter().map(|j| j.total_tasks).sum();
+        assert_eq!(reported, total_tasks);
+    }
+}
+
+#[test]
+fn tetrium_beats_locality_baselines_on_average() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(7);
+    let jobs = bigdata_like_jobs(&cluster, 12, 15.0, 2.0, &mut rng);
+    let run = |kind: SchedulerKind| {
+        run_workload(
+            cluster.clone(),
+            jobs.clone(),
+            kind,
+            EngineConfig::default(),
+        )
+        .unwrap()
+        .avg_response()
+    };
+    let tetrium = run(SchedulerKind::Tetrium);
+    let inplace = run(SchedulerKind::InPlace);
+    let central = run(SchedulerKind::Centralized);
+    assert!(
+        tetrium < inplace,
+        "tetrium {tetrium:.1} vs in-place {inplace:.1}"
+    );
+    assert!(
+        tetrium < central,
+        "tetrium {tetrium:.1} vs centralized {central:.1}"
+    );
+}
+
+#[test]
+fn reports_carry_scheduler_names() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(3);
+    let jobs = bigdata_like_jobs(&cluster, 2, 0.0, 1.0, &mut rng);
+    for (kind, name) in [
+        (SchedulerKind::Tetrium, "tetrium"),
+        (SchedulerKind::InPlace, "in-place"),
+        (SchedulerKind::Iridium, "iridium"),
+        (SchedulerKind::Centralized, "centralized"),
+        (SchedulerKind::Tetris, "tetris"),
+    ] {
+        let report =
+            run_workload(cluster.clone(), jobs.clone(), kind, EngineConfig::default()).unwrap();
+        assert_eq!(report.scheduler, name);
+        assert!(report.sched_invocations > 0);
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let cluster = ec2_eight_regions();
+    let mut rng = StdRng::seed_from_u64(5);
+    let jobs = tpcds_like_jobs(&cluster, 5, 10.0, 1.5, &mut rng);
+    let run = || {
+        run_workload(
+            cluster.clone(),
+            jobs.clone(),
+            SchedulerKind::Tetrium,
+            EngineConfig::trace_like(42),
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(x.response, y.response, "job {}", x.id);
+        assert_eq!(x.wan_gb, y.wan_gb);
+    }
+    assert_eq!(a.total_wan_gb, b.total_wan_gb);
+    // A different seed perturbs at least one response.
+    let c = run_workload(
+        cluster,
+        jobs,
+        SchedulerKind::Tetrium,
+        EngineConfig::trace_like(43),
+    )
+    .unwrap();
+    assert!(a.jobs.iter().zip(&c.jobs).any(|(x, y)| x.response != y.response));
+}
