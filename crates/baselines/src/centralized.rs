@@ -24,9 +24,7 @@ impl CentralizedScheduler {
 
     /// Creates the baseline with an explicit aggregation site.
     pub fn with_target(site: SiteId) -> Self {
-        Self {
-            target: Some(site),
-        }
+        Self { target: Some(site) }
     }
 }
 

@@ -45,7 +45,10 @@ mod tests {
         let snap = Snapshot {
             now: 0.0,
             sites: sites(&[(4, 1.0, 1.0), (4, 1.0, 1.0)]),
-            jobs: vec![map_job(0, &[3, 1], &[3.0, 1.0]), reduce_job(1, vec![0.0, 8.0], 4)],
+            jobs: vec![
+                map_job(0, &[3, 1], &[3.0, 1.0]),
+                reduce_job(1, vec![0.0, 8.0], 4),
+            ],
         };
         let mut sched = InPlaceScheduler::new();
         let plans = sched.schedule(&snap);

@@ -75,13 +75,16 @@ impl Scheduler for SwagScheduler {
                 .enumerate()
                 .map(|(pos, (ji, d))| {
                     let eta = (0..n)
-                        .map(|x| {
-                            (backlog[x] + d[x]) / snap.sites[x].slots.max(1) as f64
-                        })
+                        .map(|x| (backlog[x] + d[x]) / snap.sites[x].slots.max(1) as f64)
                         .fold(0.0f64, f64::max);
                     (pos, (eta, *ji))
                 })
-                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap().then(a.1 .1.cmp(&b.1 .1)))
+                .min_by(|a, b| {
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .unwrap()
+                        .then(a.1 .1.cmp(&b.1 .1))
+                })
                 .expect("non-empty");
             let (ji, d) = remaining.remove(pos);
             for x in 0..n {

@@ -154,7 +154,10 @@ mod tests {
         let snap = Snapshot {
             now: 0.0,
             sites: sites(&[(4, 1.0, 1.0), (4, 1.0, 1.0)]),
-            jobs: vec![map_job(0, &[3, 3], &[3.0, 3.0]), reduce_job(1, vec![1.0, 1.0], 4)],
+            jobs: vec![
+                map_job(0, &[3, 3], &[3.0, 3.0]),
+                reduce_job(1, vec![1.0, 1.0], 4),
+            ],
         };
         let mut sched = TetrisScheduler::new();
         let plans = sched.schedule(&snap);
@@ -167,10 +170,7 @@ mod tests {
         let snap = Snapshot {
             now: 0.0,
             sites: sites(&[(4, 1.0, 1.0)]),
-            jobs: vec![
-                map_job(0, &[8], &[1.0]),
-                map_job(1, &[2], &[0.2]),
-            ],
+            jobs: vec![map_job(0, &[8], &[1.0]), map_job(1, &[2], &[0.2])],
         };
         let mut sched = TetrisScheduler::new();
         let plans = sched.schedule(&snap);

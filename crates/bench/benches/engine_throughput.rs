@@ -1,0 +1,53 @@
+//! Criterion bench for raw engine throughput: tasks simulated per second
+//! on a 30-site trace workload (the hot path the de-allocation work in
+//! `tetrium-sim` targets). The committed baseline lives in
+//! `benchmarks/perf_baseline.json`; regenerate it with the
+//! `perf_snapshot` binary after intentional engine changes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::ec2_thirty_instances;
+use tetrium::{run_workload, SchedulerKind};
+use tetrium_jobs::Job;
+use tetrium_sim::EngineConfig;
+use tetrium_workload::{trace_like_jobs, TraceParams};
+
+/// The 30-site workload the throughput numbers are quoted against.
+fn workload() -> (tetrium_cluster::Cluster, Vec<Job>) {
+    let cluster = ec2_thirty_instances();
+    let params = TraceParams {
+        median_input_gb: 10.0,
+        mean_interarrival_secs: 30.0,
+        mean_task_secs: 5.0,
+        tasks_per_gb: 4.0,
+        max_tasks: 150,
+        ..TraceParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(30);
+    let jobs = trace_like_jobs(&cluster, 8, &params, &mut rng);
+    (cluster, jobs)
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let (cluster, jobs) = workload();
+    let total_tasks: usize = jobs.iter().map(|j| j.total_tasks()).sum();
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_tasks as u64));
+    group.bench_function("tetrium_30_sites", |b| {
+        b.iter(|| {
+            run_workload(
+                cluster.clone(),
+                jobs.clone(),
+                SchedulerKind::Tetrium,
+                EngineConfig::trace_like(30),
+            )
+            .expect("completes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -25,7 +25,9 @@ fn big_map(n: usize) -> MapProblem {
         tasks_from: (0..n).map(|i| 10 + (i * 13) % 40).collect(),
         task_secs: 2.0,
         up_gbps: (0..n).map(|i| 0.0125 + 0.01 * (i % 11) as f64).collect(),
-        down_gbps: (0..n).map(|i| 0.0125 + 0.01 * ((i + 3) % 11) as f64).collect(),
+        down_gbps: (0..n)
+            .map(|i| 0.0125 + 0.01 * ((i + 3) % 11) as f64)
+            .collect(),
         slots: (0..n).map(|i| 25 + (i * 97) % 1000).collect(),
         wan_budget_gb: None,
         forced_dest_gb: None,
@@ -40,7 +42,9 @@ fn big_reduce(n: usize) -> ReduceProblem {
         num_tasks: 500,
         task_secs: 1.0,
         up_gbps: (0..n).map(|i| 0.0125 + 0.01 * (i % 11) as f64).collect(),
-        down_gbps: (0..n).map(|i| 0.0125 + 0.01 * ((i + 3) % 11) as f64).collect(),
+        down_gbps: (0..n)
+            .map(|i| 0.0125 + 0.01 * ((i + 3) % 11) as f64)
+            .collect(),
         slots: (0..n).map(|i| 25 + (i * 97) % 1000).collect(),
         wan_budget_gb: None,
         network_only: false,

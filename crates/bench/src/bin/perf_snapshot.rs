@@ -1,0 +1,83 @@
+//! Records the performance baseline consumed by future PRs: engine
+//! throughput (tasks simulated per second on the 30-site trace workload —
+//! the same one `benches/engine_throughput.rs` times) and, when a prior
+//! `all_figures` run left `target/experiments/harness_wallclock.json`
+//! behind, the harness wall-clock. Writes `benchmarks/perf_baseline.json`
+//! (committed to the repo).
+//!
+//! Usage: `cargo run --release --bin perf_snapshot` (run `all_figures`
+//! first to include the harness wall-clock).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tetrium::cluster::ec2_thirty_instances;
+use tetrium::{run_workload, SchedulerKind};
+use tetrium_sim::EngineConfig;
+use tetrium_workload::{trace_like_jobs, TraceParams};
+
+fn main() {
+    let cluster = ec2_thirty_instances();
+    let params = TraceParams {
+        median_input_gb: 10.0,
+        mean_interarrival_secs: 30.0,
+        mean_task_secs: 5.0,
+        tasks_per_gb: 4.0,
+        max_tasks: 150,
+        ..TraceParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(30);
+    let jobs = trace_like_jobs(&cluster, 8, &params, &mut rng);
+    let total_tasks: usize = jobs.iter().map(|j| j.total_tasks()).sum();
+
+    // Median of several full runs: robust to one-off scheduling noise
+    // without criterion's multi-second calibration loop.
+    let mut secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            run_workload(
+                cluster.clone(),
+                jobs.clone(),
+                SchedulerKind::Tetrium,
+                EngineConfig::trace_like(30),
+            )
+            .expect("completes");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = secs[secs.len() / 2];
+    let tasks_per_sec = total_tasks as f64 / median;
+    println!(
+        "engine_throughput: {total_tasks} tasks in {median:.3} s -> {tasks_per_sec:.0} tasks/s"
+    );
+
+    let mut snapshot = serde_json::json!({
+        "engine_throughput": {
+            "workload": "trace-30-sites",
+            "jobs": jobs.len(),
+            "tasks": total_tasks,
+            "median_run_secs": median,
+            "tasks_per_sec": tasks_per_sec,
+        },
+    });
+    match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
+        Ok(body) => match serde_json::from_str::<serde_json::Value>(&body) {
+            Ok(wallclock) => snapshot["all_figures"] = wallclock,
+            Err(e) => eprintln!("warning: unreadable harness_wallclock.json: {e}"),
+        },
+        Err(_) => eprintln!(
+            "note: no target/experiments/harness_wallclock.json; run all_figures first \
+             to include the harness wall-clock"
+        ),
+    }
+
+    std::fs::create_dir_all("benchmarks").expect("create benchmarks/");
+    let path = "benchmarks/perf_baseline.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&snapshot).expect("serializable"),
+    )
+    .expect("write baseline");
+    println!("baseline written to {path}");
+}

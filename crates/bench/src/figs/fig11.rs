@@ -7,9 +7,8 @@
 //! In-Place under the same drops. The paper sees gains grow with `k`
 //! (saturating by k≈10) and shrink as drops deepen.
 
-use crate::{
-    banner, calibrated_trace, fifty_sites, quick_mode, trace_engine, write_record,
-};
+use crate::runner::{cell, run_cells, Cell, CellFn};
+use crate::{banner, calibrated_trace, fifty_sites, quick_mode, trace_engine, write_record};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tetrium::cluster::{CapacityDrop, SiteId};
@@ -58,35 +57,71 @@ pub fn run_fig() {
         print!("{:>9}", format!("k={k}"));
     }
     println!();
+
+    // Drop schedules are derived per fraction up front (same rng stream as
+    // before); every (fraction, scheduler) pair is then an independent cell.
+    let drop_sets: Vec<(f64, Vec<CapacityDrop>)> = fractions
+        .iter()
+        .map(|&frac| {
+            let mut drop_rng = StdRng::seed_from_u64(1100 + (frac * 10.0) as u64);
+            (frac, drops_for(frac, &mut drop_rng))
+        })
+        .collect();
+    let mut grid: Vec<(Cell, CellFn<'_, _>)> = Vec::new();
+    for (frac, drops) in &drop_sets {
+        let workload = format!("trace-50 drop={frac}");
+        grid.push(cell(
+            Cell::new("fig11", "in-place", workload.clone(), 11),
+            {
+                let cluster = &cluster;
+                let jobs = &jobs;
+                move || {
+                    Engine::new(
+                        cluster.clone(),
+                        jobs.clone(),
+                        SchedulerKind::InPlace.build(),
+                        trace_engine(11),
+                    )
+                    .with_drops(drops.clone())
+                    .run()
+                    .expect("in-place completes")
+                }
+            },
+        ));
+        for &k in ks {
+            grid.push(cell(
+                Cell::new("fig11", format!("tetrium k={k}"), workload.clone(), 11),
+                {
+                    let cluster = &cluster;
+                    let jobs = &jobs;
+                    move || {
+                        Engine::new(
+                            cluster.clone(),
+                            jobs.clone(),
+                            SchedulerKind::TetriumWith(TetriumConfig {
+                                dynamics_k: Some(k),
+                                ..TetriumConfig::default()
+                            })
+                            .build(),
+                            trace_engine(11),
+                        )
+                        .with_drops(drops.clone())
+                        .run()
+                        .expect("tetrium completes")
+                    }
+                },
+            ));
+        }
+    }
+    let mut results = run_cells(grid).into_iter();
+
     let mut rows = Vec::new();
-    for &frac in fractions {
-        let mut drop_rng = StdRng::seed_from_u64(1100 + (frac * 10.0) as u64);
-        let drops = drops_for(frac, &mut drop_rng);
-        let baseline = Engine::new(
-            cluster.clone(),
-            jobs.clone(),
-            SchedulerKind::InPlace.build(),
-            trace_engine(11),
-        )
-        .with_drops(drops.clone())
-        .run()
-        .expect("in-place completes");
+    for (frac, _) in &drop_sets {
+        let baseline = results.next().unwrap();
         print!("{:>7.0}%", frac * 100.0);
         let mut cells = Vec::new();
         for &k in ks {
-            let r = Engine::new(
-                cluster.clone(),
-                jobs.clone(),
-                SchedulerKind::TetriumWith(TetriumConfig {
-                    dynamics_k: Some(k),
-                    ..TetriumConfig::default()
-                })
-                .build(),
-                trace_engine(11),
-            )
-            .with_drops(drops.clone())
-            .run()
-            .expect("tetrium completes");
+            let r = results.next().unwrap();
             let red = reduction_pct(baseline.avg_response(), r.avg_response());
             print!("{red:>8.0}%");
             cells.push(serde_json::json!({"k": k, "vs_inplace_pct": red}));

@@ -7,6 +7,7 @@
 //! into it and the mean gain within it, matching the paired bars of the
 //! paper's figure.
 
+use crate::runner::{cell, run_cells, Cell, CellFn};
 use crate::{banner, calibrated_trace, fifty_sites, quick_mode, write_record};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,7 +47,8 @@ struct Sample {
 }
 
 /// Runs several paired comparisons (distinct workload seeds) and buckets
-/// the pooled per-job gains four ways.
+/// the pooled per-job gains four ways. Workloads are generated up front;
+/// the (seed, scheduler) simulation pairs run as parallel cells.
 pub fn run_fig() {
     banner("fig12", "gain distribution by workload characteristic");
     let cluster = fifty_sites(1);
@@ -55,23 +57,48 @@ pub fn run_fig() {
     let n_jobs = if quick_mode() { 12 } else { 20 };
     let seeds: &[u64] = if quick_mode() { &[12] } else { &[12, 13, 14] };
 
+    let workloads: Vec<(u64, Vec<tetrium_jobs::Job>)> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (seed, trace_like_jobs(&cluster, n_jobs, &params, &mut rng))
+        })
+        .collect();
+    let mut grid: Vec<(Cell, CellFn<'_, _>)> = Vec::new();
+    for (seed, jobs) in &workloads {
+        for (name, kind) in [
+            ("tetrium", SchedulerKind::Tetrium),
+            ("in-place", SchedulerKind::InPlace),
+        ] {
+            grid.push(cell(Cell::new("fig12", name, "trace-50", *seed), {
+                let cluster = &cluster;
+                move || {
+                    // Estimation error must actually vary to populate
+                    // Fig 12(d).
+                    let mut cfg = EngineConfig::trace_like(*seed);
+                    cfg.estimation_error = 0.5;
+                    run_workload(cluster.clone(), jobs.clone(), kind, cfg).expect("completes")
+                }
+            }));
+        }
+    }
+    let mut results = run_cells(grid).into_iter();
+
     let mut samples: Vec<Sample> = Vec::new();
-    for &seed in seeds {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let jobs = trace_like_jobs(&cluster, n_jobs, &params, &mut rng);
-        remember_key_skew(&jobs);
-        // Estimation error must actually vary to populate Fig 12(d).
-        let mut cfg = EngineConfig::trace_like(seed);
-        cfg.estimation_error = 0.5;
-        let tetrium = run_workload(
-            cluster.clone(),
-            jobs.clone(),
-            SchedulerKind::Tetrium,
-            cfg.clone(),
-        )
-        .expect("completes");
-        let inplace =
-            run_workload(cluster.clone(), jobs, SchedulerKind::InPlace, cfg).expect("completes");
+    for (_, jobs) in &workloads {
+        let tetrium = results.next().unwrap();
+        let inplace = results.next().unwrap();
+        let key_skew: HashMap<usize, f64> = jobs
+            .iter()
+            .map(|j| {
+                let cv = j
+                    .stages
+                    .iter()
+                    .map(|s| s.task_skew_cv())
+                    .fold(0.0f64, f64::max);
+                (j.id.index(), cv)
+            })
+            .collect();
         let gains = per_job_reduction(&inplace, &tetrium);
         for j in &tetrium.jobs {
             let gain = gains
@@ -82,7 +109,7 @@ pub fn run_fig() {
             samples.push(Sample {
                 ratio: j.intermediate_gb / j.input_gb.max(1e-9),
                 input_skew: j.input_skew_cv,
-                key_skew: key_skew_of(j.id),
+                key_skew: key_skew.get(&j.id.index()).copied().unwrap_or(0.0),
                 est_error: j.est_error,
                 gain,
             });
@@ -119,38 +146,16 @@ pub fn run_fig() {
     ];
     for (key, title, axis, edges) in axes {
         let pairs: Vec<(f64, f64)> = samples.iter().map(|s| (axis(s), s.gain)).collect();
-        record.insert(key.into(), print_buckets(title, &bucket_by(&pairs, edges)).into());
+        record.insert(
+            key.into(),
+            print_buckets(title, &bucket_by(&pairs, edges)).into(),
+        );
     }
 
-    println!("\n(paper: gains rise with the ratio and with skew up to CV~2, fall with estimation error)");
+    println!(
+        "\n(paper: gains rise with the ratio and with skew up to CV~2, fall with estimation error)"
+    );
     write_record("fig12", &serde_json::Value::Object(record));
 }
 
-/// Maximum reduce-key skew CV across a job's stages, re-derived from the
-/// same generator stream so it matches the simulated jobs.
-fn key_skew_of(id: tetrium_jobs::JobId) -> f64 {
-    // The workload above is regenerated deterministically; rather than
-    // threading the job list through, look the value up from a cached copy.
-    JOBS_SKEW.with(|m| m.borrow().get(&id.index()).copied().unwrap_or(0.0))
-}
-
-use std::cell::RefCell;
 use std::collections::HashMap;
-thread_local! {
-    static JOBS_SKEW: RefCell<HashMap<usize, f64>> = RefCell::new(HashMap::new());
-}
-
-/// Records per-job key-skew CVs before the runs consume the job list.
-pub fn remember_key_skew(jobs: &[tetrium_jobs::Job]) {
-    JOBS_SKEW.with(|m| {
-        let mut m = m.borrow_mut();
-        for j in jobs {
-            let cv = j
-                .stages
-                .iter()
-                .map(|s| s.task_skew_cv())
-                .fold(0.0f64, f64::max);
-            m.insert(j.id.index(), cv);
-        }
-    });
-}

@@ -5,6 +5,7 @@
 //! Centralized strawman 93 s — and then runs the same job through the
 //! discrete-event engine under each scheduler.
 
+use crate::runner::{cell, run_cells, Cell};
 use crate::{banner, write_record};
 use tetrium::core::analytic::{evaluate_map_counts, evaluate_reduce_counts};
 use tetrium::core::reduce_placement::{solve_reduce_placement, ReduceProblem};
@@ -58,8 +59,7 @@ pub fn run() {
     let mut moved = vec![vec![0.0; 3]; 3];
     moved[1][0] = 15.7;
     moved[2][0] = 21.4;
-    let better_map =
-        evaluate_map_counts(&moved, &[571, 143, 286], 2.0, &UP, &DOWN, &SLOTS, true);
+    let better_map = evaluate_map_counts(&moved, &[571, 143, 286], 2.0, &UP, &DOWN, &SLOTS, true);
     let better_red = evaluate_reduce_counts(
         &[28.55, 7.15, 14.3],
         &[0.571, 0.143, 0.286],
@@ -116,22 +116,34 @@ pub fn run() {
     );
 
     // Engine replication (fetch/compute overlap, so values sit below the
-    // worst-case bounds while preserving the ordering).
+    // worst-case bounds while preserving the ordering). One cell per
+    // scheduler; formatting consumes the results in cell order.
     println!("\nengine (discrete-event, overlap allowed)");
+    let kinds = [
+        ("tetrium", SchedulerKind::Tetrium),
+        ("iridium", SchedulerKind::Iridium),
+        ("centralized", SchedulerKind::Centralized),
+        ("in-place", SchedulerKind::InPlace),
+    ];
+    let cells = kinds
+        .iter()
+        .map(|(name, kind)| {
+            cell(
+                Cell::new("fig3", *name, "fig4-worked-example", 0),
+                move || {
+                    run_workload(
+                        fig4_cluster(),
+                        vec![fig4_job()],
+                        kind.clone(),
+                        EngineConfig::default(),
+                    )
+                    .expect("completes")
+                },
+            )
+        })
+        .collect();
     let mut engine = serde_json::Map::new();
-    for kind in [
-        SchedulerKind::Tetrium,
-        SchedulerKind::Iridium,
-        SchedulerKind::Centralized,
-        SchedulerKind::InPlace,
-    ] {
-        let r = run_workload(
-            fig4_cluster(),
-            vec![fig4_job()],
-            kind,
-            EngineConfig::default(),
-        )
-        .expect("completes");
+    for r in run_cells(cells) {
         println!(
             "  {:12} response {:7.2} s   wan {:6.1} GB",
             r.scheduler, r.jobs[0].response, r.total_wan_gb

@@ -7,6 +7,7 @@
 //! Iridium, with larger gains for TPC-DS (longer stage chains) and for the
 //! 30-site setting (more placement freedom).
 
+use crate::runner::{cell, run_cells, Cell, CellFn};
 use crate::{banner, quick_mode, write_record};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,8 +27,32 @@ fn workloads(cluster: &Cluster, seed: u64) -> Vec<(&'static str, Vec<Job>)> {
     vec![("TPC-DS", tpcds), ("Big-Data", bigdata)]
 }
 
+/// A fig5 cell's result: either a scheduler run or the isolated-service
+/// baseline used by the slowdown metric.
+enum Out {
+    Run(tetrium::sim::RunReport),
+    Isolated(Vec<f64>),
+}
+
+impl Out {
+    fn run(self) -> tetrium::sim::RunReport {
+        match self {
+            Out::Run(r) => r,
+            Out::Isolated(_) => unreachable!("cell layout: runs come first"),
+        }
+    }
+    fn isolated(self) -> Vec<f64> {
+        match self {
+            Out::Isolated(v) => v,
+            Out::Run(_) => unreachable!("cell layout: isolated comes last"),
+        }
+    }
+}
+
 /// Runs the four workload × cluster combinations under the three schedulers
-/// and prints both figures' reductions.
+/// and prints both figures' reductions. Each combination contributes four
+/// cells — Tetrium, In-Place, Iridium, and the isolated-service baseline —
+/// all independent, so the whole grid runs in parallel.
 pub fn run() {
     banner("fig5+fig6", "EC2 comparison: response time and slowdown");
     let clusters = [
@@ -38,48 +63,73 @@ pub fn run() {
         "{:<22} {:>14} {:>14} | {:>14} {:>14}",
         "workload,cluster", "RT vs In-Place", "RT vs Iridium", "SD vs In-Place", "SD vs Iridium"
     );
-    let mut rows = Vec::new();
-    for (cname, cluster) in clusters {
-        for (wname, jobs) in workloads(&cluster, 50) {
-            let cfg = EngineConfig::trace_like(5);
-            let runs: Vec<_> = [
-                SchedulerKind::Tetrium,
-                SchedulerKind::InPlace,
-                SchedulerKind::Iridium,
-            ]
-            .into_iter()
-            .map(|k| {
-                run_workload(cluster.clone(), jobs.clone(), k, cfg.clone()).expect("completes")
-            })
-            .collect();
-            let isolated =
-                isolated_service_times(&cluster, &jobs, SchedulerKind::Tetrium).unwrap();
-            let slowdown = |r: &tetrium::sim::RunReport| -> f64 {
-                let s = tetrium::metrics::slowdowns(r, &isolated);
-                s.iter().sum::<f64>() / s.len() as f64
-            };
-            let rt_ip = reduction_pct(runs[1].avg_response(), runs[0].avg_response());
-            let rt_ir = reduction_pct(runs[2].avg_response(), runs[0].avg_response());
-            let sd_ip = reduction_pct(slowdown(&runs[1]), slowdown(&runs[0]));
-            let sd_ir = reduction_pct(slowdown(&runs[2]), slowdown(&runs[0]));
-            println!(
-                "{:<22} {:>13.0}% {:>13.0}% | {:>13.0}% {:>13.0}%",
-                format!("{wname}, {cname}"),
-                rt_ip,
-                rt_ir,
-                sd_ip,
-                sd_ir
-            );
-            rows.push(serde_json::json!({
-                "workload": wname,
-                "cluster": cname,
-                "rt_reduction_vs_inplace_pct": rt_ip,
-                "rt_reduction_vs_iridium_pct": rt_ir,
-                "slowdown_reduction_vs_inplace_pct": sd_ip,
-                "slowdown_reduction_vs_iridium_pct": sd_ir,
-                "tetrium_avg_response_s": runs[0].avg_response(),
-            }));
+    let combos: Vec<(&'static str, &Cluster, &'static str, Vec<Job>)> = clusters
+        .iter()
+        .flat_map(|(cname, cluster)| {
+            workloads(cluster, 50)
+                .into_iter()
+                .map(move |(wname, jobs)| (*cname, cluster, wname, jobs))
+        })
+        .collect();
+    let mut cells: Vec<(Cell, CellFn<'_, Out>)> = Vec::new();
+    for (cname, cluster, wname, jobs) in &combos {
+        let workload = format!("{wname}/{cname}");
+        for (sname, kind) in [
+            ("tetrium", SchedulerKind::Tetrium),
+            ("in-place", SchedulerKind::InPlace),
+            ("iridium", SchedulerKind::Iridium),
+        ] {
+            cells.push(cell(
+                Cell::new("fig5", sname, workload.clone(), 5),
+                move || {
+                    let cfg = EngineConfig::trace_like(5);
+                    Out::Run(
+                        run_workload((**cluster).clone(), jobs.clone(), kind, cfg)
+                            .expect("completes"),
+                    )
+                },
+            ));
         }
+        cells.push(cell(
+            Cell::new("fig5", "isolated", workload.clone(), 5),
+            move || {
+                Out::Isolated(
+                    isolated_service_times(cluster, jobs, SchedulerKind::Tetrium).unwrap(),
+                )
+            },
+        ));
+    }
+    let mut results = run_cells(cells).into_iter();
+
+    let mut rows = Vec::new();
+    for (cname, _, wname, _) in &combos {
+        let runs: Vec<_> = (0..3).map(|_| results.next().unwrap().run()).collect();
+        let isolated = results.next().unwrap().isolated();
+        let slowdown = |r: &tetrium::sim::RunReport| -> f64 {
+            let s = tetrium::metrics::slowdowns(r, &isolated);
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        let rt_ip = reduction_pct(runs[1].avg_response(), runs[0].avg_response());
+        let rt_ir = reduction_pct(runs[2].avg_response(), runs[0].avg_response());
+        let sd_ip = reduction_pct(slowdown(&runs[1]), slowdown(&runs[0]));
+        let sd_ir = reduction_pct(slowdown(&runs[2]), slowdown(&runs[0]));
+        println!(
+            "{:<22} {:>13.0}% {:>13.0}% | {:>13.0}% {:>13.0}%",
+            format!("{wname}, {cname}"),
+            rt_ip,
+            rt_ir,
+            sd_ip,
+            sd_ir
+        );
+        rows.push(serde_json::json!({
+            "workload": wname,
+            "cluster": cname,
+            "rt_reduction_vs_inplace_pct": rt_ip,
+            "rt_reduction_vs_iridium_pct": rt_ir,
+            "slowdown_reduction_vs_inplace_pct": sd_ip,
+            "slowdown_reduction_vs_iridium_pct": sd_ir,
+            "tetrium_avg_response_s": runs[0].avg_response(),
+        }));
     }
     println!("(paper: Fig 5 up to 78% vs In-Place / 55% vs Iridium; Fig 6 up to 45% / 16%)");
     write_record("fig5", &serde_json::json!({ "rows": rows }));

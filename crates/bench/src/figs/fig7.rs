@@ -5,14 +5,14 @@
 //! keeps scaling sane. We time one full `schedule()` pass over synthetic
 //! snapshots of 25..400 concurrent jobs on 50 sites.
 
+use crate::runner::{cell, run_cells_with, Cell};
 use crate::{banner, write_record};
 use std::time::Instant;
 use tetrium::core::TetriumScheduler;
 use tetrium_cluster::SiteId;
 use tetrium_jobs::{JobId, StageKind};
 use tetrium_sim::{
-    JobSnapshot, Scheduler, SiteState, Snapshot, StageMeta, StageSnapshot, TaskPhase,
-    TaskSnapshot,
+    JobSnapshot, Scheduler, SiteState, Snapshot, StageMeta, StageSnapshot, TaskPhase, TaskSnapshot,
 };
 
 /// Builds a synthetic scheduling snapshot with `n_jobs` single-stage jobs of
@@ -84,20 +84,36 @@ pub fn snapshot(n_jobs: usize, tasks_per_job: usize) -> Snapshot {
     }
 }
 
-/// Times one cold `schedule()` pass per job count.
+/// Times one cold `schedule()` pass per job count. The cells run on a
+/// single worker — this figure measures decision latency, and concurrent
+/// cells would contend with the quantity being measured.
 pub fn run() {
-    banner("fig7", "scheduler running time vs concurrent jobs (50 sites)");
+    banner(
+        "fig7",
+        "scheduler running time vs concurrent jobs (50 sites)",
+    );
     println!("{:>10} {:>16}", "jobs", "decision time");
+    let cells = [25usize, 50, 100, 200, 400]
+        .into_iter()
+        .map(|n_jobs| {
+            cell(
+                Cell::new("fig7", "tetrium", format!("{n_jobs}-jobs"), 0),
+                move || {
+                    let snap = snapshot(n_jobs, 100);
+                    // Fresh scheduler per measurement: cold caches, like a
+                    // burst of new arrivals.
+                    let mut sched = TetriumScheduler::standard();
+                    let t0 = Instant::now();
+                    let plans = sched.schedule(&snap);
+                    let elapsed = t0.elapsed();
+                    assert!(!plans.is_empty());
+                    (n_jobs, elapsed)
+                },
+            )
+        })
+        .collect();
     let mut rows = Vec::new();
-    for n_jobs in [25usize, 50, 100, 200, 400] {
-        let snap = snapshot(n_jobs, 100);
-        // Fresh scheduler per measurement: cold caches, like a burst of new
-        // arrivals.
-        let mut sched = TetriumScheduler::standard();
-        let t0 = Instant::now();
-        let plans = sched.schedule(&snap);
-        let elapsed = t0.elapsed();
-        assert!(!plans.is_empty());
+    for (n_jobs, elapsed) in run_cells_with(1, cells) {
         println!("{:>10} {:>13.0} ms", n_jobs, elapsed.as_secs_f64() * 1e3);
         rows.push(serde_json::json!({
             "jobs": n_jobs,

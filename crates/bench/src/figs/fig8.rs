@@ -6,63 +6,82 @@
 //! +I-data (Iridium's proactive data placement on top of Tetrium).
 //! (b) CDF of per-job response-time reduction vs both baselines.
 
-use crate::{banner, fifty_sites, run, rt_reduction, trace_workload, write_record};
+use crate::runner::{cell, run_cells, Cell, CellFn};
+use crate::{banner, fifty_sites, rt_reduction, run, trace_workload, write_record};
 use tetrium::baselines::iridium_data_move;
 use tetrium::core::{JobPolicy, PlacementPolicy, TetriumConfig};
 use tetrium::metrics::{per_job_reduction, Cdf};
 use tetrium::SchedulerKind;
 
-/// Runs the comparison and prints reductions plus CDF quantiles.
+/// Runs the comparison and prints reductions plus CDF quantiles. The six
+/// variants (Tetrium, In-Place, Centralized, +FS, +I-task, +I-data) are
+/// independent cells over the same workload and run in parallel.
 pub fn run_fig() {
     banner("fig8", "trace-driven 50-site comparison and ablations");
     let cluster = fifty_sites(1);
     let jobs = trace_workload(&cluster, 2);
 
-    let tetrium = run(&cluster, &jobs, SchedulerKind::Tetrium, 7);
-    let inplace = run(&cluster, &jobs, SchedulerKind::InPlace, 7);
-    let central = run(&cluster, &jobs, SchedulerKind::Centralized, 7);
-    let fs = run(
-        &cluster,
-        &jobs,
-        SchedulerKind::TetriumWith(TetriumConfig {
-            job_policy: JobPolicy::Fair,
-            ..TetriumConfig::default()
-        }),
-        7,
-    );
-    let itask = run(
-        &cluster,
-        &jobs,
-        SchedulerKind::TetriumWith(TetriumConfig {
-            placement: PlacementPolicy::IridiumNet,
-            ..TetriumConfig::default()
-        }),
-        7,
-    );
+    let mut cells: Vec<(Cell, CellFn<'_, _>)> = Vec::new();
+    for (name, kind) in [
+        ("tetrium", SchedulerKind::Tetrium),
+        ("in-place", SchedulerKind::InPlace),
+        ("centralized", SchedulerKind::Centralized),
+        (
+            "tetrium+fs",
+            SchedulerKind::TetriumWith(TetriumConfig {
+                job_policy: JobPolicy::Fair,
+                ..TetriumConfig::default()
+            }),
+        ),
+        (
+            "tetrium+i-task",
+            SchedulerKind::TetriumWith(TetriumConfig {
+                placement: PlacementPolicy::IridiumNet,
+                ..TetriumConfig::default()
+            }),
+        ),
+    ] {
+        cells.push(cell(Cell::new("fig8", name, "trace-50", 7), {
+            let cluster = &cluster;
+            let jobs = &jobs;
+            move || run(cluster, jobs, kind, 7)
+        }));
+    }
     // +I-data: move input data in advance per Iridium's heuristic, charge
     // the moved bytes, then run plain Tetrium on the transformed inputs.
-    let (idata_jobs, moved_gb) = {
-        let up: Vec<f64> = cluster.iter().map(|(_, s)| s.up_gbps).collect();
-        let down: Vec<f64> = cluster.iter().map(|(_, s)| s.down_gbps).collect();
-        let mut moved = 0.0;
-        let jobs2: Vec<_> = jobs
-            .iter()
-            .cloned()
-            .map(|mut j| {
-                for st in &mut j.stages {
-                    if let Some(input) = st.input.take() {
-                        let (new_input, m) = iridium_data_move(&input, &up, &down, 0.5);
-                        moved += m;
-                        st.input = Some(new_input);
+    cells.push(cell(Cell::new("fig8", "tetrium+i-data", "trace-50", 7), {
+        let cluster = &cluster;
+        let jobs = &jobs;
+        move || {
+            let up: Vec<f64> = cluster.iter().map(|(_, s)| s.up_gbps).collect();
+            let down: Vec<f64> = cluster.iter().map(|(_, s)| s.down_gbps).collect();
+            let mut moved = 0.0;
+            let idata_jobs: Vec<_> = jobs
+                .iter()
+                .cloned()
+                .map(|mut j| {
+                    for st in &mut j.stages {
+                        if let Some(input) = st.input.take() {
+                            let (new_input, m) = iridium_data_move(&input, &up, &down, 0.5);
+                            moved += m;
+                            st.input = Some(new_input);
+                        }
                     }
-                }
-                j
-            })
-            .collect();
-        (jobs2, moved)
-    };
-    let mut idata = run(&cluster, &idata_jobs, SchedulerKind::Tetrium, 7);
-    idata.total_wan_gb += moved_gb;
+                    j
+                })
+                .collect();
+            let mut r = run(cluster, &idata_jobs, SchedulerKind::Tetrium, 7);
+            r.total_wan_gb += moved;
+            r
+        }
+    }));
+    let mut results = run_cells(cells).into_iter();
+    let tetrium = results.next().unwrap();
+    let inplace = results.next().unwrap();
+    let central = results.next().unwrap();
+    let fs = results.next().unwrap();
+    let itask = results.next().unwrap();
+    let idata = results.next().unwrap();
 
     println!("\n(a) reduction in average response time");
     println!(
@@ -70,12 +89,12 @@ pub fn run_fig() {
         "variant", "vs In-Place", "vs Centralized"
     );
     let mut rows = Vec::new();
-    for r in [&tetrium, &fs, &itask, &idata] {
-        let name = if std::ptr::eq(r, &idata) {
-            "tetrium+i-data"
-        } else {
-            r.scheduler.as_str()
-        };
+    for (r, name) in [
+        (&tetrium, tetrium.scheduler.as_str()),
+        (&fs, fs.scheduler.as_str()),
+        (&itask, itask.scheduler.as_str()),
+        (&idata, "tetrium+i-data"),
+    ] {
         let vs_ip = rt_reduction(&inplace, r);
         let vs_ce = rt_reduction(&central, r);
         println!("{name:<16} {vs_ip:>13.0}% {vs_ce:>15.0}%");
@@ -87,9 +106,7 @@ pub fn run_fig() {
             "wan_gb": r.total_wan_gb,
         }));
     }
-    println!(
-        "(paper: Tetrium 42% / 50%; Tetrium+FS 26% / 35%; +I-task and +I-data below Tetrium)"
-    );
+    println!("(paper: Tetrium 42% / 50%; Tetrium+FS 26% / 35%; +I-task and +I-data below Tetrium)");
 
     println!("\n(b) CDF of per-job reduction vs In-Place / vs Centralized");
     let cdf_ip = Cdf::new(

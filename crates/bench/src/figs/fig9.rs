@@ -5,35 +5,67 @@
 //! average response time vs In-Place. The paper finds Remote-First +
 //! Longest-First best, with most of the gain from the map-side rule.
 
-use crate::{banner, fifty_sites, run, rt_reduction, trace_workload, write_record};
+use crate::runner::{cell, run_cells, Cell, CellFn};
+use crate::{banner, fifty_sites, rt_reduction, run, trace_workload, write_record};
 use tetrium::core::{MapOrdering, ReduceOrdering, TetriumConfig};
 use tetrium::SchedulerKind;
 
-/// Runs the 2×2 ordering grid.
+/// Runs the 2×2 ordering grid plus the In-Place baseline as five parallel
+/// cells.
 pub fn run_fig() {
     banner("fig9", "task ordering strategies (vs In-Place)");
     let cluster = fifty_sites(1);
     let jobs = trace_workload(&cluster, 3);
-    let inplace = run(&cluster, &jobs, SchedulerKind::InPlace, 9);
 
     let combos = [
-        ("remote-first + longest-first", MapOrdering::RemoteFirstSpread, ReduceOrdering::LongestFirst),
-        ("remote-first + random", MapOrdering::RemoteFirstSpread, ReduceOrdering::Random),
-        ("local-first + longest-first", MapOrdering::LocalFirst, ReduceOrdering::LongestFirst),
-        ("local-first + random", MapOrdering::LocalFirst, ReduceOrdering::Random),
+        (
+            "remote-first + longest-first",
+            MapOrdering::RemoteFirstSpread,
+            ReduceOrdering::LongestFirst,
+        ),
+        (
+            "remote-first + random",
+            MapOrdering::RemoteFirstSpread,
+            ReduceOrdering::Random,
+        ),
+        (
+            "local-first + longest-first",
+            MapOrdering::LocalFirst,
+            ReduceOrdering::LongestFirst,
+        ),
+        (
+            "local-first + random",
+            MapOrdering::LocalFirst,
+            ReduceOrdering::Random,
+        ),
     ];
-    let mut rows = Vec::new();
+    let mut cells: Vec<(Cell, CellFn<'_, _>)> =
+        vec![cell(Cell::new("fig9", "in-place", "trace-50", 9), || {
+            run(&cluster, &jobs, SchedulerKind::InPlace, 9)
+        })];
     for (name, map_o, red_o) in combos {
-        let r = run(
-            &cluster,
-            &jobs,
-            SchedulerKind::TetriumWith(TetriumConfig {
-                map_ordering: map_o,
-                reduce_ordering: red_o,
-                ..TetriumConfig::default()
-            }),
-            9,
-        );
+        cells.push(cell(Cell::new("fig9", name, "trace-50", 9), {
+            let cluster = &cluster;
+            let jobs = &jobs;
+            move || {
+                run(
+                    cluster,
+                    jobs,
+                    SchedulerKind::TetriumWith(TetriumConfig {
+                        map_ordering: map_o,
+                        reduce_ordering: red_o,
+                        ..TetriumConfig::default()
+                    }),
+                    9,
+                )
+            }
+        }));
+    }
+    let mut results = run_cells(cells).into_iter();
+    let inplace = results.next().unwrap();
+
+    let mut rows = Vec::new();
+    for ((name, _, _), r) in combos.iter().zip(results) {
         let red = rt_reduction(&inplace, &r);
         println!("  {name:<32} {red:>6.0}%");
         rows.push(serde_json::json!({"combo": name, "vs_inplace_pct": red}));

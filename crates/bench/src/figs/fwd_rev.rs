@@ -4,32 +4,51 @@
 //! 45% for the method that evaluates both directions and keeps the better,
 //! concluding the improvement is marginal and adopting forward.
 
-use crate::{banner, fifty_sites, run, rt_reduction, trace_workload, write_record};
+use crate::runner::{cell, run_cells, Cell};
+use crate::{banner, fifty_sites, rt_reduction, run, trace_workload, write_record};
 use tetrium::core::scheduler::StagePlanning;
 use tetrium::core::TetriumConfig;
 use tetrium::SchedulerKind;
 
-/// Runs both planners against In-Place.
+/// Runs both planners against In-Place — three parallel cells.
 pub fn run_fig() {
     banner("fwd_rev", "forward vs best-of-forward/reverse planning");
     let cluster = fifty_sites(1);
     let jobs = trace_workload(&cluster, 5);
-    let inplace = run(&cluster, &jobs, SchedulerKind::InPlace, 13);
-    let forward = run(&cluster, &jobs, SchedulerKind::Tetrium, 13);
-    let mixed = run(
-        &cluster,
-        &jobs,
-        SchedulerKind::TetriumWith(TetriumConfig {
-            planning: StagePlanning::BestOfForwardReverse,
-            ..TetriumConfig::default()
+    let cells = vec![
+        cell(Cell::new("fwd_rev", "in-place", "trace-50", 13), || {
+            run(&cluster, &jobs, SchedulerKind::InPlace, 13)
         }),
-        13,
-    );
+        cell(Cell::new("fwd_rev", "forward", "trace-50", 13), || {
+            run(&cluster, &jobs, SchedulerKind::Tetrium, 13)
+        }),
+        cell(
+            Cell::new("fwd_rev", "best-of-fwd-rev", "trace-50", 13),
+            || {
+                run(
+                    &cluster,
+                    &jobs,
+                    SchedulerKind::TetriumWith(TetriumConfig {
+                        planning: StagePlanning::BestOfForwardReverse,
+                        ..TetriumConfig::default()
+                    }),
+                    13,
+                )
+            },
+        ),
+    ];
+    let mut results = run_cells(cells).into_iter();
+    let inplace = results.next().unwrap();
+    let forward = results.next().unwrap();
+    let mixed = results.next().unwrap();
     let f = rt_reduction(&inplace, &forward);
     let m = rt_reduction(&inplace, &mixed);
     println!("  forward            {f:>6.0}%   (paper: 42%)");
     println!("  best of fwd/rev    {m:>6.0}%   (paper: 45%)");
-    println!("  difference         {:>6.1} points (paper: ~3, 'marginal')", m - f);
+    println!(
+        "  difference         {:>6.1} points (paper: ~3, 'marginal')",
+        m - f
+    );
     write_record(
         "fwd_rev",
         &serde_json::json!({

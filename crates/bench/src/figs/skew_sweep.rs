@@ -4,14 +4,19 @@
 //! `e`; the paper reports gains growing with skew (slot skew 0→1.6 adds
 //! ~51%, bandwidth skew ~37%), since imbalance is what placement can fix.
 
-use crate::{banner, calibrated_trace, quick_mode, run, rt_reduction, write_record};
+use crate::runner::{cell, run_cells, Cell, CellFn};
+use crate::{banner, calibrated_trace, quick_mode, rt_reduction, run, write_record};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tetrium::cluster::zipf_cluster;
 use tetrium::SchedulerKind;
+use tetrium_cluster::Cluster;
+use tetrium_jobs::Job;
 use tetrium_workload::trace_like_jobs;
 
 /// Sweeps the Zipf exponent for slots and for bandwidth independently.
+/// Clusters and workloads are generated up front; the (skew, scheduler)
+/// grid then runs as parallel cells.
 pub fn run_fig() {
     banner("skew_sweep", "gains vs resource skew (Zipf exponent)");
     let exponents: &[f64] = if quick_mode() {
@@ -21,24 +26,42 @@ pub fn run_fig() {
     };
     let n_jobs = if quick_mode() { 6 } else { 14 };
     println!("{:>18} {:>14}", "skew", "RT vs In-Place");
-    let mut rows = Vec::new();
-    for (label, slot_e, bw_e) in exponents
+    let configs: Vec<(String, f64, f64, Cluster, Vec<Job>)> = exponents
         .iter()
         .map(|&e| (format!("slots e={e}"), e, 0.0))
         .chain(exponents.iter().map(|&e| (format!("bw    e={e}"), 0.0, e)))
-    {
-        let mut crng = StdRng::seed_from_u64(64);
-        let cluster = zipf_cluster(20, slot_e, bw_e, 4000, &mut crng);
-        let mut params = calibrated_trace();
-        params.max_tasks = params.max_tasks.min(400);
-        // The 20-site Zipf clusters have ~4x fewer slots than the 50-site
-        // preset; tighten arrivals so contention stays comparable.
-        params.mean_interarrival_secs = 30.0;
-        params.median_input_gb = 30.0;
-        let mut rng = StdRng::seed_from_u64(65);
-        let jobs = trace_like_jobs(&cluster, n_jobs, &params, &mut rng);
-        let inplace = run(&cluster, &jobs, SchedulerKind::InPlace, 15);
-        let tetrium = run(&cluster, &jobs, SchedulerKind::Tetrium, 15);
+        .map(|(label, slot_e, bw_e)| {
+            let mut crng = StdRng::seed_from_u64(64);
+            let cluster = zipf_cluster(20, slot_e, bw_e, 4000, &mut crng);
+            let mut params = calibrated_trace();
+            params.max_tasks = params.max_tasks.min(400);
+            // The 20-site Zipf clusters have ~4x fewer slots than the
+            // 50-site preset; tighten arrivals so contention stays
+            // comparable.
+            params.mean_interarrival_secs = 30.0;
+            params.median_input_gb = 30.0;
+            let mut rng = StdRng::seed_from_u64(65);
+            let jobs = trace_like_jobs(&cluster, n_jobs, &params, &mut rng);
+            (label, slot_e, bw_e, cluster, jobs)
+        })
+        .collect();
+    let mut grid: Vec<(Cell, CellFn<'_, _>)> = Vec::new();
+    for (label, _, _, cluster, jobs) in &configs {
+        for (sname, kind) in [
+            ("in-place", SchedulerKind::InPlace),
+            ("tetrium", SchedulerKind::Tetrium),
+        ] {
+            grid.push(cell(Cell::new("skew_sweep", sname, label.clone(), 15), {
+                move || run(cluster, jobs, kind, 15)
+            }));
+        }
+    }
+    let mut results = run_cells(grid).into_iter();
+
+    let mut rows = Vec::new();
+    for (label, slot_e, bw_e, _, _) in &configs {
+        let inplace = results.next().unwrap();
+        let tetrium = results.next().unwrap();
         let red = rt_reduction(&inplace, &tetrium);
         println!("{label:>18} {red:>13.0}%");
         rows.push(serde_json::json!({

@@ -4,17 +4,27 @@
 //! Tetris, attributed to Tetris's pre-configured static resource demands
 //! versus Tetrium's treatment of bandwidth as fungible.
 
+use crate::runner::{cell, run_cells, Cell};
 use crate::{banner, fifty_sites, run, trace_workload, write_record};
 use tetrium::metrics::{per_job_reduction, reduction_pct, Cdf};
 use tetrium::SchedulerKind;
 
-/// Runs the comparison.
+/// Runs the comparison — two parallel cells.
 pub fn run_fig() {
     banner("vs_tetris", "Tetrium vs Tetris packing");
     let cluster = fifty_sites(1);
     let jobs = trace_workload(&cluster, 6);
-    let tetris = run(&cluster, &jobs, SchedulerKind::Tetris, 14);
-    let tetrium = run(&cluster, &jobs, SchedulerKind::Tetrium, 14);
+    let cells = vec![
+        cell(Cell::new("vs_tetris", "tetris", "trace-50", 14), || {
+            run(&cluster, &jobs, SchedulerKind::Tetris, 14)
+        }),
+        cell(Cell::new("vs_tetris", "tetrium", "trace-50", 14), || {
+            run(&cluster, &jobs, SchedulerKind::Tetrium, 14)
+        }),
+    ];
+    let mut results = run_cells(cells).into_iter();
+    let tetris = results.next().unwrap();
+    let tetrium = results.next().unwrap();
     let avg = reduction_pct(tetris.avg_response(), tetrium.avg_response());
     let per_job = Cdf::new(
         per_job_reduction(&tetris, &tetrium)

@@ -10,20 +10,26 @@
 //! absolute numbers are not comparable to the paper's testbed either way —
 //! the *shape* (who wins, rough factors, trends over knobs) is the
 //! reproduction target (see EXPERIMENTS.md).
+//!
+//! Parallelism: figures run their simulation cells across worker threads
+//! (`TETRIUM_THREADS`, default all cores) via [`runner`]; output stays
+//! byte-identical to a sequential run.
 
 pub mod figs;
 mod record;
+pub mod runner;
 
 pub use record::{quick_mode, write_record};
+pub use runner::{cell, run_cells, run_cells_with, thread_count, Cell};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tetrium::{run_workload, SchedulerKind};
 use tetrium_cluster::Cluster;
 use tetrium_jobs::Job;
 use tetrium_metrics::reduction_pct;
 use tetrium_sim::{EngineConfig, RunReport};
 use tetrium_workload::TraceParams;
-use tetrium::{run_workload, SchedulerKind};
 
 /// The 50-site trace-driven cluster used by Figs 8–12 (§6.1).
 pub fn fifty_sites(seed: u64) -> Cluster {

@@ -42,8 +42,7 @@ mod tests {
     fn records_round_trip() {
         let v = serde_json::json!({"id": "test", "rows": [1, 2, 3]});
         let path = write_record("_harness_selftest", &v).expect("writable target dir");
-        let back: Value =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back["rows"][2], 3);
         let _ = std::fs::remove_file(path);
     }

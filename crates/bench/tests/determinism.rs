@@ -1,0 +1,103 @@
+//! The parallel runner's determinism contract: the same cell grid run on
+//! one worker and on four produces byte-identical formatted output (see
+//! DESIGN.md — everything simulation-derived is covered; only measured
+//! wall-clock values, like Fig 7's decision times, are excluded).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::{run_workload, SchedulerKind};
+use tetrium_bench::runner::CellFn;
+use tetrium_bench::{cell, run_cells_with, thread_count, Cell};
+use tetrium_cluster::{Cluster, Site};
+use tetrium_sim::EngineConfig;
+use tetrium_workload::{trace_like_jobs, TraceParams};
+
+fn small_cluster() -> Cluster {
+    Cluster::new(
+        (0..4)
+            .map(|i| Site::new(format!("s{i}"), 6 + i, 0.5, 0.5))
+            .collect(),
+    )
+}
+
+/// Runs a small scheduler × seed grid and renders it the way a figure
+/// would: fixed-width rows in cell order.
+fn render_grid(threads: usize) -> String {
+    let cluster = small_cluster();
+    let params = TraceParams {
+        median_input_gb: 2.0,
+        mean_interarrival_secs: 10.0,
+        mean_task_secs: 1.0,
+        tasks_per_gb: 2.0,
+        max_tasks: 20,
+        ..TraceParams::default()
+    };
+    let workloads: Vec<(u64, Vec<tetrium_jobs::Job>)> = [2u64, 3]
+        .into_iter()
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (seed, trace_like_jobs(&cluster, 4, &params, &mut rng))
+        })
+        .collect();
+
+    let mut grid: Vec<(Cell, CellFn<'_, _>)> = Vec::new();
+    for (seed, jobs) in &workloads {
+        for (name, kind) in [
+            ("tetrium", SchedulerKind::Tetrium),
+            ("in-place", SchedulerKind::InPlace),
+            ("iridium", SchedulerKind::Iridium),
+        ] {
+            grid.push(cell(Cell::new("det-test", name, "mini-trace", *seed), {
+                let cluster = &cluster;
+                move || {
+                    let r = run_workload(
+                        cluster.clone(),
+                        jobs.clone(),
+                        kind,
+                        EngineConfig::trace_like(*seed),
+                    )
+                    .expect("completes");
+                    format!(
+                        "{name:<10} seed={seed} avg={:.6} wan={:.6}",
+                        r.avg_response(),
+                        r.total_wan_gb
+                    )
+                }
+            }));
+        }
+    }
+    let mut out = String::new();
+    for line in run_cells_with(threads, grid) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn one_and_four_workers_render_identical_output() {
+    let sequential = render_grid(1);
+    let parallel = render_grid(4);
+    assert!(
+        sequential.lines().count() >= 6,
+        "grid should produce one row per cell"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "output must not depend on thread count"
+    );
+}
+
+#[test]
+fn tetrium_threads_env_var_controls_worker_count() {
+    // Process-global env: this is the only test in the workspace that sets
+    // TETRIUM_THREADS.
+    std::env::set_var("TETRIUM_THREADS", "3");
+    assert_eq!(thread_count(), 3);
+    std::env::set_var("TETRIUM_THREADS", "0");
+    assert_eq!(thread_count(), 1, "floor at one worker");
+    std::env::set_var("TETRIUM_THREADS", "not-a-number");
+    assert_eq!(thread_count(), 1, "garbage falls back to sequential");
+    std::env::remove_var("TETRIUM_THREADS");
+    assert!(thread_count() >= 1);
+}

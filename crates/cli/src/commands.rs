@@ -106,8 +106,7 @@ fn generate(args: &Args) -> Result<(), String> {
     let description = format!(
         "kind={kind} sites={sites} jobs={jobs_n} seed={seed} interarrival={interarrival} scale={scale}"
     );
-    let scenario =
-        Scenario::new(description, cluster, jobs).map_err(|e| e.to_string())?;
+    let scenario = Scenario::new(description, cluster, jobs).map_err(|e| e.to_string())?;
     scenario.save(out).map_err(|e| e.to_string())?;
     println!(
         "wrote {out}: {} jobs, {} sites, {:.1} GB total input",
@@ -119,7 +118,15 @@ fn generate(args: &Args) -> Result<(), String> {
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    args.allow_only(&["scenario", "scheduler", "rho", "epsilon", "seed", "json", "trace"])?;
+    args.allow_only(&[
+        "scenario",
+        "scheduler",
+        "rho",
+        "epsilon",
+        "seed",
+        "json",
+        "trace",
+    ])?;
     let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
     let rho: f64 = args.get_or("rho", 1.0)?;
     let epsilon: f64 = args.get_or("epsilon", 1.0)?;
@@ -128,8 +135,8 @@ fn run(args: &Args) -> Result<(), String> {
 
     let mut cfg = EngineConfig::trace_like(seed);
     cfg.record_trace = args.get("trace").is_some();
-    let report = run_workload(scenario.cluster, scenario.jobs, kind, cfg)
-        .map_err(|e| e.to_string())?;
+    let report =
+        run_workload(scenario.cluster, scenario.jobs, kind, cfg).map_err(|e| e.to_string())?;
 
     println!(
         "{}: {} jobs, avg response {:.1} s, p90 {:.1} s, WAN {:.1} GB, makespan {:.1} s",
@@ -234,7 +241,11 @@ mod tests {
         dispatch(&sv(&["run", "--scenario", out, "--scheduler", "swag"])).unwrap();
         let trace_out = dir.join("trace.json");
         dispatch(&sv(&[
-            "run", "--scenario", out, "--trace", trace_out.to_str().unwrap(),
+            "run",
+            "--scenario",
+            out,
+            "--trace",
+            trace_out.to_str().unwrap(),
         ]))
         .unwrap();
         let body = std::fs::read_to_string(&trace_out).unwrap();

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn apply_touches_only_target_site() {
-        let c = Cluster::new(vec![Site::new("a", 10, 1.0, 1.0), Site::new("b", 10, 1.0, 1.0)]);
+        let c = Cluster::new(vec![
+            Site::new("a", 10, 1.0, 1.0),
+            Site::new("b", 10, 1.0, 1.0),
+        ]);
         let d = CapacityDrop::new(SiteId(1), 5.0, 0.5);
         let c2 = d.apply(&c);
         assert_eq!(c2.site(SiteId(0)).slots, 10);

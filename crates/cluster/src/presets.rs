@@ -32,7 +32,9 @@ pub fn ec2_eight_regions() -> Cluster {
 /// cycle over the same heterogeneity envelope as the 8-region setup.
 pub fn ec2_thirty_instances() -> Cluster {
     let slots = [16, 4, 8, 12, 4, 16, 8, 4, 12, 8];
-    let bw = [0.125, 0.0125, 0.1, 0.05, 0.025, 0.125, 0.0625, 0.0175, 0.1, 0.05];
+    let bw = [
+        0.125, 0.0125, 0.1, 0.05, 0.025, 0.125, 0.0625, 0.0175, 0.1, 0.05,
+    ];
     let sites = (0..30)
         .map(|i| {
             Site::new(
@@ -152,7 +154,7 @@ mod tests {
         let max = c.iter().map(|(_, s)| s.slots).max().unwrap();
         let min = c.iter().map(|(_, s)| s.slots).min().unwrap();
         assert!(min >= 25);
-        assert!(max <= 5001 && max >= 1000, "max slots {max}");
+        assert!((1000..=5001).contains(&max), "max slots {max}");
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn skew_statistics() {
-        let uniform = Cluster::new(vec![Site::new("a", 5, 1.0, 1.0), Site::new("b", 5, 1.0, 1.0)]);
+        let uniform = Cluster::new(vec![
+            Site::new("a", 5, 1.0, 1.0),
+            Site::new("b", 5, 1.0, 1.0),
+        ]);
         assert!(uniform.slot_skew_cv().abs() < 1e-12);
         assert!(c3().slot_skew_cv() > 0.4);
     }

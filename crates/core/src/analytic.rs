@@ -173,15 +173,7 @@ mod tests {
         let mut moved = vec![vec![0.0; 3]; 3];
         moved[1][0] = 15.7;
         moved[2][0] = 21.4;
-        let tm = evaluate_map_counts(
-            &moved,
-            &[571, 143, 286],
-            2.0,
-            &UP,
-            &DOWN,
-            &SLOTS,
-            true,
-        );
+        let tm = evaluate_map_counts(&moved, &[571, 143, 286], 2.0, &UP, &DOWN, &SLOTS, true);
         // Upload bottleneck at site 2: 15.7/1 = 15.7 s; compute 15 waves x 2.
         assert!((tm.transfer - 15.7).abs() < 1e-9);
         assert!((tm.compute - 30.0).abs() < 1e-9);

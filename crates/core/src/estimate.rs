@@ -73,11 +73,7 @@ pub fn estimate_job(job: &Job, cluster: &Cluster) -> Result<JobEstimate, LpError
             }
         };
         let total: f64 = input.iter().sum();
-        let has_consumer = job
-            .stages
-            .iter()
-            .skip(si + 1)
-            .any(|m| m.deps.contains(&si));
+        let has_consumer = job.stages.iter().skip(si + 1).any(|m| m.deps.contains(&si));
         match stage.kind {
             StageKind::Map => {
                 let tasks_from = largest_remainder_round(&input, stage.num_tasks);

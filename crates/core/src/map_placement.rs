@@ -245,7 +245,13 @@ pub fn solve_map_placement(p: &MapProblem) -> Result<MapPlacement, LpError> {
     for &(x, y) in &pairs {
         fractions[x][y] = sol.values[var(x, y)].max(0.0);
     }
-    Ok(finish(p, n, fractions, sol.values[t_aggr], sol.values[t_map]))
+    Ok(finish(
+        p,
+        n,
+        fractions,
+        sol.values[t_aggr],
+        sol.values[t_map],
+    ))
 }
 
 /// Slot-proportional fallback used when a stage has no data to move.

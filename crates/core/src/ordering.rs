@@ -41,11 +41,7 @@ pub type MapTaskRef = (usize, SiteId, f64, SiteId);
 ///
 /// `up_gbps` provides the source uplink bandwidths used to estimate fetch
 /// times for `RemoteFirstSpread`.
-pub fn order_map_tasks(
-    ordering: MapOrdering,
-    tasks: &[MapTaskRef],
-    up_gbps: &[f64],
-) -> Vec<usize> {
+pub fn order_map_tasks(ordering: MapOrdering, tasks: &[MapTaskRef], up_gbps: &[f64]) -> Vec<usize> {
     match ordering {
         MapOrdering::Fifo => tasks.iter().map(|t| t.0).collect(),
         MapOrdering::LocalFirst => {
@@ -108,7 +104,11 @@ pub fn order_map_tasks(
 ///
 /// `inputs` is `(task index, input volume GB)`; `seed` drives the `Random`
 /// strategy (a small xorshift so this crate stays dependency-light).
-pub fn order_reduce_tasks(ordering: ReduceOrdering, inputs: &[(usize, f64)], seed: u64) -> Vec<usize> {
+pub fn order_reduce_tasks(
+    ordering: ReduceOrdering,
+    inputs: &[(usize, f64)],
+    seed: u64,
+) -> Vec<usize> {
     match ordering {
         ReduceOrdering::LongestFirst => {
             let mut v: Vec<(usize, f64)> = inputs.to_vec();
@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn fifo_keeps_order() {
         let tasks = vec![(5, s(0), 1.0, s(1)), (2, s(0), 1.0, s(0))];
-        assert_eq!(order_map_tasks(MapOrdering::Fifo, &tasks, &[1.0, 1.0]), vec![5, 2]);
+        assert_eq!(
+            order_map_tasks(MapOrdering::Fifo, &tasks, &[1.0, 1.0]),
+            vec![5, 2]
+        );
     }
 
     #[test]

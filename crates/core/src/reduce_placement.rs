@@ -148,9 +148,7 @@ pub fn solve_reduce_placement(p: &ReduceProblem) -> Result<ReducePlacement, LpEr
     let sol = lp.solve()?;
     let fractions: Vec<f64> = (0..n).map(|x| sol.values[x].max(0.0)).collect();
     let tasks_at = largest_remainder_round(&fractions, p.num_tasks);
-    let wan_gb: f64 = (0..n)
-        .map(|x| p.shuffle_gb[x] * (1.0 - fractions[x]))
-        .sum();
+    let wan_gb: f64 = (0..n).map(|x| p.shuffle_gb[x] * (1.0 - fractions[x])).sum();
     // Recompute the compute time when the LP ignored it (Iridium).
     let compute = if p.network_only {
         let mut c = 0.0f64;

@@ -44,10 +44,7 @@ pub struct ReplicatedPartition {
 /// # Panics
 ///
 /// Panics if any partition has no replicas or refers to an unknown site.
-pub fn select_replicas(
-    partitions: &[ReplicatedPartition],
-    cluster: &Cluster,
-) -> Vec<SiteId> {
+pub fn select_replicas(partitions: &[ReplicatedPartition], cluster: &Cluster) -> Vec<SiteId> {
     let n = cluster.len();
     let mut load = vec![0.0f64; n];
     // Largest partitions first (LPT): bounds imbalance like classic

@@ -81,7 +81,11 @@ pub fn plan_reverse(map_p: &MapProblem, red: &ReduceStageSpec) -> Result<JointPl
     let n = map_p.slots.len();
     let total_slots: f64 = map_p.slots.iter().map(|&s| s as f64).sum();
     // (i) Reduce fractions proportional to slots.
-    let r: Vec<f64> = map_p.slots.iter().map(|&s| s as f64 / total_slots).collect();
+    let r: Vec<f64> = map_p
+        .slots
+        .iter()
+        .map(|&s| s as f64 / total_slots)
+        .collect();
     let total_inter: f64 = map_p.input_gb.iter().sum::<f64>() * red.map_output_ratio;
 
     // (ii) Choose the intermediate distribution minimizing shuffle time for

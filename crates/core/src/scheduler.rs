@@ -28,7 +28,7 @@ use crate::ordering::{order_map_tasks, order_reduce_tasks, MapOrdering, ReduceOr
 use crate::reduce_placement::{solve_reduce_placement, ReduceProblem};
 use crate::reverse::{plan_best, ReduceStageSpec};
 use crate::wan::{reduce_min_wan, wan_budget, WanKnob};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tetrium_cluster::SiteId;
 use tetrium_jobs::{largest_remainder_round, JobId, StageKind};
 use tetrium_sim::{
@@ -189,6 +189,7 @@ impl TetriumScheduler {
 
     /// Plans one stage with the placement LPs. Falls back to the site-local
     /// plan on solver failure.
+    #[allow(clippy::too_many_arguments)]
     fn plan_stage_lp(
         &mut self,
         snap: &Snapshot,
@@ -196,6 +197,8 @@ impl TetriumScheduler {
         st: &StageSnapshot,
         caps_changed: bool,
         slots: &[usize],
+        up: &[f64],
+        down: &[f64],
     ) -> Outcome {
         let n = snap.sites.len();
         let unl: Vec<usize> = st
@@ -214,8 +217,6 @@ impl TetriumScheduler {
         // Guard against fully drained sites: a single phantom slot keeps the
         // wave model finite while strongly steering work elsewhere.
         let slots: Vec<usize> = slots.iter().map(|&s| s.max(1)).collect();
-        let up = snap.up_vec();
-        let down = snap.down_vec();
 
         match st.kind {
             StageKind::Map => {
@@ -253,14 +254,13 @@ impl TetriumScheduler {
                     input_gb: input_gb.clone(),
                     tasks_from: tasks_from.clone(),
                     task_secs: st.est_task_secs,
-                    up_gbps: up.clone(),
-                    down_gbps: down.clone(),
+                    up_gbps: up.to_vec(),
+                    down_gbps: down.to_vec(),
                     slots: slots.clone(),
                     wan_budget_gb: budget,
                     forced_dest_gb: None,
-                    next_stage_ratio: (self.cfg.lookahead
-                        && has_consumer(job, st.stage_index))
-                    .then(|| stage_ratio(job, st.stage_index)),
+                    next_stage_ratio: (self.cfg.lookahead && has_consumer(job, st.stage_index))
+                        .then(|| stage_ratio(job, st.stage_index)),
                     // Prune dominated destinations on large clusters so one
                     // placement decision stays near the paper's ~100 ms.
                     dest_limit: (n > 16).then_some(12),
@@ -289,8 +289,8 @@ impl TetriumScheduler {
                             &vec![vec![0.0; n]; n],
                             &tasks_from,
                             st.est_task_secs,
-                            &up,
-                            &down,
+                            up,
+                            down,
                             &slots,
                             true,
                         )
@@ -340,7 +340,7 @@ impl TetriumScheduler {
                         site_of.insert(t, SiteId(x));
                     }
                 }
-                let order = order_map_tasks(self.cfg.map_ordering, &triples, &up);
+                let order = order_map_tasks(self.cfg.map_ordering, &triples, up);
                 let ordered = order.into_iter().map(|t| (t, site_of[&t])).collect();
                 Outcome {
                     dest_counts: dest,
@@ -365,9 +365,8 @@ impl TetriumScheduler {
                         .iter()
                         .filter(|t| t.phase != TaskPhase::Unlaunched)
                         .filter_map(|t| {
-                            t.running_site.map(|site| {
-                                t.share * (full_total - st.input_gb[site.index()])
-                            })
+                            t.running_site
+                                .map(|site| t.share * (full_total - st.input_gb[site.index()]))
                         })
                         .sum();
                     let w = wan_budget(self.cfg.wan, full_min, full_total);
@@ -377,14 +376,13 @@ impl TetriumScheduler {
                     shuffle_gb: shuffle_gb.clone(),
                     num_tasks: unl.len(),
                     task_secs: st.est_task_secs,
-                    up_gbps: up.clone(),
-                    down_gbps: down.clone(),
+                    up_gbps: up.to_vec(),
+                    down_gbps: down.to_vec(),
                     slots: slots.clone(),
                     wan_budget_gb: budget,
                     network_only: matches!(self.cfg.placement, PlacementPolicy::IridiumNet),
-                    next_stage_out_gb: (self.cfg.lookahead
-                        && has_consumer(job, st.stage_index))
-                    .then(|| total * stage_ratio(job, st.stage_index)),
+                    next_stage_out_gb: (self.cfg.lookahead && has_consumer(job, st.stage_index))
+                        .then(|| total * stage_ratio(job, st.stage_index)),
                 };
                 let (mut tasks_at, est) = match solve_reduce_placement(&problem) {
                     Ok(p) => (p.tasks_at, p.times.total()),
@@ -401,8 +399,8 @@ impl TetriumScheduler {
                             &frac,
                             &tasks_at,
                             st.est_task_secs,
-                            &up,
-                            &down,
+                            up,
+                            down,
                             &slots,
                             true,
                         )
@@ -573,6 +571,16 @@ impl Scheduler for TetriumScheduler {
 
     fn schedule(&mut self, snap: &Snapshot) -> Vec<StagePlan> {
         self.instance += 1;
+        // Evict cached state for jobs absent from the snapshot (finished or
+        // not yet arrived): both maps are keyed by (job, stage) and would
+        // otherwise grow without bound over a long workload.
+        let live: HashSet<JobId> = snap.jobs.iter().map(|j| j.id).collect();
+        self.plan_cache.retain(|(id, _), _| live.contains(id));
+        self.prev_dest.retain(|(id, _), _| live.contains(id));
+        // Per-site capacity vectors, computed once per instance and shared by
+        // every stage planned below.
+        let up = snap.up_vec();
+        let down = snap.down_vec();
         // Resource-dynamics detection (§4.2) keys off slot-capacity changes:
         // available bandwidth fluctuates with every in-flight transfer, so
         // comparing it would re-trigger limited updates at every instance.
@@ -614,7 +622,7 @@ impl Scheduler for TetriumScheduler {
                     Some(c) => (c.ordered.clone(), c.dest_counts.clone(), c.est_total),
                     None => {
                         let outcome = if use_lp {
-                            self.plan_stage_lp(snap, job, st, caps_changed, &full_slots)
+                            self.plan_stage_lp(snap, job, st, caps_changed, &full_slots, &up, &down)
                         } else {
                             plan_stage_local(st, snap.sites.len())
                         };
@@ -695,7 +703,7 @@ impl Scheduler for TetriumScheduler {
                         let outcome = if empty {
                             plan_stage_local(st, snap.sites.len())
                         } else {
-                            self.plan_stage_lp(snap, job, st, caps_changed, &avail)
+                            self.plan_stage_lp(snap, job, st, caps_changed, &avail, &up, &down)
                         };
                         self.plan_cache.insert(
                             (job.id, st.stage_index),

@@ -43,7 +43,12 @@ pub struct Stage {
 
 impl Stage {
     /// Creates a root map stage reading the given external input.
-    pub fn root_map(input: DataDistribution, num_tasks: usize, task_secs: f64, output_ratio: f64) -> Self {
+    pub fn root_map(
+        input: DataDistribution,
+        num_tasks: usize,
+        task_secs: f64,
+        output_ratio: f64,
+    ) -> Self {
         assert!(num_tasks > 0, "a stage needs at least one task");
         Self {
             kind: StageKind::Map,
@@ -127,8 +132,7 @@ impl Stage {
             None => 0.0,
             Some(w) => {
                 let mean = 1.0 / w.len() as f64;
-                let var =
-                    w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / w.len() as f64;
+                let var = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / w.len() as f64;
                 var.sqrt() / mean
             }
         }

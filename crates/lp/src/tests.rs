@@ -137,11 +137,23 @@ fn tetrium_shaped_lp_solves() {
     p.set_objective(&[(3, 1.0), (4, 1.0)]);
     for x in 0..3 {
         // Upload: I_x (1 - r_x) / up_x <= Tshufl.
-        p.add_constraint(&[(x, -i[x] / up[x]), (3, -1.0)], Relation::Le, -i[x] / up[x]);
+        p.add_constraint(
+            &[(x, -i[x] / up[x]), (3, -1.0)],
+            Relation::Le,
+            -i[x] / up[x],
+        );
         // Download: (total - I_x) r_x / down_x <= Tshufl.
-        p.add_constraint(&[(x, (total - i[x]) / down[x]), (3, -1.0)], Relation::Le, 0.0);
+        p.add_constraint(
+            &[(x, (total - i[x]) / down[x]), (3, -1.0)],
+            Relation::Le,
+            0.0,
+        );
         // Compute: t_red * n_red * r_x / S_x <= Tred.
-        p.add_constraint(&[(x, t_red * n_red / slots[x]), (4, -1.0)], Relation::Le, 0.0);
+        p.add_constraint(
+            &[(x, t_red * n_red / slots[x]), (4, -1.0)],
+            Relation::Le,
+            0.0,
+        );
     }
     p.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Eq, 1.0);
     let sol = p.solve().unwrap();
@@ -207,13 +219,11 @@ fn strong_duality_holds_on_random_bounded_instances() {
     for _ in 0..40 {
         let n = rng.gen_range(2..4);
         let mut p = Problem::minimize(n);
-        let obj: Vec<(usize, f64)> =
-            (0..n).map(|i| (i, rng.gen_range(0.1..5.0))).collect();
+        let obj: Vec<(usize, f64)> = (0..n).map(|i| (i, rng.gen_range(0.1..5.0))).collect();
         p.set_objective(&obj);
         let mut rhs_list = Vec::new();
         for _ in 0..rng.gen_range(1..4) {
-            let terms: Vec<(usize, f64)> =
-                (0..n).map(|i| (i, rng.gen_range(0.1..4.0))).collect();
+            let terms: Vec<(usize, f64)> = (0..n).map(|i| (i, rng.gen_range(0.1..4.0))).collect();
             let rhs = rng.gen_range(1.0..10.0);
             p.add_constraint(&terms, Relation::Ge, rhs);
             rhs_list.push(rhs);
@@ -357,7 +367,7 @@ fn brute_force_min(
                 return best;
             }
             i -= 1;
-            if idx[i] + 1 <= k - (num_vars - i) {
+            if idx[i] < k - (num_vars - i) {
                 idx[i] += 1;
                 for j in i + 1..num_vars {
                     idx[j] = idx[j - 1] + 1;

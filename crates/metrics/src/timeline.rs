@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn copy_fraction() {
-        let trace = vec![
-            tr(0, 0.0, 0.0, 1.0, false),
-            tr(0, 0.0, 0.0, 1.0, true),
-        ];
+        let trace = vec![tr(0, 0.0, 0.0, 1.0, false), tr(0, 0.0, 0.0, 1.0, true)];
         assert_eq!(copy_win_fraction(&trace), 0.5);
         assert_eq!(copy_win_fraction(&[]), 0.0);
     }

@@ -264,9 +264,7 @@ impl FlowSim {
                     break (u64::MAX, usize::MAX);
                 };
                 let f = &self.flows[idx];
-                let valid = f.alive
-                    && f.group == Some(g)
-                    && key(f.join_drain + f.size_gb) == th;
+                let valid = f.alive && f.group == Some(g) && key(f.join_drain + f.size_gb) == th;
                 if valid {
                     break (th, idx);
                 }
@@ -318,17 +316,28 @@ impl FlowSim {
     /// downlink, in GB/s — the basis for available-bandwidth estimation
     /// (paper §5). Local flows consume nothing.
     pub fn link_usage(&mut self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.up_gbps.len();
+        let mut up = Vec::with_capacity(n);
+        let mut down = Vec::with_capacity(n);
+        self.link_usage_into(&mut up, &mut down);
+        (up, down)
+    }
+
+    /// Allocation-free variant of [`FlowSim::link_usage`]: clears and fills
+    /// the caller's buffers so a hot caller can reuse their capacity.
+    pub fn link_usage_into(&mut self, up: &mut Vec<f64>, down: &mut Vec<f64>) {
         self.refresh();
         let n = self.up_gbps.len();
-        let mut up = vec![0.0; n];
-        let mut down = vec![0.0; n];
+        up.clear();
+        up.resize(n, 0.0);
+        down.clear();
+        down.resize(n, 0.0);
         for g in &self.groups {
             if g.count > 0 {
                 up[g.src] += g.rate * g.count as f64;
                 down[g.dst] += g.rate * g.count as f64;
             }
         }
-        (up, down)
     }
 
     /// Recomputes group rates if any mutation happened since the last

@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn two_flows_share_a_link_equally() {
         // Both flows leave site 0 (uplink 4); receivers are unconstrained.
-        let rates = max_min_rates(&[f(0, 1), f(0, 2)], &[4.0, 9.0, 9.0], &[9.0; 3], );
+        let rates = max_min_rates(&[f(0, 1), f(0, 2)], &[4.0, 9.0, 9.0], &[9.0; 3]);
         assert!((rates[0] - 2.0).abs() < 1e-9);
         assert!((rates[1] - 2.0).abs() < 1e-9);
     }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 use tetrium_cluster::{CapacityDrop, Cluster, SiteId};
 use tetrium_jobs::{Job, JobId, StageKind};
@@ -45,6 +46,22 @@ enum FlowOwner {
     Copy(usize, usize, usize, u64),
 }
 
+/// Timeline of the attempt (original or speculative copy) that completed a
+/// task, recorded into the trace by [`Engine::finish_task`].
+#[derive(Debug, Clone, Copy)]
+struct TaskCompletion {
+    /// Site the winning attempt ran at.
+    site: SiteId,
+    /// When the winning attempt occupied its slot.
+    launched_at: f64,
+    /// When the winning attempt began computing.
+    compute_started: f64,
+    /// The attempt's sampled compute seconds (feeds adaptive batching).
+    secs: f64,
+    /// Whether a speculative copy, rather than the original, won.
+    was_copy: bool,
+}
+
 /// The execution engine. Construct with a cluster, a workload and a
 /// scheduler; call [`Engine::run`] to simulate to completion.
 pub struct Engine {
@@ -74,6 +91,12 @@ pub struct Engine {
     copies_won: usize,
     task_failures: usize,
     trace: Vec<TaskTrace>,
+    // Scratch buffers reused across scheduler invocations so the steady
+    // state of the event loop allocates nothing per invocation.
+    snapshot_scratch: Snapshot,
+    dispatch_scratch: Vec<Vec<(i64, usize, usize, usize)>>,
+    launch_scratch: Vec<(i64, usize, usize, usize)>,
+    usage_scratch: (Vec<f64>, Vec<f64>),
 }
 
 impl Engine {
@@ -100,11 +123,8 @@ impl Engine {
         let cur_up: Vec<f64> = cluster.iter().map(|(_, s)| s.up_gbps).collect();
         let cur_down: Vec<f64> = cluster.iter().map(|(_, s)| s.down_gbps).collect();
         let flows = FlowSim::new(cur_up.clone(), cur_down.clone());
-        let job_index: HashMap<JobId, usize> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (j.id, i))
-            .collect();
+        let job_index: HashMap<JobId, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
         assert_eq!(job_index.len(), jobs.len(), "job ids must be unique");
         let seed = cfg.seed;
         Self {
@@ -133,6 +153,10 @@ impl Engine {
             copies_won: 0,
             task_failures: 0,
             trace: Vec::new(),
+            snapshot_scratch: Snapshot::default(),
+            dispatch_scratch: Vec::new(),
+            launch_scratch: Vec::new(),
+            usage_scratch: (Vec::new(), Vec::new()),
         }
     }
 
@@ -145,7 +169,8 @@ impl Engine {
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> Result<RunReport, SimError> {
         for i in 0..self.jobs.len() {
-            self.events.push(self.jobs[i].job.arrival, Event::JobArrival(i));
+            self.events
+                .push(self.jobs[i].job.arrival, Event::JobArrival(i));
         }
         for (i, d) in self.drops.iter().enumerate() {
             self.events.push(d.at_time, Event::CapacityDrop(i));
@@ -248,7 +273,7 @@ impl Engine {
             };
             let st = &mut self.jobs[j].stages[s];
             st.status = StageStatus::Runnable;
-            st.input = Some(input);
+            st.input = Some(Arc::new(input));
             st.tasks = tasks;
             st.est_task_secs = (spec.task_secs * (1.0 + err)).max(1e-6);
             st.activated_at = Some(self.now);
@@ -273,7 +298,10 @@ impl Engine {
                 unreachable!("flow completion for a non-fetching task");
             };
             pending.retain(|k| *k != key);
-            (queued.pop(), task.run_site.expect("fetching task has a site"))
+            (
+                queued.pop(),
+                task.run_site.expect("fetching task has a site"),
+            )
         };
         if let Some((src, gb)) = open_next {
             let flow = self.flows.add_flow(src, site, gb);
@@ -306,7 +334,7 @@ impl Engine {
     }
 
     fn on_compute_done(&mut self, j: usize, s: usize, t: usize) {
-        let (site, secs) = {
+        let (site, secs, launched_at, compute_started) = {
             let task = &mut self.jobs[j].stages[s].tasks[t];
             if !matches!(task.state, TaskState::Computing { .. }) {
                 // A speculative copy already finished this task.
@@ -316,6 +344,8 @@ impl Engine {
             (
                 task.run_site.expect("running task has a site"),
                 task.actual_secs.unwrap_or(0.0),
+                task.launched_at.unwrap_or(self.now),
+                task.compute_started.unwrap_or(self.now),
             )
         };
         // Fail-over injection (§6.1 trace): the attempt is lost and the task
@@ -335,27 +365,41 @@ impl Engine {
         }
         self.occupied[site.index()] -= 1;
         self.cancel_copy(j, s, t);
-        self.finish_task(j, s, t, site, secs, false);
+        self.finish_task(
+            j,
+            s,
+            t,
+            TaskCompletion {
+                site,
+                launched_at,
+                compute_started,
+                secs,
+                was_copy: false,
+            },
+        );
     }
 
     /// Shared completion accounting for originals and winning copies:
-    /// materializes the task's output at `site`, advances stage/job state
-    /// and requests scheduling.
-    fn finish_task(&mut self, j: usize, s: usize, t: usize, site: SiteId, secs: f64, was_copy: bool) {
+    /// materializes the task's output at the attempt's site, advances
+    /// stage/job state and requests scheduling. `done` carries the winning
+    /// attempt's own timeline — a winning copy reports when *it* occupied a
+    /// slot and started computing, not the original's times, so the trace
+    /// never shows a negative fetch phase.
+    fn finish_task(&mut self, j: usize, s: usize, t: usize, done: TaskCompletion) {
+        let site = done.site;
         if self.cfg.record_trace {
-            let task = &self.jobs[j].stages[s].tasks[t];
             self.trace.push(TaskTrace {
                 job: self.jobs[j].job.id,
                 stage: s,
                 task: t,
                 site,
-                launched_at: task.launched_at.unwrap_or(self.now),
-                compute_started: (self.now - secs).max(0.0),
+                launched_at: done.launched_at,
+                compute_started: done.compute_started,
                 finished_at: self.now,
-                was_copy,
+                was_copy: done.was_copy,
             });
         }
-        self.recent_secs.push_back(secs);
+        self.recent_secs.push_back(done.secs);
         if self.recent_secs.len() > 64 {
             self.recent_secs.pop_front();
         }
@@ -412,14 +456,17 @@ impl Engine {
     /// Builds a snapshot, invokes the scheduler, applies its plans and
     /// dispatches launchable tasks. Returns the number launched.
     fn run_scheduler(&mut self) -> usize {
-        let snapshot = self.build_snapshot();
+        let mut snapshot = std::mem::take(&mut self.snapshot_scratch);
+        self.fill_snapshot(&mut snapshot);
         if snapshot.jobs.is_empty() {
+            self.snapshot_scratch = snapshot;
             return 0;
         }
         let started = Instant::now();
         let plans = self.scheduler.schedule(&snapshot);
         self.sched_wall_secs += started.elapsed().as_secs_f64();
         self.sched_invocations += 1;
+        self.snapshot_scratch = snapshot;
 
         for plan in plans {
             let j = *self
@@ -452,8 +499,14 @@ impl Engine {
     #[allow(clippy::needless_range_loop)]
     fn dispatch(&mut self) -> usize {
         let n = self.cluster.len();
-        // Collect launch candidates per site: (priority, j, s, t).
-        let mut per_site: Vec<Vec<(i64, usize, usize, usize)>> = vec![Vec::new(); n];
+        // Collect launch candidates per site: (priority, j, s, t). The
+        // per-site buckets and the per-site launch list are scratch fields so
+        // steady-state dispatch reuses their capacity.
+        let mut per_site = std::mem::take(&mut self.dispatch_scratch);
+        per_site.resize_with(n, Vec::new);
+        for bucket in &mut per_site {
+            bucket.clear();
+        }
         for (j, job) in self.jobs.iter().enumerate() {
             if !job.arrived || job.is_finished() {
                 continue;
@@ -472,6 +525,7 @@ impl Engine {
             }
         }
         let mut launched = 0;
+        let mut list = std::mem::take(&mut self.launch_scratch);
         for site in 0..n {
             let free = self.cur_slots[site].saturating_sub(self.occupied[site]);
             if free == 0 || per_site[site].is_empty() {
@@ -480,12 +534,16 @@ impl Engine {
             per_site[site].sort_unstable();
             let take = free.min(per_site[site].len());
             // Split the borrow: move the list out to launch against `self`.
-            let list: Vec<_> = per_site[site].drain(..take).collect();
-            for (_, j, s, t) in list {
+            list.clear();
+            list.extend(per_site[site].drain(..take));
+            for &(_, j, s, t) in &list {
                 self.launch(j, s, t, SiteId(site));
                 launched += 1;
             }
         }
+        list.clear();
+        self.launch_scratch = list;
+        self.dispatch_scratch = per_site;
         launched
     }
 
@@ -519,7 +577,7 @@ impl Engine {
             StageKind::Reduce => {
                 let input = self.jobs[j].stages[s]
                     .input
-                    .clone()
+                    .as_deref()
                     .expect("runnable stage has realized input");
                 for x in 0..self.cluster.len() {
                     let vol = share * input.at(SiteId(x));
@@ -620,7 +678,14 @@ impl Engine {
         }
     }
 
-    fn launch_copy(&mut self, j: usize, s: usize, t: usize, site: SiteId, _spec: SpeculationConfig) {
+    fn launch_copy(
+        &mut self,
+        j: usize,
+        s: usize,
+        t: usize,
+        site: SiteId,
+        _spec: SpeculationConfig,
+    ) {
         self.occupied[site.index()] += 1;
         let id = self.next_copy_id;
         self.next_copy_id += 1;
@@ -642,7 +707,7 @@ impl Engine {
             StageKind::Reduce => {
                 let input = self.jobs[j].stages[s]
                     .input
-                    .clone()
+                    .as_deref()
                     .expect("runnable stage has realized input");
                 for x in 0..self.cluster.len() {
                     let vol = share * input.at(SiteId(x));
@@ -670,7 +735,8 @@ impl Engine {
         self.copies_launched += 1;
         let computing = pending.is_empty();
         if computing {
-            self.events.push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
+            self.events
+                .push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
         }
         self.copies.insert(
             (j, s, t),
@@ -681,6 +747,8 @@ impl Engine {
                 queued,
                 computing,
                 secs,
+                launched_at: self.now,
+                compute_started: if computing { Some(self.now) } else { None },
             },
         );
     }
@@ -705,6 +773,7 @@ impl Engine {
         let copy = self.copies.get_mut(&(j, s, t)).expect("copy checked above");
         if copy.pending.is_empty() && !copy.computing {
             copy.computing = true;
+            copy.compute_started = Some(self.now);
             let secs = copy.secs;
             self.events
                 .push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
@@ -720,29 +789,39 @@ impl Engine {
         }
         let copy_site = copy.site;
         let copy_secs = copy.secs;
+        let copy_launched_at = copy.launched_at;
+        let copy_compute_started = copy.compute_started.unwrap_or(self.now);
         // The copy won: tear down the original (if it is still occupying a
         // slot — a failure injection may have returned it to the pool) and
         // complete the task here.
-        let (orig_site, orig_flows) = {
+        let (orig_site, orig_flows, orig_queued) = {
             let task = &mut self.jobs[j].stages[s].tasks[t];
-            let flows = match &task.state {
-                TaskState::Fetching { pending, .. } => pending.clone(),
-                _ => Vec::new(),
-            };
             if task.state == TaskState::Done {
                 // The original finished in the same instant; it won.
                 self.copies.remove(&(j, s, t));
                 self.occupied[copy_site.index()] -= 1;
                 return;
             }
+            let (flows, queued) = match &mut task.state {
+                TaskState::Fetching { pending, queued } => {
+                    (std::mem::take(pending), std::mem::take(queued))
+                }
+                _ => (Vec::new(), Vec::new()),
+            };
             let site = task.run_site;
             task.state = TaskState::Done;
-            (site, flows)
+            (site, flows, queued)
         };
+        // Refund WAN the original was charged for but will never move: the
+        // unsent remainder of in-flight fetches AND fetches still queued
+        // behind the concurrency cap (which were charged in full at launch).
         for key in orig_flows {
             let unsent = self.flows.remove_flow(key);
             self.flow_map.remove(&key);
             self.jobs[j].wan_gb -= unsent;
+        }
+        for (_, gb) in orig_queued {
+            self.jobs[j].wan_gb -= gb;
         }
         if let Some(site) = orig_site {
             self.occupied[site.index()] -= 1;
@@ -750,7 +829,18 @@ impl Engine {
         self.occupied[copy_site.index()] -= 1;
         self.copies.remove(&(j, s, t));
         self.copies_won += 1;
-        self.finish_task(j, s, t, copy_site, copy_secs, true);
+        self.finish_task(
+            j,
+            s,
+            t,
+            TaskCompletion {
+                site: copy_site,
+                launched_at: copy_launched_at,
+                compute_started: copy_compute_started,
+                secs: copy_secs,
+                was_copy: true,
+            },
+        );
     }
 
     /// Cancels a live copy after the original finished first.
@@ -758,31 +848,42 @@ impl Engine {
         let Some(copy) = self.copies.remove(&(j, s, t)) else {
             return;
         };
+        // Refund both the unsent remainder of in-flight fetches and fetches
+        // still queued behind the concurrency cap — the copy was charged for
+        // all of them up front at launch.
         for key in copy.pending {
             let unsent = self.flows.remove_flow(key);
             self.flow_map.remove(&key);
             self.jobs[j].wan_gb -= unsent;
+        }
+        for (_, gb) in copy.queued {
+            self.jobs[j].wan_gb -= gb;
         }
         self.occupied[copy.site.index()] -= 1;
         // A pending CopyComputeDone event becomes stale: the id check in
         // `on_copy_compute_done` ignores it.
     }
 
-    fn build_snapshot(&mut self) -> Snapshot {
+    /// Fills `out` with the current cluster and job state, reusing the
+    /// caller's top-level buffers instead of allocating a fresh snapshot per
+    /// scheduling instance.
+    fn fill_snapshot(&mut self, out: &mut Snapshot) {
         // Report *available* bandwidth: capacity minus what in-flight flows
         // currently consume (the paper measures available bandwidth rather
         // than configured capacity, §5). A 5% floor keeps the placement
         // models finite when a link is saturated.
-        let (up_used, down_used) = self.flows.link_usage();
-        let sites = (0..self.cluster.len())
-            .map(|s| SiteState {
-                slots: self.cur_slots[s],
-                free_slots: self.cur_slots[s].saturating_sub(self.occupied[s]),
-                up_gbps: (self.cur_up[s] - up_used[s]).max(self.cur_up[s] * 0.05),
-                down_gbps: (self.cur_down[s] - down_used[s]).max(self.cur_down[s] * 0.05),
-            })
-            .collect();
-        let mut jobs = Vec::new();
+        let (mut up_used, mut down_used) = std::mem::take(&mut self.usage_scratch);
+        self.flows.link_usage_into(&mut up_used, &mut down_used);
+        out.now = self.now;
+        out.sites.clear();
+        out.sites.extend((0..self.cluster.len()).map(|s| SiteState {
+            slots: self.cur_slots[s],
+            free_slots: self.cur_slots[s].saturating_sub(self.occupied[s]),
+            up_gbps: (self.cur_up[s] - up_used[s]).max(self.cur_up[s] * 0.05),
+            down_gbps: (self.cur_down[s] - down_used[s]).max(self.cur_down[s] * 0.05),
+        }));
+        self.usage_scratch = (up_used, down_used);
+        out.jobs.clear();
         for job in &self.jobs {
             if !job.arrived || job.is_finished() {
                 continue;
@@ -808,7 +909,7 @@ impl Engine {
                     done: rt.status == StageStatus::Done,
                 })
                 .collect();
-            jobs.push(JobSnapshot {
+            out.jobs.push(JobSnapshot {
                 id: job.job.id,
                 arrival: job.job.arrival,
                 total_stages: job.stages.len(),
@@ -816,11 +917,6 @@ impl Engine {
                 stages,
                 runnable,
             });
-        }
-        Snapshot {
-            now: self.now,
-            sites,
-            jobs,
         }
     }
 
@@ -1073,7 +1169,11 @@ mod tests {
         .with_drops(vec![CapacityDrop::new(SiteId(0), 0.5, 0.5)])
         .run()
         .unwrap();
-        assert!((report.jobs[0].response - 3.0).abs() < 1e-9, "response {}", report.jobs[0].response);
+        assert!(
+            (report.jobs[0].response - 3.0).abs() < 1e-9,
+            "response {}",
+            report.jobs[0].response
+        );
     }
 
     #[test]
@@ -1086,9 +1186,14 @@ mod tests {
             seed: 9,
             ..EngineConfig::default()
         };
-        let r1 = Engine::new(cluster2(), vec![mk()], Box::new(LocalScheduler), cfg.clone())
-            .run()
-            .unwrap();
+        let r1 = Engine::new(
+            cluster2(),
+            vec![mk()],
+            Box::new(LocalScheduler),
+            cfg.clone(),
+        )
+        .run()
+        .unwrap();
         let r2 = Engine::new(cluster2(), vec![mk()], Box::new(LocalScheduler), cfg)
             .run()
             .unwrap();
@@ -1123,7 +1228,10 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(report.jobs.len(), 1);
-        assert!(report.copies_launched > 0, "stragglers should trigger copies");
+        assert!(
+            report.copies_launched > 0,
+            "stragglers should trigger copies"
+        );
         assert!(report.copies_won <= report.copies_launched);
         assert!(report.jobs[0].wan_gb >= 0.0);
     }
@@ -1201,7 +1309,10 @@ mod tests {
         .run()
         .unwrap();
         assert_eq!(report.jobs.len(), 1);
-        assert!(report.task_failures > 0, "p=0.3 over 9 tasks should fail some");
+        assert!(
+            report.task_failures > 0,
+            "p=0.3 over 9 tasks should fail some"
+        );
         // Every failure adds at least one task re-execution worth of time.
         assert!(report.jobs[0].response > 2.0);
         // No failures => counter stays zero.
@@ -1277,5 +1388,107 @@ mod tests {
         .run()
         .unwrap_err();
         assert_eq!(err, SimError::Stalled { unfinished: 1 });
+    }
+
+    /// Speculation + capped fetch concurrency: a copy (or a cancelled
+    /// original) leaves fetches *queued* behind the cap, which are charged
+    /// to the job at launch but never reach the flow simulator. The refund
+    /// paths must give those back, keeping per-job accounting in lockstep
+    /// with `FlowSim::total_wan_gb`.
+    #[test]
+    fn speculation_with_capped_fetches_keeps_wan_accounting_exact() {
+        use crate::config::SpeculationConfig;
+        let cluster = Cluster::new(vec![
+            Site::new("a", 8, 1.0, 1.0),
+            Site::new("b", 8, 1.0, 1.0),
+            Site::new("c", 8, 1.0, 1.0),
+        ]);
+        // Input on all three sites so every reduce task fetches from two
+        // remote sites; with the cap at 1 one of them always queues.
+        let input = DataDistribution::new(vec![4.0, 4.0, 4.0]);
+        let mut copies_seen = 0;
+        for seed in 0..8 {
+            let job = Job::map_reduce(JobId(0), "capped", 0.0, input.clone(), 9, 1.0, 0.8, 6, 1.0);
+            let report = Engine::new(
+                cluster.clone(),
+                vec![job],
+                Box::new(LocalScheduler),
+                EngineConfig {
+                    straggler_prob: 0.6,
+                    straggler_mult: (5.0, 60.0),
+                    speculation: Some(SpeculationConfig {
+                        threshold: 1.5,
+                        max_copies_frac: 0.5,
+                    }),
+                    max_fetch_concurrency: 1,
+                    batch: crate::config::BatchPolicy::Fixed(0.5),
+                    seed,
+                    ..EngineConfig::default()
+                },
+            )
+            .run()
+            .unwrap();
+            copies_seen += report.copies_won;
+            let per_job: f64 = report.jobs.iter().map(|j| j.wan_gb).sum();
+            assert!(
+                (per_job - report.total_wan_gb).abs() < 1e-6,
+                "seed {seed}: per-job wan {per_job} != flowsim wan {}",
+                report.total_wan_gb
+            );
+        }
+        assert!(copies_seen > 0, "no seed produced a winning copy");
+    }
+
+    /// A winning copy's trace must carry the copy's own timeline, not the
+    /// original's launch time glued to the copy's duration (which produced
+    /// `compute_started < launched_at` and negative fetch times).
+    #[test]
+    fn trace_invariants_hold_with_winning_copies() {
+        use crate::config::SpeculationConfig;
+        let cluster = Cluster::new(vec![
+            Site::new("a", 6, 1.0, 1.0),
+            Site::new("b", 6, 1.0, 1.0),
+        ]);
+        let mut copies_traced = 0;
+        for seed in 0..8 {
+            let input = DataDistribution::new(vec![4.0, 4.0]);
+            let job = Job::map_reduce(JobId(0), "spec-tr", 0.0, input, 8, 1.0, 0.5, 4, 1.0);
+            let report = Engine::new(
+                cluster.clone(),
+                vec![job],
+                Box::new(LocalScheduler),
+                EngineConfig {
+                    straggler_prob: 0.6,
+                    straggler_mult: (5.0, 60.0),
+                    speculation: Some(SpeculationConfig {
+                        threshold: 1.5,
+                        max_copies_frac: 0.5,
+                    }),
+                    batch: crate::config::BatchPolicy::Fixed(0.5),
+                    record_trace: true,
+                    seed,
+                    ..EngineConfig::default()
+                },
+            )
+            .run()
+            .unwrap();
+            assert_eq!(report.trace.len(), 12, "one trace per task");
+            for t in &report.trace {
+                assert!(
+                    t.compute_started >= t.launched_at - 1e-9,
+                    "seed {seed}: compute at {} before launch at {} (was_copy={})",
+                    t.compute_started,
+                    t.launched_at,
+                    t.was_copy
+                );
+                assert!(t.finished_at >= t.compute_started - 1e-9);
+                assert!(t.fetch_secs() >= 0.0);
+                assert!(t.compute_secs() > 0.0);
+                if t.was_copy {
+                    copies_traced += 1;
+                }
+            }
+        }
+        assert!(copies_traced > 0, "no seed traced a winning copy");
     }
 }

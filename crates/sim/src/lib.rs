@@ -35,6 +35,5 @@ pub use engine::{Engine, SimError};
 pub use report::{JobOutcome, RunReport, TaskTrace};
 pub use sched::{
     JobSnapshot, Scheduler, SiteState, Snapshot, StageMeta, StagePlan, StageSnapshot,
-    TaskAssignment,
-    TaskPhase, TaskSnapshot,
+    TaskAssignment, TaskPhase, TaskSnapshot,
 };

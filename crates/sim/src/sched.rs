@@ -133,7 +133,7 @@ impl JobSnapshot {
 }
 
 /// Point-in-time view of the whole system handed to the scheduler.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     /// Simulation time of this scheduling instance.
     pub now: f64,

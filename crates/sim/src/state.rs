@@ -1,5 +1,6 @@
 //! Runtime state of jobs, stages and tasks inside the engine.
 
+use std::sync::Arc;
 use tetrium_cluster::{DataDistribution, SiteId};
 use tetrium_jobs::{largest_remainder_round, Job, StageKind};
 use tetrium_net::FlowKey;
@@ -71,8 +72,11 @@ pub struct StageRt {
     pub status: StageStatus,
     /// Task records (empty until the stage activates).
     pub tasks: Vec<TaskRt>,
-    /// Realized input distribution (GB per site), set at activation.
-    pub input: Option<DataDistribution>,
+    /// Realized input distribution (GB per site), set at activation. Held
+    /// behind `Arc` so the launch hot path shares it by reference — cloning
+    /// the distribution itself per task is a type error, not a perf bug
+    /// waiting to recur.
+    pub input: Option<Arc<DataDistribution>>,
     /// Output accumulated at the sites where tasks ran (GB per site).
     pub output: DataDistribution,
     /// Tasks finished so far.
@@ -101,6 +105,11 @@ pub struct CopyRt {
     pub computing: bool,
     /// Sampled compute duration of the copy.
     pub secs: f64,
+    /// Time the copy occupied its slot (the copy's own timeline, so a
+    /// winning copy's trace does not mix with the original's).
+    pub launched_at: f64,
+    /// Time the copy's compute phase began, once it has.
+    pub compute_started: Option<f64>,
 }
 
 /// Runtime record of one job.
@@ -303,7 +312,12 @@ fn partition_counts(input: &DataDistribution, num_tasks: usize) -> Vec<usize> {
             // guard anyway: move stray counts to the largest data site.
             let target = *with_data
                 .iter()
-                .max_by(|&&a, &&b| input.at(SiteId(a)).partial_cmp(&input.at(SiteId(b))).unwrap())
+                .max_by(|&&a, &&b| {
+                    input
+                        .at(SiteId(a))
+                        .partial_cmp(&input.at(SiteId(b)))
+                        .unwrap()
+                })
                 .expect("some site has data");
             counts[target] += counts[s];
             counts[s] = 0;

@@ -60,7 +60,7 @@ pub fn recurring_dashboard_jobs(
     let zones: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
     // Fixed template shape for every instance.
     let agg_ratio = rng.gen_range(0.2..0.5);
-    let n_reduce_frac = rng.gen_range(0.3..0.6);
+    let n_reduce_frac: f64 = rng.gen_range(0.3..0.6);
 
     (0..n_instances)
         .map(|i| {
@@ -160,7 +160,9 @@ mod tests {
         let zones: Vec<f64> = (0..8).map(|i| i as f64 / 8.0).collect();
         let d = diurnal_input(&zones, 0.0, &params);
         let max = (0..8).map(|i| d.at(SiteId(i))).fold(0.0f64, f64::max);
-        let min = (0..8).map(|i| d.at(SiteId(i))).fold(f64::INFINITY, f64::min);
+        let min = (0..8)
+            .map(|i| d.at(SiteId(i)))
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min > 4.0, "spread {}", max / min);
         assert!(max / min <= 10.0 + 1e-9);
     }

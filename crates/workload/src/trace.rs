@@ -93,7 +93,9 @@ pub fn trace_like_job(
 ) -> Job {
     // Log-normal input sizes: many small jobs, a heavy tail of large ones.
     let size_dist = LogNormal::new(params.median_input_gb.ln(), 0.8).expect("valid lognormal");
-    let input_gb: f64 = size_dist.sample(rng).clamp(0.5, params.median_input_gb * 20.0);
+    let input_gb: f64 = size_dist
+        .sample(rng)
+        .clamp(0.5, params.median_input_gb * 20.0);
     let skew = rng.gen_range(params.input_skew_exponent.0..=params.input_skew_exponent.1);
     let n_stages = rng.gen_range(params.stages.0..=params.stages.1);
     // Heavy-tailed task counts (Pareto), scaled to the stage's data volume.

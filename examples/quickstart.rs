@@ -28,7 +28,11 @@ fn main() {
         job.input_gb()
     );
 
-    for kind in [SchedulerKind::InPlace, SchedulerKind::Iridium, SchedulerKind::Tetrium] {
+    for kind in [
+        SchedulerKind::InPlace,
+        SchedulerKind::Iridium,
+        SchedulerKind::Tetrium,
+    ] {
         let report = run_workload(
             cluster.clone(),
             vec![job.clone()],

@@ -32,7 +32,9 @@ fn main() {
             "{:<10} response {:6.1} s   slot util per site {:?}   fetch/compute {:.0}/{:.0} slot-s",
             report.scheduler,
             report.jobs[0].response,
-            util.iter().map(|u| (u * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            util.iter()
+                .map(|u| (u * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
             fetch,
             compute,
         );

@@ -34,7 +34,11 @@ fn main() {
             EngineConfig::default(),
         )
         .expect("completes");
-        println!("{rho:>6.2} {:>10.0} s {:>10.1}", r.avg_response(), r.total_wan_gb);
+        println!(
+            "{rho:>6.2} {:>10.0} s {:>10.1}",
+            r.avg_response(),
+            r.total_wan_gb
+        );
     }
 
     println!("\nepsilon sweep (fairness):");

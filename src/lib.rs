@@ -155,8 +155,7 @@ mod tests {
     #[test]
     fn isolated_times_are_positive() {
         let times =
-            isolated_service_times(&fig4_cluster(), &[fig4_job()], SchedulerKind::Tetrium)
-                .unwrap();
+            isolated_service_times(&fig4_cluster(), &[fig4_job()], SchedulerKind::Tetrium).unwrap();
         assert_eq!(times.len(), 1);
         assert!(times[0] > 0.0);
     }

@@ -24,12 +24,7 @@ fn cluster_strategy() -> impl Strategy<Value = Cluster> {
                     .into_iter()
                     .enumerate()
                     .map(|(i, (slots, up, down))| {
-                        Site::new(
-                            format!("s{i}"),
-                            slots,
-                            up as f64 * 0.05,
-                            down as f64 * 0.05,
-                        )
+                        Site::new(format!("s{i}"), slots, up as f64 * 0.05, down as f64 * 0.05)
                     })
                     .collect(),
             )
@@ -54,14 +49,16 @@ fn jobs_strategy(n_sites: usize) -> impl Strategy<Value = Vec<GenJob>> {
             0.0f64..20.0,
             proptest::bool::ANY,
         )
-            .prop_map(|(input, map_tasks, reduce_tasks, ratio, arrival, deep)| GenJob {
-                input,
-                map_tasks,
-                reduce_tasks,
-                ratio,
-                arrival,
-                deep,
-            }),
+            .prop_map(
+                |(input, map_tasks, reduce_tasks, ratio, arrival, deep)| GenJob {
+                    input,
+                    map_tasks,
+                    reduce_tasks,
+                    ratio,
+                    arrival,
+                    deep,
+                },
+            ),
         1..4,
     )
 }
@@ -76,12 +73,7 @@ fn build_jobs(gen: &[GenJob], n_sites: usize) -> Vec<Job> {
             }
             let _ = n_sites;
             let mut stages = vec![
-                Stage::root_map(
-                    DataDistribution::new(input),
-                    g.map_tasks,
-                    0.5,
-                    g.ratio,
-                ),
+                Stage::root_map(DataDistribution::new(input), g.map_tasks, 0.5, g.ratio),
                 Stage::reduce(vec![0], g.reduce_tasks, 0.4, 0.2),
             ];
             if g.deep {

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use tetrium::core::dynamics::{assignment_distance, limited_update};
-use tetrium::core::ordering::{
-    order_map_tasks, order_reduce_tasks, MapOrdering, ReduceOrdering,
-};
+use tetrium::core::ordering::{order_map_tasks, order_reduce_tasks, MapOrdering, ReduceOrdering};
 use tetrium::jobs::largest_remainder_round;
 use tetrium_cluster::SiteId;
 

@@ -1,10 +1,8 @@
 //! Property tests: invariants of the placement LPs over random instances.
 
 use proptest::prelude::*;
-use tetrium::core::{
-    solve_map_placement, solve_reduce_placement, MapProblem, ReduceProblem,
-};
 use tetrium::core::wan::reduce_min_wan;
+use tetrium::core::{solve_map_placement, solve_reduce_placement, MapProblem, ReduceProblem};
 
 fn map_problem_strategy() -> impl Strategy<Value = MapProblem> {
     (2usize..6).prop_flat_map(|n| {

@@ -46,14 +46,9 @@ fn tetrium_beats_locality_baselines_on_average() {
     let mut rng = StdRng::seed_from_u64(7);
     let jobs = bigdata_like_jobs(&cluster, 12, 15.0, 2.0, &mut rng);
     let run = |kind: SchedulerKind| {
-        run_workload(
-            cluster.clone(),
-            jobs.clone(),
-            kind,
-            EngineConfig::default(),
-        )
-        .unwrap()
-        .avg_response()
+        run_workload(cluster.clone(), jobs.clone(), kind, EngineConfig::default())
+            .unwrap()
+            .avg_response()
     };
     let tetrium = run(SchedulerKind::Tetrium);
     let inplace = run(SchedulerKind::InPlace);
@@ -116,5 +111,9 @@ fn deterministic_across_identical_runs() {
         EngineConfig::trace_like(43),
     )
     .unwrap();
-    assert!(a.jobs.iter().zip(&c.jobs).any(|(x, y)| x.response != y.response));
+    assert!(a
+        .jobs
+        .iter()
+        .zip(&c.jobs)
+        .any(|(x, y)| x.response != y.response));
 }

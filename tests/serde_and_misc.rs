@@ -54,7 +54,10 @@ fn data_placement_improves_the_bottleneck_estimate() {
         .map(|(v, u)| v / u)
         .fold(0.0f64, f64::max);
     assert!(moved > 0.0);
-    assert!(after < before, "bottleneck {after:.1} should drop from {before:.1}");
+    assert!(
+        after < before,
+        "bottleneck {after:.1} should drop from {before:.1}"
+    );
 }
 
 #[test]

@@ -14,8 +14,13 @@ use tetrium::{run_workload, SchedulerKind};
 #[test]
 fn srpt_lands_near_the_paper_schedule() {
     let (cluster, jobs) = two_job_example();
-    let report = run_workload(cluster, jobs, SchedulerKind::Tetrium, EngineConfig::default())
-        .expect("run completes");
+    let report = run_workload(
+        cluster,
+        jobs,
+        SchedulerKind::Tetrium,
+        EngineConfig::default(),
+    )
+    .expect("run completes");
     let avg = report.avg_response();
     // Paper's optimal average is 1.7 s with worst-case transfer accounting;
     // with overlap the engine can do slightly better. It must not degrade to
@@ -36,8 +41,13 @@ fn srpt_beats_fair_in_place_on_average() {
         EngineConfig::default(),
     )
     .unwrap();
-    let inplace = run_workload(cluster, jobs, SchedulerKind::InPlace, EngineConfig::default())
-        .unwrap();
+    let inplace = run_workload(
+        cluster,
+        jobs,
+        SchedulerKind::InPlace,
+        EngineConfig::default(),
+    )
+    .unwrap();
     assert!(
         tetrium.avg_response() <= inplace.avg_response() + 1e-9,
         "tetrium {:.2} vs in-place {:.2}",

@@ -1,0 +1,124 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<'a, T, D: Distribution<T> + ?Sized> Distribution<T> for &'a D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The standard uniform distribution (`rng.gen()`).
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random bits mapped to [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Range sampling for `Rng::gen_range`.
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can be sampled uniformly.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let v = rng.next_u64() as u128 % width;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = rng.next_u64() as u128 % width;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + (self.end - self.start) * u as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    lo + (hi - lo) * u as $t
+                }
+            }
+        )*};
+    }
+
+    float_range!(f32, f64);
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `rand_distr` (0.4 API subset).
+//!
+//! Provides the three distributions the workspace samples — log-normal,
+//! Pareto and Zipf — implemented with textbook inverse-CDF / Box-Muller
+//! methods on top of the vendored `rand`. Streams differ from upstream, but
+//! sampling is deterministic for a given generator state and the marginal
+//! distributions match the upstream parameterizations.
+
+// Stand-in code tracks upstream's API shape, not current clippy idiom.
+#![allow(clippy::all)]
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Parameter-validation error returned by distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform draw from the open-closed interval `(0, 1]`, safe for `ln`/powers.
+#[inline]
+fn open_closed01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.gen::<f64>()
+}
+
+/// Standard normal deviate via the Box-Muller transform.
+#[inline]
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open_closed01(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given location and scale of the
+    /// underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto distribution with the given scale (minimum) and shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_neg_shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; both parameters must be positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !(scale > 0.0 && shape > 0.0 && scale.is_finite() && shape.is_finite()) {
+            return Err(Error("Pareto requires positive finite scale and shape"));
+        }
+        Ok(Pareto {
+            scale,
+            inv_neg_shape: -1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * open_closed01(rng).powf(self.inv_neg_shape)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`; samples are the
+/// ranks as `f64`, matching upstream `rand_distr::Zipf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 || !(s.is_finite() && s >= 0.0) {
+            return Err(Error("Zipf requires n >= 1 and finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_matches_moments() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        // E[X] = exp(mu + sigma^2/2) = exp(0.125) ~= 1.133
+        assert!((mean - 1.133f64).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(2.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let d = Zipf::new(100, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            let r = d.sample(&mut rng) as usize;
+            assert!((1..=100).contains(&r));
+            counts[r - 1] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[0] > counts[49]);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for `serde`.
+//!
+//! Upstream serde streams values through visitor-based serializers; this
+//! stand-in instead converts values to and from a small in-memory tree
+//! ([`Content`]), which is all the workspace needs (its only format is JSON
+//! via the vendored `serde_json`). The `#[derive(Serialize, Deserialize)]`
+//! macros from the vendored `serde_derive` target these traits with the same
+//! JSON mapping upstream derive produces: structs as objects with fields in
+//! declaration order, newtype structs as their inner value, unit enum
+//! variants as strings.
+
+// Stand-in code tracks upstream's API shape, not current clippy idiom.
+#![allow(clippy::all)]
+
+// Let the derive macro's generated `::serde::` paths resolve inside this
+// crate's own tests (the same trick upstream serde uses).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory serialization tree: the common denominator between Rust values
+/// and the wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when a value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with string keys (field declaration order for structs).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a `Map`.
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` to its serialization tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from its serialization tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the input. `Option` treats
+    /// a missing field as `None` (matching upstream derive); everything else
+    /// errors.
+    fn missing_field(field: &'static str) -> Result<Self, DeError> {
+        Err(DeError::custom(format!("missing field `{field}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let out = match content {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, got {content:?}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &'static str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(DeError::custom(format!(
+                "expected 2-element array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 3 => Ok((
+                A::from_content(&items[0])?,
+                B::from_content(&items[1])?,
+                C::from_content(&items[2])?,
+            )),
+            other => Err(DeError::custom(format!(
+                "expected 3-element array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(
+            f64::from_content(&1.5f64.to_content()).unwrap().to_bits(),
+            1.5f64.to_bits()
+        );
+        assert_eq!(
+            String::from_content(&"hi".to_content()).unwrap(),
+            "hi".to_string()
+        );
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_handles_null_and_missing() {
+        assert_eq!(
+            Option::<u32>::from_content(&Content::Null).unwrap(),
+            None::<u32>
+        );
+        assert_eq!(Option::<u32>::missing_field("x").unwrap(), None::<u32>);
+        assert!(u32::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn derive_round_trips_struct_enum_and_newtype() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Inner(usize);
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Kind {
+            Alpha,
+            Beta,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Outer {
+            id: Inner,
+            kind: Kind,
+            weights: Option<Vec<f64>>,
+            name: String,
+        }
+
+        let x = Outer {
+            id: Inner(7),
+            kind: Kind::Beta,
+            weights: Some(vec![0.5, 0.5]),
+            name: "q".into(),
+        };
+        let tree = x.to_content();
+        // Newtype structs serialize transparently.
+        assert_eq!(tree.get_field("id"), Some(&Content::I64(7)));
+        // Unit variants serialize as strings.
+        assert_eq!(tree.get_field("kind"), Some(&Content::Str("Beta".into())));
+        assert_eq!(Outer::from_content(&tree).unwrap(), x);
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`, which are unavailable in
+//! this offline build environment) covering the shapes this workspace
+//! derives on: named-field structs, tuple structs, and enums with unit
+//! variants. Generated impls target the tree-based `Serialize`/`Deserialize`
+//! traits of the vendored `serde` and reproduce upstream's JSON mapping
+//! (structs as objects, newtype structs transparent, unit variants as
+//! strings).
+
+// Stand-in code tracks upstream's API shape, not current clippy idiom.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, ...)` — field count.
+    Tuple(usize),
+    /// `enum E { A, B }` — variant names.
+    UnitEnum(Vec<String>),
+}
+
+/// Derives tree-based `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "::serde::Content::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives tree-based `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match content.get_field(\"{f}\") {{\n\
+                            ::std::option::Option::Some(v) => \
+                                ::serde::Deserialize::from_content(v)?,\n\
+                            ::std::option::Option::None => \
+                                ::serde::Deserialize::missing_field(\"{f}\")?,\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match content {{\n\
+                    ::serde::Content::Map(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                    other => ::std::result::Result::Err(::serde::DeError::custom(\
+                        ::std::format!(\"expected map for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match content {{\n\
+                    ::serde::Content::Seq(items) if items.len() == {n} => \
+                        ::std::result::Result::Ok({name}({})),\n\
+                    other => ::std::result::Result::Err(::serde::DeError::custom(\
+                        ::std::format!(\"expected {n}-element array for {name}, \
+                         got {{other:?}}\"))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match content {{\n\
+                    ::serde::Content::Str(s) => match s.as_str() {{\n\
+                        {},\n\
+                        other => ::std::result::Result::Err(::serde::DeError::custom(\
+                            ::std::format!(\"unknown variant {{other}} for {name}\"))),\n\
+                    }},\n\
+                    other => ::std::result::Result::Err(::serde::DeError::custom(\
+                        ::std::format!(\"expected string for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_content(content: &::serde::Content) \
+                -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Parses a derive input item into its name and shape.
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => break id.to_string(),
+            other => panic!("serde derive: unexpected token {other:?}"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in: generic types are not supported");
+        }
+    }
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde derive: expected item body, got {other:?}"),
+    };
+
+    match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => (name, Shape::Named(parse_named_fields(body.stream()))),
+        ("struct", Delimiter::Parenthesis) => {
+            (name, Shape::Tuple(count_tuple_fields(body.stream())))
+        }
+        ("enum", Delimiter::Brace) => (name, Shape::UnitEnum(parse_unit_variants(body.stream()))),
+        (kw, _) => panic!("serde derive stand-in: unsupported item `{kw}`"),
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde derive: unexpected field token {other:?}"),
+            }
+        };
+        fields.push(field);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut in_field = false;
+    let mut depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Extracts variant names from an enum body, rejecting data-carrying
+/// variants (not needed by this workspace).
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Ident(id)) => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    panic!("serde derive stand-in: only unit enum variants are supported");
+                }
+                variants.push(id.to_string());
+            }
+            Some(other) => panic!("serde derive: unexpected enum token {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the JSON value model (`Value`, `Number`, `Map`), a strict
+//! recursive-descent parser, compact and pretty printers, the `json!`
+//! macro, and `to_string`/`to_string_pretty`/`from_str` over the vendored
+//! `serde`'s tree data model. Numbers round-trip exactly: integers are kept
+//! as integers and floats print via Rust's shortest-round-trip formatting
+//! (the behavior upstream gates behind `float_roundtrip`).
+
+// Stand-in code tracks upstream's API shape, not current clippy idiom.
+#![allow(clippy::all)]
+
+mod macros;
+mod parse;
+mod print;
+
+use serde::Content;
+
+/// A JSON number: integer or floating point.
+#[derive(Debug, Clone, Copy)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// Creates a number from a float, rejecting non-finite values.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number { n: N::F(v) })
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.n {
+            N::I(v) => v as f64,
+            N::U(v) => v as f64,
+            N::F(v) => v,
+        })
+    }
+
+    /// The value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::I(v) => u64::try_from(v).ok(),
+            N::U(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.n, other.n) {
+            (N::I(a), N::I(b)) => a == b,
+            (N::U(a), N::U(b)) => a == b,
+            (N::I(a), N::U(b)) | (N::U(b), N::I(a)) => a >= 0 && a as u64 == b,
+            (N::F(a), N::F(b)) => a == b,
+            (N::F(f), N::I(i)) | (N::I(i), N::F(f)) => f == i as f64,
+            (N::F(f), N::U(u)) | (N::U(u), N::F(f)) => f == u as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.n {
+            N::I(v) => write!(f, "{v}"),
+            N::U(v) => write!(f, "{v}"),
+            N::F(v) => match f.precision() {
+                Some(p) => write!(f, "{v:.p$}"),
+                None => write!(f, "{v}"),
+            },
+        }
+    }
+}
+
+macro_rules! number_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                let wide = v as i128;
+                if let Ok(i) = i64::try_from(wide) {
+                    Number { n: N::I(i) }
+                } else {
+                    Number { n: N::U(wide as u64) }
+                }
+            }
+        }
+    )*};
+}
+
+number_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// An ordered JSON object preserving insertion order.
+///
+/// Generic parameters exist only for signature compatibility with
+/// `serde_json::Map<String, Value>`; all functionality targets string keys
+/// and [`Value`] values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts a key-value pair, replacing and returning any previous value
+    /// for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Returns the value for a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Returns a mutable reference to the value for a key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `&str` view of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Object member write access, with `serde_json`'s auto-vivification:
+    /// indexing `Null` turns it into an empty object first, and a missing
+    /// key is inserted as `Null`.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        let Value::Object(map) = self else {
+            panic!("cannot index a non-object value with a string key");
+        };
+        if !map.contains_key(key) {
+            map.insert(key.to_string(), Value::Null);
+        }
+        map.get_mut(key).expect("key just inserted")
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            _ => panic!("cannot index a non-array value with a usize"),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print::to_compact(&value_to_content(self)))
+    }
+}
+
+// --- conversions into Value ------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+value_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+// --- equality against plain Rust values ------------------------------------
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == Number::from(*other))
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+// --- bridge to the serde tree ----------------------------------------------
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(n) => match n.n {
+            N::I(i) => Content::I64(i),
+            N::U(u) => Content::U64(u),
+            N::F(f) => Content::F64(f),
+        },
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => Content::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(c: &Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(i) => Value::Number(Number { n: N::I(*i) }),
+        Content::U64(u) => Value::Number(Number { n: N::U(*u) }),
+        Content::F64(f) => Value::Number(Number { n: N::F(*f) }),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(content))
+    }
+}
+
+impl serde::Serialize for Map<String, Value> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        )
+    }
+}
+
+// --- errors and entry points ------------------------------------------------
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::to_compact(&value.to_content()))
+}
+
+/// Serializes a value to pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::to_pretty(&value.to_content()))
+}
+
+/// Converts any serializable value into a [`Value`] tree. Never fails for
+/// the tree data model; the `Result` matches the upstream signature.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(content_to_value(&value.to_content()))
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    T::from_content(&content).map_err(|e| Error::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v: Value = json!({
+            "name": "run",
+            "count": 3,
+            "ratio": 0.25,
+            "flags": [true, false, null],
+            "nested": {"a": 1, "b": [1.5, -2]},
+        });
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let label = format!("s{}", 1);
+        let xs = vec![1.0f64, 2.0];
+        let v = json!({"label": label, "xs": xs, "sum": 1.0 + 2.0});
+        assert_eq!(v["label"], "s1");
+        assert_eq!(v["xs"][1], 2.0);
+        assert_eq!(v["sum"], 3.0);
+    }
+
+    #[test]
+    fn indexing_missing_yields_null() {
+        let v = json!({"a": 1});
+        assert!(v["b"].is_null());
+        assert!(v["a"][4].is_null());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 12345.678901234567, -0.0] {
+            let s = to_string(&Value::from(x)).unwrap();
+            let back: Value = from_str(&s).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" slash\\ newline\n tab\t unicode\u{1F600}\u{0007}";
+        let v = Value::from(s);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        assert!(m.insert("k".into(), json!(1)).is_none());
+        assert_eq!(m.insert("k".into(), json!(2)), Some(json!(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&json!(2)));
+    }
+}

@@ -1,0 +1,107 @@
+//! Compact and pretty JSON printers over `serde::Content`.
+
+use serde::Content;
+
+pub fn to_compact(c: &Content) -> String {
+    let mut out = String::new();
+    write_value(&mut out, c, None, 0);
+    out
+}
+
+pub fn to_pretty(c: &Content) -> String {
+    let mut out = String::new();
+    write_value(&mut out, c, Some(2), 0);
+    out
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+}
+
+fn write_value(out: &mut String, c: &Content, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; degrade to null like `Value::from(f64)`.
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display gives the shortest string that round-trips, but elides
+    // the decimal point for integral floats; keep it so the value re-parses
+    // as a float.
+    let s = v.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
