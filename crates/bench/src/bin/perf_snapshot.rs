@@ -7,6 +7,12 @@
 //!
 //! Usage: `cargo run --release --bin perf_snapshot` (run `all_figures`
 //! first to include the harness wall-clock).
+//!
+//! `--check` compares the measured median against the committed baseline
+//! instead of overwriting it, and exits non-zero when the engine (with the
+//! no-op obs sink — `record_obs` stays false here) regressed by more than
+//! the tolerance. CI runs this to enforce the obs-off overhead contract
+//! (DESIGN.md §8).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +23,7 @@ use tetrium_sim::EngineConfig;
 use tetrium_workload::{trace_like_jobs, TraceParams};
 
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let cluster = ec2_thirty_instances();
     let params = TraceParams {
         median_input_gb: 10.0,
@@ -52,6 +59,11 @@ fn main() {
         "engine_throughput: {total_tasks} tasks in {median:.3} s -> {tasks_per_sec:.0} tasks/s"
     );
 
+    if check {
+        check_against_baseline(median);
+        return;
+    }
+
     let mut snapshot = serde_json::json!({
         "engine_throughput": {
             "workload": "trace-30-sites",
@@ -80,4 +92,33 @@ fn main() {
     )
     .expect("write baseline");
     println!("baseline written to {path}");
+}
+
+/// Compares a measured median against the committed baseline without
+/// rewriting it. Fails (exit 1) when the measured time exceeds the baseline
+/// by more than the tolerance — 2% by default, overridable through
+/// `TETRIUM_PERF_TOLERANCE` (a ratio, e.g. `0.10`) for noisy CI machines.
+fn check_against_baseline(median: f64) {
+    let path = "benchmarks/perf_baseline.json";
+    let body =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check requires {path}: {e}"));
+    let baseline: serde_json::Value = serde_json::from_str(&body).expect("valid baseline JSON");
+    let base = baseline["engine_throughput"]["median_run_secs"]
+        .as_f64()
+        .expect("baseline has engine_throughput.median_run_secs");
+    let tolerance = std::env::var("TETRIUM_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.02);
+    let ratio = median / base;
+    println!(
+        "perf check: measured {median:.4} s vs baseline {base:.4} s \
+         (ratio {ratio:.3}, tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    if ratio > 1.0 + tolerance {
+        eprintln!("FAIL: engine throughput regressed beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("OK: within tolerance");
 }

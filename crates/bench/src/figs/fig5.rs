@@ -8,12 +8,11 @@
 //! 30-site setting (more placement freedom).
 
 use crate::runner::{cell, run_cells, Cell, CellFn};
-use crate::{banner, quick_mode, write_record};
+use crate::{banner, obs_entry, quick_mode, trace_engine, write_obs_record, write_record};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tetrium::cluster::{ec2_eight_regions, ec2_thirty_instances};
 use tetrium::metrics::reduction_pct;
-use tetrium::sim::EngineConfig;
 use tetrium::workload::{bigdata_like_jobs, tpcds_like_jobs};
 use tetrium::{isolated_service_times, run_workload, SchedulerKind};
 use tetrium_cluster::Cluster;
@@ -30,14 +29,14 @@ fn workloads(cluster: &Cluster, seed: u64) -> Vec<(&'static str, Vec<Job>)> {
 /// A fig5 cell's result: either a scheduler run or the isolated-service
 /// baseline used by the slowdown metric.
 enum Out {
-    Run(tetrium::sim::RunReport),
+    Run(Box<tetrium::sim::RunReport>),
     Isolated(Vec<f64>),
 }
 
 impl Out {
     fn run(self) -> tetrium::sim::RunReport {
         match self {
-            Out::Run(r) => r,
+            Out::Run(r) => *r,
             Out::Isolated(_) => unreachable!("cell layout: runs come first"),
         }
     }
@@ -82,11 +81,11 @@ pub fn run() {
             cells.push(cell(
                 Cell::new("fig5", sname, workload.clone(), 5),
                 move || {
-                    let cfg = EngineConfig::trace_like(5);
-                    Out::Run(
+                    let cfg = trace_engine(5);
+                    Out::Run(Box::new(
                         run_workload((**cluster).clone(), jobs.clone(), kind, cfg)
                             .expect("completes"),
-                    )
+                    ))
                 },
             ));
         }
@@ -102,8 +101,12 @@ pub fn run() {
     let mut results = run_cells(cells).into_iter();
 
     let mut rows = Vec::new();
+    let mut obs_cells = Vec::new();
     for (cname, _, wname, _) in &combos {
         let runs: Vec<_> = (0..3).map(|_| results.next().unwrap().run()).collect();
+        for (sname, r) in ["tetrium", "in-place", "iridium"].iter().zip(&runs) {
+            obs_cells.extend(obs_entry(format!("{sname}/{wname}/{cname}"), r));
+        }
         let isolated = results.next().unwrap().isolated();
         let slowdown = |r: &tetrium::sim::RunReport| -> f64 {
             let s = tetrium::metrics::slowdowns(r, &isolated);
@@ -134,4 +137,5 @@ pub fn run() {
     println!("(paper: Fig 5 up to 78% vs In-Place / 55% vs Iridium; Fig 6 up to 45% / 16%)");
     write_record("fig5", &serde_json::json!({ "rows": rows }));
     write_record("fig6", &serde_json::json!({ "rows": rows }));
+    write_obs_record("fig5", &obs_cells);
 }

@@ -7,7 +7,10 @@
 //! (b) CDF of per-job response-time reduction vs both baselines.
 
 use crate::runner::{cell, run_cells, Cell, CellFn};
-use crate::{banner, fifty_sites, rt_reduction, run, trace_workload, write_record};
+use crate::{
+    banner, fifty_sites, obs_entry, rt_reduction, run, trace_workload, write_obs_record,
+    write_record,
+};
 use tetrium::baselines::iridium_data_move;
 use tetrium::core::{JobPolicy, PlacementPolicy, TetriumConfig};
 use tetrium::metrics::{per_job_reduction, Cdf};
@@ -82,6 +85,19 @@ pub fn run_fig() {
     let fs = results.next().unwrap();
     let itask = results.next().unwrap();
     let idata = results.next().unwrap();
+
+    let mut obs_cells = Vec::new();
+    for (name, r) in [
+        ("tetrium", &tetrium),
+        ("in-place", &inplace),
+        ("centralized", &central),
+        ("tetrium+fs", &fs),
+        ("tetrium+i-task", &itask),
+        ("tetrium+i-data", &idata),
+    ] {
+        obs_cells.extend(obs_entry(format!("{name}/trace-50"), r));
+    }
+    write_obs_record("fig8", &obs_cells);
 
     println!("\n(a) reduction in average response time");
     println!(

@@ -19,7 +19,7 @@ pub mod figs;
 mod record;
 pub mod runner;
 
-pub use record::{quick_mode, write_record};
+pub use record::{quick_mode, write_obs_record, write_record};
 pub use runner::{cell, run_cells, run_cells_with, thread_count, Cell};
 
 use rand::rngs::StdRng;
@@ -76,9 +76,32 @@ pub fn trace_job_count() -> usize {
     }
 }
 
-/// Engine noise configuration for trace-driven runs (§6.1).
+/// Whether figure runs collect observability records (`TETRIUM_OBS=1`);
+/// when set, each figure also writes `target/experiments/<fig>.obs.json`.
+pub fn obs_mode() -> bool {
+    std::env::var_os("TETRIUM_OBS").is_some()
+}
+
+/// Engine noise configuration for trace-driven runs (§6.1). Observability
+/// recording follows [`obs_mode`] so `TETRIUM_OBS=1` flows through every
+/// figure cell without per-figure plumbing.
 pub fn trace_engine(seed: u64) -> EngineConfig {
-    EngineConfig::trace_like(seed)
+    let mut cfg = EngineConfig::trace_like(seed);
+    cfg.record_obs = obs_mode();
+    cfg
+}
+
+/// Extracts a figure cell's obs record as a `(label, json)` entry for
+/// [`write_obs_record`]. Serializes with `include_wall = false` so the obs
+/// file is byte-identical for any `TETRIUM_THREADS` (DESIGN.md §8).
+pub fn obs_entry(
+    label: impl Into<String>,
+    report: &RunReport,
+) -> Option<(String, serde_json::Value)> {
+    report
+        .obs
+        .as_ref()
+        .map(|o| (label.into(), o.to_json(false)))
 }
 
 /// Generates the standard 50-site workload for a seed.

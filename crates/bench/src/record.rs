@@ -34,6 +34,24 @@ pub fn write_record(id: &str, value: &Value) -> Option<PathBuf> {
     }
 }
 
+/// Writes a figure's observability records to
+/// `target/experiments/<id>.obs.json` as `{"cells": [{"cell", "obs"}]}` in
+/// cell-index order — the order is part of the determinism contract
+/// (DESIGN.md §8), so callers must pass cells in their fixed grid order.
+/// No-op when `cells` is empty (obs collection disabled).
+pub fn write_obs_record(id: &str, cells: &[(String, Value)]) -> Option<PathBuf> {
+    if cells.is_empty() {
+        return None;
+    }
+    let body = serde_json::json!({
+        "cells": cells
+            .iter()
+            .map(|(label, obs)| serde_json::json!({"cell": label, "obs": obs}))
+            .collect::<Vec<_>>(),
+    });
+    write_record(&format!("{id}.obs"), &body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

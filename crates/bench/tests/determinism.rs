@@ -50,15 +50,18 @@ fn render_grid(threads: usize) -> String {
             grid.push(cell(Cell::new("det-test", name, "mini-trace", *seed), {
                 let cluster = &cluster;
                 move || {
-                    let r = run_workload(
-                        cluster.clone(),
-                        jobs.clone(),
-                        kind,
-                        EngineConfig::trace_like(*seed),
-                    )
-                    .expect("completes");
+                    let mut cfg = EngineConfig::trace_like(*seed);
+                    cfg.record_obs = true;
+                    let r =
+                        run_workload(cluster.clone(), jobs.clone(), kind, cfg).expect("completes");
+                    // Obs records are part of the determinism contract
+                    // (DESIGN.md §8): serialize them into the rendered row
+                    // so any thread-count-dependent divergence fails the
+                    // byte-identity assertion below.
+                    let obs =
+                        serde_json::to_string(&r.obs.as_ref().unwrap().to_json(false)).unwrap();
                     format!(
-                        "{name:<10} seed={seed} avg={:.6} wan={:.6}",
+                        "{name:<10} seed={seed} avg={:.6} wan={:.6} obs={obs}",
                         r.avg_response(),
                         r.total_wan_gb
                     )

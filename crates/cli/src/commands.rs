@@ -20,7 +20,7 @@ usage:
   tetrium-cli run      --scenario scenario.json
                        [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
                        [--rho R] [--epsilon E] [--seed S] [--json out.json]
-                       [--trace chrome_trace.json]
+                       [--trace chrome_trace.json] [--obs obs.json]
   tetrium-cli compare  --scenario scenario.json [--seed S]";
 
 /// Routes a command line to its subcommand.
@@ -126,6 +126,7 @@ fn run(args: &Args) -> Result<(), String> {
         "seed",
         "json",
         "trace",
+        "obs",
     ])?;
     let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
     let rho: f64 = args.get_or("rho", 1.0)?;
@@ -135,6 +136,7 @@ fn run(args: &Args) -> Result<(), String> {
 
     let mut cfg = EngineConfig::trace_like(seed);
     cfg.record_trace = args.get("trace").is_some();
+    cfg.record_obs = args.get("obs").is_some();
     let report =
         run_workload(scenario.cluster, scenario.jobs, kind, cfg).map_err(|e| e.to_string())?;
 
@@ -152,6 +154,16 @@ fn run(args: &Args) -> Result<(), String> {
             "  {:<12} arrival {:>8.1}  response {:>8.1} s  wan {:>7.2} GB  stages {}",
             j.name, j.arrival, j.response, j.wan_gb, j.num_stages
         );
+    }
+    if let Some(path) = args.get("obs") {
+        let obs = report.obs.as_ref().expect("record_obs was set");
+        print_obs_summary(obs, report.makespan);
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&obs.to_json(true)).unwrap(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote {path} (schema tetrium-obs/v1)");
     }
     if let Some(path) = args.get("trace") {
         std::fs::write(path, tetrium::metrics::chrome_trace(&report.trace))
@@ -181,6 +193,45 @@ fn run(args: &Args) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// Console digest of a run's observability record: per-site occupancy,
+/// where attempt time went, and how the scheduler behaved.
+fn print_obs_summary(obs: &tetrium::obs::ObsReport, makespan: f64) {
+    println!("\nobservability summary (over makespan {makespan:.1} s)");
+    println!(
+        "{:<6} {:>6} {:>12} {:>12}",
+        "site", "slots", "busy (s)", "util"
+    );
+    let busy = obs.busy_secs(makespan);
+    let util = obs.utilization(makespan);
+    for (i, (b, u)) in busy.iter().zip(&util).enumerate() {
+        println!("s{i:<5} {:>6} {b:>12.1} {u:>12.3}", obs.slots[i]);
+    }
+    let (fetch, compute) = obs.fetch_compute_split();
+    let total = fetch + compute;
+    let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+    println!(
+        "attempt time: fetch {fetch:.1} s ({:.0}%), compute {compute:.1} s ({:.0}%)",
+        pct(fetch),
+        pct(compute)
+    );
+    println!(
+        "scheduler: {} instances, wall p50 {:.2} ms / p99 {:.2} ms",
+        obs.sched.len(),
+        obs.sched_wall_percentile(0.5) * 1e3,
+        obs.sched_wall_percentile(0.99) * 1e3
+    );
+    println!(
+        "wan: {:.1} GB net over {} active (src,dst) pairs",
+        obs.total_wan_gb(),
+        obs.active_pairs()
+    );
+    let c = obs.counters;
+    println!(
+        "events: {} copies launched, {} won, {} attempts cancelled, {} failures, {} capacity drops",
+        c.copies_launched, c.copies_won, c.attempts_cancelled, c.task_failures, c.capacity_drops
+    );
 }
 
 fn compare(args: &Args) -> Result<(), String> {
@@ -250,6 +301,24 @@ mod tests {
         .unwrap();
         let body = std::fs::read_to_string(&trace_out).unwrap();
         assert!(body.starts_with('['), "chrome trace must be a JSON array");
+        let obs_out = dir.join("obs.json");
+        dispatch(&sv(&[
+            "run",
+            "--scenario",
+            out,
+            "--obs",
+            obs_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&obs_out).unwrap();
+        assert!(
+            body.contains("tetrium-obs/v1"),
+            "obs file carries schema tag"
+        );
+        assert!(
+            body.contains("wall_ms"),
+            "CLI obs output includes wall latency"
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 

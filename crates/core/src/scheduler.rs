@@ -31,6 +31,7 @@ use crate::wan::{reduce_min_wan, wan_budget, WanKnob};
 use std::collections::{HashMap, HashSet};
 use tetrium_cluster::SiteId;
 use tetrium_jobs::{largest_remainder_round, JobId, StageKind};
+use tetrium_obs::{Obs, PlannerRecord};
 use tetrium_sim::{
     JobSnapshot, Scheduler, Snapshot, StagePlan, StageSnapshot, TaskAssignment, TaskPhase,
 };
@@ -131,6 +132,9 @@ pub struct TetriumScheduler {
     /// again this instant, §4.2).
     restricted: bool,
     instance: u64,
+    /// Observability sink handed over by the engine; emits a per-instance
+    /// planner breakdown (LP-planned vs cache-reused vs local-planned).
+    obs: Obs,
 }
 
 struct CachedPlan {
@@ -179,6 +183,7 @@ impl TetriumScheduler {
             plan_cache: HashMap::new(),
             restricted: false,
             instance: 0,
+            obs: Obs::disabled(),
         }
     }
 
@@ -569,8 +574,14 @@ impl Scheduler for TetriumScheduler {
         &self.name
     }
 
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     fn schedule(&mut self, snap: &Snapshot) -> Vec<StagePlan> {
         self.instance += 1;
+        // Per-instance planner breakdown for the observability record.
+        let (mut lp_planned, mut cache_reused, mut local_planned) = (0usize, 0usize, 0usize);
         // Evict cached state for jobs absent from the snapshot (finished or
         // not yet arrived): both maps are keyed by (job, stage) and would
         // otherwise grow without bound over a long workload.
@@ -619,11 +630,16 @@ impl Scheduler for TetriumScheduler {
                     .flatten()
                     .filter(|c| unl > 0 && unl * 2 >= c.planned_unlaunched);
                 let (ordered, dest_counts, est) = match cached {
-                    Some(c) => (c.ordered.clone(), c.dest_counts.clone(), c.est_total),
+                    Some(c) => {
+                        cache_reused += 1;
+                        (c.ordered.clone(), c.dest_counts.clone(), c.est_total)
+                    }
                     None => {
                         let outcome = if use_lp {
+                            lp_planned += 1;
                             self.plan_stage_lp(snap, job, st, caps_changed, &full_slots, &up, &down)
                         } else {
+                            local_planned += 1;
                             plan_stage_local(st, snap.sites.len())
                         };
                         self.plan_cache.insert(
@@ -701,8 +717,10 @@ impl Scheduler for TetriumScheduler {
                     let mut stages = Vec::with_capacity(p.stages.len());
                     for st in &job.runnable {
                         let outcome = if empty {
+                            local_planned += 1;
                             plan_stage_local(st, snap.sites.len())
                         } else {
+                            lp_planned += 1;
                             self.plan_stage_lp(snap, job, st, caps_changed, &avail, &up, &down)
                         };
                         self.plan_cache.insert(
@@ -789,6 +807,12 @@ impl Scheduler for TetriumScheduler {
             }
         }
         self.prev_caps = Some(caps);
+        self.obs.planner_record(PlannerRecord {
+            at: snap.now,
+            lp_planned,
+            cache_reused,
+            local_planned,
+        });
         plans
     }
 }

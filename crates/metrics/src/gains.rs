@@ -103,6 +103,7 @@ mod tests {
             copies_won: 0,
             task_failures: 0,
             trace: Vec::new(),
+            obs: None,
         }
     }
 

@@ -13,6 +13,12 @@ pub fn site_busy_secs(trace: &[TaskTrace], n_sites: usize) -> Vec<f64> {
 
 /// Per-site slot utilization over `[0, makespan]`: busy slot-seconds divided
 /// by available slot-seconds.
+///
+/// The ratio is returned *unclamped*: a value meaningfully above 1 means the
+/// engine oversubscribed a site's slots, and silently clamping here would
+/// mask that bug. Consumers that need a bounded value (plots, summaries)
+/// clamp at the display layer; the engine-conservation tests assert
+/// `<= 1 + eps` instead.
 pub fn site_utilization(trace: &[TaskTrace], slots: &[usize], makespan: f64) -> Vec<f64> {
     let busy = site_busy_secs(trace, slots.len());
     slots
@@ -22,7 +28,7 @@ pub fn site_utilization(trace: &[TaskTrace], slots: &[usize], makespan: f64) -> 
             if makespan <= 0.0 || s == 0 {
                 0.0
             } else {
-                (b / (s as f64 * makespan)).min(1.0)
+                b / (s as f64 * makespan)
             }
         })
         .collect()
@@ -92,5 +98,14 @@ mod tests {
     #[test]
     fn utilization_handles_degenerate_inputs() {
         assert_eq!(site_utilization(&[], &[4], 0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn utilization_reports_oversubscription_unclamped() {
+        // Two slot-seconds of busy time on a 1-slot site over 1 second: a
+        // ratio of 2.0 must surface, not be clamped to 1.0.
+        let trace = vec![tr(0, 0.0, 0.0, 1.0, false), tr(0, 0.0, 0.0, 1.0, false)];
+        let util = site_utilization(&trace, &[1], 1.0);
+        assert!((util[0] - 2.0).abs() < 1e-12);
     }
 }

@@ -14,6 +14,7 @@ use crate::maxmin::{waterfill_groups, GroupSpec};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tetrium_cluster::SiteId;
+use tetrium_obs::Obs;
 
 /// Handle to a flow inside a [`FlowSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +93,8 @@ pub struct FlowSim {
     /// absolute, so the answer stays valid until the flow set or capacities
     /// change.
     cached_next: Option<Option<(FlowKey, f64)>>,
+    /// Observability sink; disabled by default.
+    obs: Obs,
 }
 
 impl FlowSim {
@@ -117,7 +120,15 @@ impl FlowSim {
             locals: Vec::new(),
             dirty: false,
             cached_next: None,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs an observability sink. The simulator emits per-pair WAN
+    /// accounting (including refunds) and a link-utilization sample at
+    /// every flow-set or capacity change boundary.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Current simulation time in seconds.
@@ -145,6 +156,7 @@ impl FlowSim {
         let local = src == dst;
         if !local {
             self.total_wan_gb += gb;
+            self.obs.wan_transfer(src, dst, gb);
         }
         let idx = self.free.pop().unwrap_or_else(|| {
             self.flows.push(FlowRec {
@@ -188,14 +200,26 @@ impl FlowSim {
             alive: true,
         };
         self.active += 1;
+        if !local {
+            self.emit_link_sample();
+        }
         FlowKey(idx)
     }
 
     /// Removes a completed (or cancelled) flow.
     ///
-    /// Returns the bytes that were still unsent (zero for a completed flow).
+    /// Returns the bytes that were still unsent (exactly zero for a
+    /// completed flow: the group drain clock accumulates `rate * dt`
+    /// increments, so a flow removed at its completion time can be left
+    /// with a float-drift remainder; refunding that from `total_wan_gb`
+    /// would leak bytes out of the conservation ledger, so sub-epsilon
+    /// remainders are clamped to zero before the refund).
     pub fn remove_flow(&mut self, fkey: FlowKey) -> f64 {
-        let remaining = self.remaining_gb(fkey);
+        let size = self.flows[fkey.0].size_gb;
+        let mut remaining = self.remaining_gb(fkey);
+        if remaining < 1e-9 * (1.0 + size) {
+            remaining = 0.0;
+        }
         let rec = &mut self.flows[fkey.0];
         assert!(rec.alive, "flow already removed");
         rec.alive = false;
@@ -207,6 +231,11 @@ impl FlowSim {
                 self.dirty = true;
                 // Refund WAN accounting for unsent bytes of a cancelled flow.
                 self.total_wan_gb -= remaining;
+                if remaining > 0.0 {
+                    let (src, dst) = (self.groups[g].src, self.groups[g].dst);
+                    self.obs.wan_transfer(SiteId(src), SiteId(dst), -remaining);
+                }
+                self.emit_link_sample();
             }
             None => self.locals.retain(|&i| i != fkey.0),
         }
@@ -222,6 +251,7 @@ impl FlowSim {
         self.down_gbps[site.index()] = down_gbps;
         self.dirty = true;
         self.cached_next = None;
+        self.emit_link_sample();
     }
 
     /// Advances the clock to `t`, draining every flow at its current rate.
@@ -340,6 +370,17 @@ impl FlowSim {
         }
     }
 
+    /// Emits a per-link utilization sample at the current instant. The
+    /// `is_enabled` guard keeps the disabled path free of the refresh and
+    /// the usage computation; same-instant samples coalesce in the sink.
+    fn emit_link_sample(&mut self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let (up, down) = self.link_usage();
+        self.obs.link_sample(self.now, &up, &down);
+    }
+
     /// Recomputes group rates if any mutation happened since the last
     /// refresh.
     fn refresh(&mut self) {
@@ -455,30 +496,65 @@ mod tests {
         assert!((sim.remaining_gb(b) - 2.0).abs() < 1e-9);
     }
 
-    #[test]
-    fn many_flows_scale_and_conserve_bytes() {
-        // A stress shape: 200 flows across 4 sites; drain to completion and
-        // verify every flow finishes with total WAN equal to the bytes sent.
-        let mut sim = FlowSim::new(vec![1.0; 4], vec![1.0; 4]);
-        let mut keys = Vec::new();
+    /// Drains `n` flows over `sites` sites to completion, asserting exact
+    /// byte conservation: every completed flow must be removed with exactly
+    /// zero remaining (the drift clamp in `remove_flow`), and the ledger
+    /// must come back to the sum of sizes within 1e-9.
+    fn drain_and_conserve(n: usize, sites: usize) {
+        let mut sim = FlowSim::new(vec![1.0; sites], vec![1.0; sites]);
         let mut expected = 0.0;
-        for i in 0..200 {
-            let src = i % 4;
-            let dst = (i + 1 + i / 4) % 4;
+        for i in 0..n {
+            let src = i % sites;
+            let dst = (i + 1 + i / sites) % sites;
             let gb = 0.1 + (i % 7) as f64 * 0.05;
             if src != dst {
                 expected += gb;
             }
-            keys.push(sim.add_flow(SiteId(src), SiteId(dst), gb));
+            sim.add_flow(SiteId(src), SiteId(dst), gb);
         }
         let mut done = 0;
         while let Some((k, t)) = sim.next_completion() {
             sim.advance_to(t);
             let rem = sim.remove_flow(k);
-            assert!(rem < 1e-6, "flow removed with {rem} GB left");
+            assert_eq!(rem, 0.0, "completed flow removed with {rem} GB left");
             done += 1;
         }
-        assert_eq!(done, 200);
-        assert!((sim.total_wan_gb() - expected).abs() < 1e-6);
+        assert_eq!(done, n);
+        assert!(
+            (sim.total_wan_gb() - expected).abs() < 1e-9,
+            "ledger {} vs expected {expected}",
+            sim.total_wan_gb()
+        );
+    }
+
+    #[test]
+    fn many_flows_scale_and_conserve_bytes() {
+        // A stress shape: 200 flows across 4 sites; drain to completion and
+        // verify every flow finishes with total WAN equal to the bytes sent.
+        drain_and_conserve(200, 4);
+    }
+
+    #[test]
+    fn ten_thousand_flows_conserve_bytes_exactly() {
+        // Drift accumulates with the number of rate recomputations, so the
+        // 200-flow shape alone would not catch a leaky remainder refund.
+        drain_and_conserve(10_000, 8);
+    }
+
+    #[test]
+    fn obs_records_wan_pairs_and_link_samples() {
+        let obs = Obs::recording(vec![1, 1]);
+        let mut sim = FlowSim::new(vec![1.0, 1.0], vec![1.0, 1.0]);
+        sim.set_obs(obs.clone());
+        let k = sim.add_flow(SiteId(0), SiteId(1), 10.0);
+        sim.advance_to(2.0);
+        sim.remove_flow(k); // Cancelled: 8 GB refunded.
+        let r = obs.finish().unwrap();
+        assert!((r.wan_pair(SiteId(0), SiteId(1)) - 2.0).abs() < 1e-9);
+        assert!((r.total_wan_gb() - sim.total_wan_gb()).abs() < 1e-12);
+        // One sample at add (t=0), one at remove (t=2).
+        assert_eq!(r.link_timeline.len(), 2);
+        assert!((r.link_timeline[0].up[0] - 1.0).abs() < 1e-12);
+        assert_eq!(r.link_timeline[1].up[0], 0.0);
     }
 }

@@ -72,6 +72,11 @@ pub struct EngineConfig {
     /// Record a [`crate::report::TaskTrace`] per finished task in the run
     /// report (timeline analysis; off by default to keep reports small).
     pub record_trace: bool,
+    /// Record an [`tetrium_obs::ObsReport`] of the run: task lifecycle
+    /// events, slot/link step-timelines, scheduling-instance records, WAN
+    /// bytes by site pair and speculation/failure counters. Off by default;
+    /// the disabled sink costs one branch per emission point.
+    pub record_obs: bool,
     /// RNG seed; identical seeds give byte-identical runs.
     pub seed: u64,
 }
@@ -90,6 +95,7 @@ impl Default for EngineConfig {
             speculation: None,
             failure_prob: 0.0,
             record_trace: false,
+            record_obs: false,
             seed: 0,
         }
     }
@@ -116,6 +122,7 @@ impl EngineConfig {
             // exactly from this configuration.
             failure_prob: 0.0,
             record_trace: false,
+            record_obs: false,
             seed,
         }
     }

@@ -16,6 +16,7 @@ use std::time::Instant;
 use tetrium_cluster::{CapacityDrop, Cluster, SiteId};
 use tetrium_jobs::{Job, JobId, StageKind};
 use tetrium_net::{FlowKey, FlowSim};
+use tetrium_obs::{Obs, SchedRecord, TaskPhaseEvent, Trigger};
 
 /// Errors terminating a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +85,9 @@ pub struct Engine {
     now: f64,
     drops: Vec<CapacityDrop>,
     sched_pending: bool,
+    /// Trigger of the pending scheduling instance: the first requester of a
+    /// batched instance wins (later requests coalesce into it).
+    pending_trigger: Trigger,
     recent_secs: VecDeque<f64>,
     sched_invocations: usize,
     sched_wall_secs: f64,
@@ -91,6 +95,7 @@ pub struct Engine {
     copies_won: usize,
     task_failures: usize,
     trace: Vec<TaskTrace>,
+    obs: Obs,
     // Scratch buffers reused across scheduler invocations so the steady
     // state of the event loop allocates nothing per invocation.
     snapshot_scratch: Snapshot,
@@ -108,7 +113,7 @@ impl Engine {
     pub fn new(
         cluster: Cluster,
         jobs: Vec<Job>,
-        scheduler: Box<dyn Scheduler>,
+        mut scheduler: Box<dyn Scheduler>,
         cfg: EngineConfig,
     ) -> Self {
         for j in &jobs {
@@ -122,7 +127,14 @@ impl Engine {
         let cur_slots = cluster.slots_vec();
         let cur_up: Vec<f64> = cluster.iter().map(|(_, s)| s.up_gbps).collect();
         let cur_down: Vec<f64> = cluster.iter().map(|(_, s)| s.down_gbps).collect();
-        let flows = FlowSim::new(cur_up.clone(), cur_down.clone());
+        let obs = if cfg.record_obs {
+            Obs::recording(cur_slots.clone())
+        } else {
+            Obs::disabled()
+        };
+        let mut flows = FlowSim::new(cur_up.clone(), cur_down.clone());
+        flows.set_obs(obs.clone());
+        scheduler.attach_obs(obs.clone());
         let job_index: HashMap<JobId, usize> =
             jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
         assert_eq!(job_index.len(), jobs.len(), "job ids must be unique");
@@ -146,6 +158,7 @@ impl Engine {
             now: 0.0,
             drops: Vec::new(),
             sched_pending: false,
+            pending_trigger: Trigger::JobArrival,
             recent_secs: VecDeque::with_capacity(64),
             sched_invocations: 0,
             sched_wall_secs: 0.0,
@@ -153,6 +166,7 @@ impl Engine {
             copies_won: 0,
             task_failures: 0,
             trace: Vec::new(),
+            obs,
             snapshot_scratch: Snapshot::default(),
             dispatch_scratch: Vec::new(),
             launch_scratch: Vec::new(),
@@ -186,7 +200,7 @@ impl Engine {
                     }
                     // Idle but unfinished: give the scheduler one more chance
                     // (e.g. it withheld assignments waiting for more slots).
-                    let launched = self.run_scheduler();
+                    let launched = self.run_scheduler(Trigger::IdleRetry);
                     if launched == 0 {
                         return Err(SimError::Stalled {
                             unfinished: self.unfinished(),
@@ -228,18 +242,33 @@ impl Engine {
         self.now = t;
     }
 
+    /// Occupies a slot at `site`, sampling the occupancy timeline.
+    fn occupy_slot(&mut self, site: SiteId) {
+        self.occupied[site.index()] += 1;
+        self.obs
+            .slot_sample(self.now, site, self.occupied[site.index()]);
+    }
+
+    /// Releases a slot at `site`, sampling the occupancy timeline.
+    fn vacate_slot(&mut self, site: SiteId) {
+        self.occupied[site.index()] -= 1;
+        self.obs
+            .slot_sample(self.now, site, self.occupied[site.index()]);
+    }
+
     fn on_event(&mut self, ev: Event) {
         match ev {
             Event::JobArrival(i) => {
                 self.jobs[i].arrived = true;
                 self.activate_stages(i);
-                self.request_sched(true);
+                self.request_sched(true, Trigger::JobArrival);
             }
             Event::ComputeDone(j, s, t) => self.on_compute_done(j, s, t),
             Event::CopyComputeDone(j, s, t, id) => self.on_copy_compute_done(j, s, t, id),
             Event::SchedulingPoint => {
+                let trigger = self.pending_trigger;
                 self.sched_pending = false;
-                self.run_scheduler();
+                self.run_scheduler(trigger);
                 self.maybe_speculate();
             }
             Event::CapacityDrop(i) => {
@@ -251,7 +280,8 @@ impl Engine {
                 self.cur_down[site] = degraded.down_gbps;
                 self.flows
                     .set_capacity(d.site, degraded.up_gbps, degraded.down_gbps);
-                self.request_sched(true);
+                self.obs.capacity_drop();
+                self.request_sched(true, Trigger::CapacityDrop);
             }
         }
     }
@@ -330,6 +360,9 @@ impl Engine {
         let task = &mut self.jobs[j].stages[s].tasks[t];
         task.state = TaskState::Computing { done_at };
         task.compute_started = Some(self.now);
+        let site = task.run_site.expect("computing task has a site");
+        self.obs
+            .task_event(self.now, j, s, t, false, TaskPhaseEvent::Computing, site);
         self.events.push(done_at, Event::ComputeDone(j, s, t));
     }
 
@@ -352,18 +385,21 @@ impl Engine {
         // returns to the pool for re-placement. A live speculative copy, if
         // any, keeps running and may still complete the task.
         if self.cfg.failure_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.failure_prob {
-            self.occupied[site.index()] -= 1;
+            self.vacate_slot(site);
             self.task_failures += 1;
+            self.obs.task_failure();
+            self.obs
+                .task_event(self.now, j, s, t, false, TaskPhaseEvent::Failed, site);
             let task = &mut self.jobs[j].stages[s].tasks[t];
             task.state = TaskState::Unlaunched;
             task.run_site = None;
             task.actual_secs = None;
             task.compute_started = None;
             task.launched_at = None;
-            self.request_sched(true);
+            self.request_sched(true, Trigger::Failure);
             return;
         }
-        self.occupied[site.index()] -= 1;
+        self.vacate_slot(site);
         self.cancel_copy(j, s, t);
         self.finish_task(
             j,
@@ -387,6 +423,8 @@ impl Engine {
     /// never shows a negative fetch phase.
     fn finish_task(&mut self, j: usize, s: usize, t: usize, done: TaskCompletion) {
         let site = done.site;
+        self.obs
+            .task_event(self.now, j, s, t, done.was_copy, TaskPhaseEvent::Done, site);
         if self.cfg.record_trace {
             self.trace.push(TaskTrace {
                 job: self.jobs[j].job.id,
@@ -419,19 +457,21 @@ impl Engine {
             } else {
                 self.activate_stages(j);
             }
-            self.request_sched(true);
+            self.request_sched(true, Trigger::StageDone);
         } else {
-            self.request_sched(false);
+            self.request_sched(false, Trigger::SlotRelease);
         }
     }
 
     /// Queues a scheduling instance. `immediate` instances (arrivals, stage
     /// activations, capacity drops) fire now; slot releases are batched per
-    /// the configured policy (§5).
-    fn request_sched(&mut self, immediate: bool) {
+    /// the configured policy (§5). The `trigger` of the first request wins —
+    /// later requests coalesce into the already-pending instance.
+    fn request_sched(&mut self, immediate: bool, trigger: Trigger) {
         if self.sched_pending {
             return;
         }
+        self.pending_trigger = trigger;
         let delay = if immediate {
             0.0
         } else {
@@ -455,18 +495,37 @@ impl Engine {
 
     /// Builds a snapshot, invokes the scheduler, applies its plans and
     /// dispatches launchable tasks. Returns the number launched.
-    fn run_scheduler(&mut self) -> usize {
+    fn run_scheduler(&mut self, trigger: Trigger) -> usize {
         let mut snapshot = std::mem::take(&mut self.snapshot_scratch);
         self.fill_snapshot(&mut snapshot);
         if snapshot.jobs.is_empty() {
             self.snapshot_scratch = snapshot;
             return 0;
         }
+        // Snapshot-size stats feed the SchedRecord; skip computing them on
+        // the disabled path.
+        let (rec_jobs, rec_unlaunched) = if self.obs.is_enabled() {
+            let unlaunched = snapshot
+                .jobs
+                .iter()
+                .flat_map(|j| &j.runnable)
+                .map(|st| st.unlaunched_count())
+                .sum();
+            (snapshot.jobs.len(), unlaunched)
+        } else {
+            (0, 0)
+        };
         let started = Instant::now();
         let plans = self.scheduler.schedule(&snapshot);
-        self.sched_wall_secs += started.elapsed().as_secs_f64();
+        let wall_secs = started.elapsed().as_secs_f64();
+        self.sched_wall_secs += wall_secs;
         self.sched_invocations += 1;
         self.snapshot_scratch = snapshot;
+        let (rec_plans, rec_assignments) = if self.obs.is_enabled() {
+            (plans.len(), plans.iter().map(|p| p.assignments.len()).sum())
+        } else {
+            (0, 0)
+        };
 
         for plan in plans {
             let j = *self
@@ -486,12 +545,39 @@ impl Engine {
                 assert!(a.site.index() < self.cluster.len(), "bad site in plan");
                 let task = &mut self.jobs[j].stages[s].tasks[a.task];
                 if task.state == TaskState::Unlaunched {
+                    // Queued events record first assignments and site moves;
+                    // re-assignments to the same site would flood the stream
+                    // without carrying information.
+                    if task.assigned_site != Some(a.site) {
+                        self.obs.task_event(
+                            self.now,
+                            j,
+                            s,
+                            a.task,
+                            false,
+                            TaskPhaseEvent::Queued,
+                            a.site,
+                        );
+                    }
                     task.assigned_site = Some(a.site);
                     task.priority = a.priority;
                 }
             }
         }
-        self.dispatch()
+        let launched = self.dispatch();
+        if self.obs.is_enabled() {
+            self.obs.sched_record(SchedRecord {
+                at: self.now,
+                trigger,
+                jobs: rec_jobs,
+                unlaunched: rec_unlaunched,
+                plans: rec_plans,
+                assignments: rec_assignments,
+                launched,
+                wall_secs,
+            });
+        }
+        launched
     }
 
     /// Fills free slots: at each site, launches assigned unlaunched tasks in
@@ -552,7 +638,9 @@ impl Engine {
     /// site holding shuffle data) and begins compute immediately when all
     /// inputs are local.
     fn launch(&mut self, j: usize, s: usize, t: usize, site: SiteId) {
-        self.occupied[site.index()] += 1;
+        self.occupy_slot(site);
+        self.obs
+            .task_event(self.now, j, s, t, false, TaskPhaseEvent::Fetching, site);
         let kind = self.jobs[j].job.stages[s].kind;
         let mean = self.jobs[j].job.stages[s].task_secs;
         let secs = self.sample_duration(mean);
@@ -686,7 +774,10 @@ impl Engine {
         site: SiteId,
         _spec: SpeculationConfig,
     ) {
-        self.occupied[site.index()] += 1;
+        self.occupy_slot(site);
+        self.obs
+            .task_event(self.now, j, s, t, true, TaskPhaseEvent::Fetching, site);
+        self.obs.copy_launched();
         let id = self.next_copy_id;
         self.next_copy_id += 1;
         let mean = self.jobs[j].job.stages[s].task_secs;
@@ -735,6 +826,8 @@ impl Engine {
         self.copies_launched += 1;
         let computing = pending.is_empty();
         if computing {
+            self.obs
+                .task_event(self.now, j, s, t, true, TaskPhaseEvent::Computing, site);
             self.events
                 .push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
         }
@@ -775,6 +868,8 @@ impl Engine {
             copy.computing = true;
             copy.compute_started = Some(self.now);
             let secs = copy.secs;
+            self.obs
+                .task_event(self.now, j, s, t, true, TaskPhaseEvent::Computing, site);
             self.events
                 .push(self.now + secs, Event::CopyComputeDone(j, s, t, id));
         }
@@ -799,7 +894,17 @@ impl Engine {
             if task.state == TaskState::Done {
                 // The original finished in the same instant; it won.
                 self.copies.remove(&(j, s, t));
-                self.occupied[copy_site.index()] -= 1;
+                self.vacate_slot(copy_site);
+                self.obs.attempt_cancelled();
+                self.obs.task_event(
+                    self.now,
+                    j,
+                    s,
+                    t,
+                    true,
+                    TaskPhaseEvent::Cancelled,
+                    copy_site,
+                );
                 return;
             }
             let (flows, queued) = match &mut task.state {
@@ -824,11 +929,15 @@ impl Engine {
             self.jobs[j].wan_gb -= gb;
         }
         if let Some(site) = orig_site {
-            self.occupied[site.index()] -= 1;
+            self.vacate_slot(site);
+            self.obs.attempt_cancelled();
+            self.obs
+                .task_event(self.now, j, s, t, false, TaskPhaseEvent::Cancelled, site);
         }
-        self.occupied[copy_site.index()] -= 1;
+        self.vacate_slot(copy_site);
         self.copies.remove(&(j, s, t));
         self.copies_won += 1;
+        self.obs.copy_won();
         self.finish_task(
             j,
             s,
@@ -859,7 +968,17 @@ impl Engine {
         for (_, gb) in copy.queued {
             self.jobs[j].wan_gb -= gb;
         }
-        self.occupied[copy.site.index()] -= 1;
+        self.vacate_slot(copy.site);
+        self.obs.attempt_cancelled();
+        self.obs.task_event(
+            self.now,
+            j,
+            s,
+            t,
+            true,
+            TaskPhaseEvent::Cancelled,
+            copy.site,
+        );
         // A pending CopyComputeDone event becomes stale: the id check in
         // `on_copy_compute_done` ignores it.
     }
@@ -977,7 +1096,7 @@ impl Engine {
                     errs.iter().sum::<f64>() / errs.len() as f64
                 }
             };
-            jobs.push(JobOutcome {
+            let outcome = JobOutcome {
                 id: j.job.id,
                 name: j.job.name.clone(),
                 arrival: j.job.arrival,
@@ -1000,7 +1119,9 @@ impl Engine {
                         )
                     })
                     .collect(),
-            });
+            };
+            outcome.debug_assert_finite();
+            jobs.push(outcome);
         }
         let makespan = jobs.iter().map(|j| j.finished).fold(0.0f64, f64::max);
         RunReport {
@@ -1014,6 +1135,7 @@ impl Engine {
             copies_won: self.copies_won,
             task_failures: self.task_failures,
             trace: self.trace,
+            obs: self.obs.finish(),
         }
     }
 }
@@ -1437,6 +1559,57 @@ mod tests {
             );
         }
         assert!(copies_seen > 0, "no seed produced a winning copy");
+    }
+
+    #[test]
+    fn obs_recording_captures_run_and_is_off_by_default() {
+        let mk = || {
+            let input = DataDistribution::new(vec![2.0, 2.0]);
+            Job::map_reduce(JobId(0), "obs", 0.0, input, 4, 1.0, 0.5, 2, 1.0)
+        };
+        let report = Engine::new(
+            cluster2(),
+            vec![mk()],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                record_obs: true,
+                ..EngineConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        let obs = report.obs.expect("record_obs captures a report");
+        // Every task produced a Done event; none was a copy.
+        let done = obs
+            .task_events
+            .iter()
+            .filter(|e| e.phase == TaskPhaseEvent::Done)
+            .count();
+        assert_eq!(done, 6);
+        // Slot occupancy returned to zero everywhere and integrates to a
+        // positive busy time at the active sites.
+        for tl in &obs.slot_timeline {
+            if let Some(&(_, occ)) = tl.last() {
+                assert_eq!(occ, 0);
+            }
+        }
+        assert!(obs.busy_secs(report.makespan).iter().sum::<f64>() > 0.0);
+        // The WAN pair matrix reconciles with the flow simulator's ledger.
+        assert!((obs.total_wan_gb() - report.total_wan_gb).abs() < 1e-9);
+        // Scheduling instances were recorded with their triggers.
+        assert_eq!(obs.sched.len(), report.sched_invocations);
+        assert_eq!(obs.sched[0].trigger, Trigger::JobArrival);
+        assert!(obs.sched.iter().any(|s| s.launched > 0));
+
+        let off = Engine::new(
+            cluster2(),
+            vec![mk()],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        assert!(off.obs.is_none());
     }
 
     /// A winning copy's trace must carry the copy's own timeline, not the

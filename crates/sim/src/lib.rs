@@ -37,3 +37,4 @@ pub use sched::{
     JobSnapshot, Scheduler, SiteState, Snapshot, StageMeta, StagePlan, StageSnapshot,
     TaskAssignment, TaskPhase, TaskSnapshot,
 };
+pub use tetrium_obs::{Obs, ObsReport};

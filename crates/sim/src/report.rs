@@ -68,6 +68,27 @@ pub struct JobOutcome {
     pub stage_spans: Vec<(f64, f64)>,
 }
 
+impl JobOutcome {
+    /// Debug-asserts that the outcome's response and WAN values are finite,
+    /// catching a NaN at the source (construction) rather than deep inside
+    /// a percentile sort. Release builds skip the check.
+    pub fn debug_assert_finite(&self) {
+        debug_assert!(
+            self.response.is_finite() && self.finished.is_finite(),
+            "job {:?} has non-finite response {} (finished {})",
+            self.id,
+            self.response,
+            self.finished
+        );
+        debug_assert!(
+            self.wan_gb.is_finite(),
+            "job {:?} has non-finite wan_gb {}",
+            self.id,
+            self.wan_gb
+        );
+    }
+}
+
 /// Aggregate record of one engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -92,6 +113,9 @@ pub struct RunReport {
     pub task_failures: usize,
     /// Per-task execution records (empty unless trace recording is on).
     pub trace: Vec<TaskTrace>,
+    /// Observability record of the run (`None` unless
+    /// [`crate::EngineConfig::record_obs`] is set).
+    pub obs: Option<tetrium_obs::ObsReport>,
 }
 
 impl RunReport {
@@ -122,8 +146,11 @@ impl RunReport {
         if self.jobs.is_empty() {
             return 0.0;
         }
+        // total_cmp rather than partial_cmp().unwrap(): a NaN response (a
+        // bug upstream, caught by JobOutcome::debug_assert_finite in debug
+        // builds) must not turn a report query into a panic.
         let mut r: Vec<f64> = self.jobs.iter().map(|j| j.response).collect();
-        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        r.sort_by(f64::total_cmp);
         let idx = ((r.len() as f64 - 1.0) * q).round() as usize;
         r[idx]
     }
@@ -163,6 +190,7 @@ mod tests {
             copies_won: 0,
             task_failures: 0,
             trace: Vec::new(),
+            obs: None,
         }
     }
 
@@ -181,5 +209,27 @@ mod tests {
         let r = report(&[]);
         assert_eq!(r.avg_response(), 0.0);
         assert_eq!(r.response_percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_without_panicking() {
+        // total_cmp orders NaN after every number, so the finite quantiles
+        // stay meaningful and nothing panics.
+        let r = report(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(r.response_percentile(0.0), 1.0);
+        assert_eq!(r.response_percentile(0.5), 2.0);
+        assert!(r.response_percentile(1.0).is_nan());
+    }
+
+    #[test]
+    fn finite_outcomes_pass_the_debug_assertion() {
+        outcome(0, 1.5).debug_assert_finite();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite response")]
+    #[cfg(debug_assertions)]
+    fn nan_response_trips_the_debug_assertion() {
+        outcome(0, f64::NAN).debug_assert_finite();
     }
 }

@@ -208,6 +208,13 @@ pub trait Scheduler {
 
     /// Produces placements for the current instant.
     fn schedule(&mut self, snapshot: &Snapshot) -> Vec<StagePlan>;
+
+    /// Hands the scheduler an observability sink to emit planner-internal
+    /// records into (e.g. Tetrium's per-instance LP/cache breakdown). The
+    /// engine calls this once at construction; the default implementation
+    /// drops the handle, which is correct for schedulers with nothing
+    /// internal to report.
+    fn attach_obs(&mut self, _obs: tetrium_obs::Obs) {}
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub use tetrium_jobs as jobs;
 pub use tetrium_lp as lp;
 pub use tetrium_metrics as metrics;
 pub use tetrium_net as net;
+pub use tetrium_obs as obs;
 pub use tetrium_sim as sim;
 pub use tetrium_workload as workload;
 

@@ -93,6 +93,77 @@ proptest! {
         }
     }
 
+    /// Differential check of the live simulator against the waterfilling
+    /// oracle: after any interleaving of add_flow / remove_flow /
+    /// set_capacity / advance_to, every in-flight flow's current rate must
+    /// equal what `max_min_rates` computes for the same flow multiset under
+    /// the same capacities.
+    #[test]
+    fn flowsim_rates_match_maxmin_oracle_under_interleaving(
+        (up, down) in caps_strategy(),
+        ops in proptest::collection::vec((0usize..4, 0usize..7, 0usize..7, 1u32..40), 1..60),
+    ) {
+        use tetrium::net::{FlowKey, FlowSim};
+        let n = up.len();
+        let mut sim = FlowSim::new(up.clone(), down.clone());
+        let (mut up, mut down) = (up, down);
+        let mut live: Vec<(FlowKey, usize, usize)> = Vec::new();
+        for (op, a, b, v) in ops {
+            match op {
+                0 => {
+                    let s = a % n;
+                    let mut d = b % n;
+                    if s == d {
+                        d = (d + 1) % n;
+                    }
+                    let k = sim.add_flow(SiteId(s), SiteId(d), v as f64 * 0.1);
+                    live.push((k, s, d));
+                }
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (k, _, _) = live.swap_remove(a % live.len());
+                    let rem = sim.remove_flow(k);
+                    prop_assert!(rem >= 0.0);
+                }
+                2 => {
+                    let s = a % n;
+                    up[s] = (v as f64) * 0.05;
+                    down[s] = (b + 1) as f64 * 0.05;
+                    sim.set_capacity(SiteId(s), up[s], down[s]);
+                }
+                _ => {
+                    // Advance a fraction of the way to the next completion,
+                    // then retire any flow that finished on the boundary.
+                    if let Some((_, t)) = sim.next_completion() {
+                        let target = sim.now() + (t - sim.now()) * (v as f64 / 40.0);
+                        sim.advance_to(target);
+                        while let Some((k, tc)) = sim.next_completion() {
+                            if tc > sim.now() + 1e-12 {
+                                break;
+                            }
+                            sim.remove_flow(k);
+                            live.retain(|&(lk, _, _)| lk != k);
+                        }
+                    }
+                }
+            }
+            let flows: Vec<FlowSpec> = live
+                .iter()
+                .map(|&(_, s, d)| FlowSpec { src: SiteId(s), dst: SiteId(d) })
+                .collect();
+            let oracle = max_min_rates(&flows, &up, &down);
+            for (&(k, s, d), &want) in live.iter().zip(&oracle) {
+                let got = sim.rate_gbps(k);
+                prop_assert!(
+                    (got - want).abs() < 1e-6 * (1.0 + want),
+                    "flow {}->{}: sim rate {} vs oracle {}", s, d, got, want
+                );
+            }
+        }
+    }
+
     /// The fluid simulator conserves bytes: every flow driven to completion
     /// accounts exactly its size of WAN traffic.
     #[test]
