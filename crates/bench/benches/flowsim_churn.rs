@@ -1,0 +1,22 @@
+//! Criterion bench for the WAN flow simulator's churn path: bursts of
+//! shuffle fan-out, completion-driven removals and capacity movement over
+//! 30 sites, isolating incremental rate recomputation from the rest of the
+//! engine. The committed number lives in `benchmarks/perf_baseline.json`
+//! (regenerate with the `perf_snapshot` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tetrium_bench::churn::run_flowsim_churn;
+
+fn bench_flowsim_churn(c: &mut Criterion) {
+    let events = run_flowsim_churn(30, 2_000, 7);
+    let mut group = c.benchmark_group("flowsim_churn");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(events as u64));
+    group.bench_function("churn_30_sites", |b| {
+        b.iter(|| run_flowsim_churn(30, 2_000, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flowsim_churn);
+criterion_main!(benches);

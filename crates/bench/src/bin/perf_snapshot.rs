@@ -1,9 +1,11 @@
 //! Records the performance baseline consumed by future PRs: engine
 //! throughput (tasks simulated per second on the 30-site trace workload —
-//! the same one `benches/engine_throughput.rs` times) and, when a prior
-//! `all_figures` run left `target/experiments/harness_wallclock.json`
-//! behind, the harness wall-clock. Writes `benchmarks/perf_baseline.json`
-//! (committed to the repo).
+//! the same one `benches/engine_throughput.rs` times), the WAN flow
+//! simulator's churn micro-benchmark (`benches/flowsim_churn.rs`), and,
+//! when a prior `all_figures` run left
+//! `target/experiments/harness_wallclock.json` behind, the harness
+//! wall-clock. Writes `benchmarks/perf_baseline.json` (committed to the
+//! repo).
 //!
 //! Usage: `cargo run --release --bin perf_snapshot` (run `all_figures`
 //! first to include the harness wall-clock).
@@ -19,6 +21,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 use tetrium::cluster::ec2_thirty_instances;
 use tetrium::{run_workload, SchedulerKind};
+use tetrium_bench::churn::run_flowsim_churn;
 use tetrium_sim::EngineConfig;
 use tetrium_workload::{trace_like_jobs, TraceParams};
 
@@ -59,8 +62,14 @@ fn main() {
         "engine_throughput: {total_tasks} tasks in {median:.3} s -> {tasks_per_sec:.0} tasks/s"
     );
 
+    let (churn_events, churn_median) = flowsim_churn_median();
+    let churn_events_per_sec = churn_events as f64 / churn_median;
+    println!(
+        "flowsim_churn: {churn_events} events in {churn_median:.3} s -> {churn_events_per_sec:.0} events/s"
+    );
+
     if check {
-        check_against_baseline(median);
+        check_against_baseline(median, churn_median);
         return;
     }
 
@@ -71,6 +80,12 @@ fn main() {
             "tasks": total_tasks,
             "median_run_secs": median,
             "tasks_per_sec": tasks_per_sec,
+        },
+        "flowsim_churn": {
+            "workload": "churn-30-sites",
+            "events": churn_events,
+            "median_run_secs": churn_median,
+            "events_per_sec": churn_events_per_sec,
         },
     });
     match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
@@ -94,30 +109,55 @@ fn main() {
     println!("baseline written to {path}");
 }
 
-/// Compares a measured median against the committed baseline without
-/// rewriting it. Fails (exit 1) when the measured time exceeds the baseline
+/// Median wall time of the `FlowSim` churn workload (same shape as
+/// `benches/flowsim_churn.rs`), plus the per-run event count.
+fn flowsim_churn_median() -> (usize, f64) {
+    let events = run_flowsim_churn(30, 2_000, 7);
+    let mut secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            run_flowsim_churn(30, 2_000, 7);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (events, secs[secs.len() / 2])
+}
+
+/// Compares measured medians against the committed baseline without
+/// rewriting it. Fails (exit 1) when any measured time exceeds its baseline
 /// by more than the tolerance — 2% by default, overridable through
 /// `TETRIUM_PERF_TOLERANCE` (a ratio, e.g. `0.10`) for noisy CI machines.
-fn check_against_baseline(median: f64) {
+fn check_against_baseline(median: f64, churn_median: f64) {
     let path = "benchmarks/perf_baseline.json";
     let body =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check requires {path}: {e}"));
     let baseline: serde_json::Value = serde_json::from_str(&body).expect("valid baseline JSON");
-    let base = baseline["engine_throughput"]["median_run_secs"]
-        .as_f64()
-        .expect("baseline has engine_throughput.median_run_secs");
     let tolerance = std::env::var("TETRIUM_PERF_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.02);
-    let ratio = median / base;
-    println!(
-        "perf check: measured {median:.4} s vs baseline {base:.4} s \
-         (ratio {ratio:.3}, tolerance {:.0}%)",
-        tolerance * 100.0
-    );
-    if ratio > 1.0 + tolerance {
-        eprintln!("FAIL: engine throughput regressed beyond tolerance");
+    let mut failed = false;
+    for (name, measured) in [
+        ("engine_throughput", median),
+        ("flowsim_churn", churn_median),
+    ] {
+        let Some(base) = baseline[name]["median_run_secs"].as_f64() else {
+            println!("perf check: no {name}.median_run_secs in baseline, skipping");
+            continue;
+        };
+        let ratio = measured / base;
+        println!(
+            "perf check [{name}]: measured {measured:.4} s vs baseline {base:.4} s \
+             (ratio {ratio:.3}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        if ratio > 1.0 + tolerance {
+            eprintln!("FAIL: {name} regressed beyond tolerance");
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("OK: within tolerance");

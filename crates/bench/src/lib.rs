@@ -15,6 +15,7 @@
 //! (`TETRIUM_THREADS`, default all cores) via [`runner`]; output stays
 //! byte-identical to a sequential run.
 
+pub mod churn;
 pub mod figs;
 mod record;
 pub mod runner;

@@ -4,13 +4,20 @@
 //! so the simulator keeps them in per-pair *groups*. Each group carries a
 //! virtual drain clock (`drained`: bytes sent per member flow since the
 //! group was created); a flow joining at drain level `d` with `size` bytes
-//! completes when the clock reaches `d + size`. Advancing time is then
-//! `O(groups)`, finding the next completion is `O(groups · log)`, and rate
-//! recomputation is one heap-based waterfilling pass — independent of the
-//! number of concurrent flows, which is what keeps shuffle-heavy
-//! simulations (thousands of tasks × dozens of sources) tractable.
+//! completes when the clock reaches `d + size`.
+//!
+//! The per-event costs are incremental: rate recomputation reuses a
+//! persistent [`Waterfiller`] and refills only the link components touched
+//! by mutations since the last refresh; the next completion comes from a
+//! global ETA min-heap whose entries are generation-stamped (per-group
+//! stamps for membership/rate changes, a global epoch for clock movement)
+//! instead of a linear scan; and time advancement walks a live-group list,
+//! so `(src, dst)` pairs that once carried a flow but drained long ago cost
+//! nothing. All of it is exact: the arithmetic — and therefore every
+//! simulated timestamp and byte count — is bit-identical to recomputing the
+//! world from scratch at every event.
 
-use crate::maxmin::{waterfill_groups, GroupSpec};
+use crate::maxmin::Waterfiller;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tetrium_cluster::SiteId;
@@ -20,6 +27,15 @@ use tetrium_obs::Obs;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey(usize);
 
+impl FlowKey {
+    /// The slab index behind the handle. Keys are reused after removal, so
+    /// indices are dense: callers can keep per-flow state in a plain vector
+    /// instead of a hash map.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone)]
 struct FlowRec {
     size_gb: f64,
@@ -27,6 +43,8 @@ struct FlowRec {
     group: Option<usize>,
     /// Group drain level when the flow joined.
     join_drain: f64,
+    /// Position in `locals` (meaningful only for alive local flows).
+    local_pos: usize,
     alive: bool,
 }
 
@@ -42,11 +60,43 @@ struct Group {
     /// Completion thresholds `(join_drain + size, flow index)`, min-first;
     /// entries for removed flows are discarded lazily.
     heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Generation stamp: bumped whenever the group's ETA inputs change
+    /// (membership or a bitwise rate change), invalidating its entry in
+    /// the global ETA heap.
+    eta_stamp: u32,
+    /// Whether the group is already queued for an ETA re-push.
+    stale_queued: bool,
 }
 
 /// Orders non-negative f64 thresholds as u64 keys.
 fn key(v: f64) -> u64 {
     v.max(0.0).to_bits()
+}
+
+/// Maps any non-NaN f64 to a u64 that orders like the float (negative
+/// values included), for use as a heap key.
+fn ord_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// An entry in the global ETA heap: the earliest completion of one group,
+/// ordered by `(eta, group index)` so ties resolve to the lowest group —
+/// the same winner the previous linear scan produced. Entries are validated
+/// lazily on pop: one is live only while its group stamp and the global
+/// time epoch still match.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EtaEntry {
+    ord: u64,
+    group: usize,
+    eta_bits: u64,
+    flow: usize,
+    stamp: u32,
+    epoch: u64,
 }
 
 /// Fluid simulation of concurrent WAN transfers.
@@ -55,7 +105,8 @@ fn key(v: f64) -> u64 {
 /// calls [`FlowSim::advance_to`] to move the clock forward — draining bytes
 /// at the current max-min rates — and uses [`FlowSim::next_completion`] to
 /// schedule its next network event. Rates are recomputed lazily whenever the
-/// flow set or link capacities change.
+/// flow set or link capacities change, and incrementally: only the link
+/// components touched since the last refresh are refilled.
 ///
 /// Local flows (`src == dst`) complete instantly (zero remaining time), as
 /// local reads do not cross the WAN in the paper's model.
@@ -82,19 +133,43 @@ pub struct FlowSim {
     free: Vec<usize>,
     groups: Vec<Group>,
     group_index: HashMap<(usize, usize), usize>,
+    /// Group ids with `count > 0`, ascending. Groups whose pair drained
+    /// empty stay in the table (their drain clock must survive re-use) but
+    /// drop off this list, so long-dead pairs cost nothing per event.
+    live: Vec<usize>,
     now: f64,
     total_wan_gb: f64,
     active: usize,
     /// Alive local flows (rarely used; the engine short-circuits local
-    /// reads before they reach the WAN model).
+    /// reads before they reach the WAN model). Removal is a swap_remove,
+    /// so the order is not insertion order.
     locals: Vec<usize>,
     dirty: bool,
+    /// Persistent waterfilling scratch + dirty-link set.
+    wf: Waterfiller,
+    /// Global ETA heap over live groups; see [`EtaEntry`].
+    eta_heap: BinaryHeap<Reverse<EtaEntry>>,
+    /// Bumped whenever `now` changes bitwise: ETAs are computed from
+    /// `(now, drained)` and must be re-derived once the clock moves so the
+    /// arithmetic matches a from-scratch scan bit for bit.
+    time_epoch: u64,
+    /// All live groups need fresh ETA entries (set when the clock moves).
+    all_stale: bool,
+    /// Groups needing an ETA re-push (membership or rate changed).
+    stale: Vec<usize>,
     /// Memoized result of [`FlowSim::next_completion`]: completion times are
     /// absolute, so the answer stays valid until the flow set or capacities
     /// change.
     cached_next: Option<Option<(FlowKey, f64)>>,
     /// Observability sink; disabled by default.
     obs: Obs,
+    /// A link-utilization sample is owed at the current instant (samples
+    /// are deferred to the end of a same-timestamp mutation burst; the sink
+    /// coalesces same-instant samples, so one deferred sample equals the
+    /// last of the per-mutation ones).
+    obs_pending: bool,
+    obs_up: Vec<f64>,
+    obs_down: Vec<f64>,
 }
 
 impl FlowSim {
@@ -107,6 +182,7 @@ impl FlowSim {
     pub fn new(up_gbps: Vec<f64>, down_gbps: Vec<f64>) -> Self {
         assert_eq!(up_gbps.len(), down_gbps.len());
         assert!(up_gbps.iter().chain(&down_gbps).all(|&c| c > 0.0));
+        let n = up_gbps.len();
         Self {
             up_gbps,
             down_gbps,
@@ -114,19 +190,31 @@ impl FlowSim {
             free: Vec::new(),
             groups: Vec::new(),
             group_index: HashMap::new(),
+            live: Vec::new(),
             now: 0.0,
             total_wan_gb: 0.0,
             active: 0,
             locals: Vec::new(),
             dirty: false,
+            wf: Waterfiller::new(n),
+            eta_heap: BinaryHeap::new(),
+            time_epoch: 0,
+            all_stale: false,
+            stale: Vec::new(),
             cached_next: None,
             obs: Obs::disabled(),
+            obs_pending: false,
+            obs_up: Vec::new(),
+            obs_down: Vec::new(),
         }
     }
 
     /// Installs an observability sink. The simulator emits per-pair WAN
     /// accounting (including refunds) and a link-utilization sample at
-    /// every flow-set or capacity change boundary.
+    /// every flow-set or capacity change boundary. Samples are flushed at
+    /// the next query or time advance; call [`FlowSim::next_completion`] or
+    /// [`FlowSim::link_usage`] before reading the sink if the last event
+    /// was a mutation.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
     }
@@ -147,6 +235,28 @@ impl FlowSim {
         self.active
     }
 
+    /// Bumps a group's ETA generation and queues it for a re-push into the
+    /// global heap at the next query.
+    fn mark_group_stale(&mut self, g: usize) {
+        let grp = &mut self.groups[g];
+        grp.eta_stamp = grp.eta_stamp.wrapping_add(1);
+        if !grp.stale_queued {
+            grp.stale_queued = true;
+            self.stale.push(g);
+        }
+    }
+
+    fn live_insert(&mut self, g: usize) {
+        let pos = self.live.partition_point(|&x| x < g);
+        self.live.insert(pos, g);
+    }
+
+    fn live_remove(&mut self, g: usize) {
+        let pos = self.live.partition_point(|&x| x < g);
+        debug_assert_eq!(self.live[pos], g);
+        self.live.remove(pos);
+    }
+
     /// Starts a transfer of `gb` from `src` to `dst` and returns its handle.
     ///
     /// WAN usage is accounted at start time (the bytes will cross the WAN
@@ -163,14 +273,16 @@ impl FlowSim {
                 size_gb: 0.0,
                 group: None,
                 join_drain: 0.0,
+                local_pos: 0,
                 alive: false,
             });
             self.flows.len() - 1
         });
-        let (group, join_drain) = if local {
+        let (group, join_drain, local_pos) = if local {
+            let pos = self.locals.len();
             self.locals.push(idx);
             self.cached_next = None;
-            (None, 0.0)
+            (None, 0.0, pos)
         } else {
             let g = *self
                 .group_index
@@ -183,25 +295,34 @@ impl FlowSim {
                         rate: 0.0,
                         drained: 0.0,
                         heap: BinaryHeap::new(),
+                        eta_stamp: 0,
+                        stale_queued: false,
                     });
                     self.groups.len() - 1
                 });
             let grp = &mut self.groups[g];
             grp.count += 1;
             grp.heap.push(Reverse((key(grp.drained + gb), idx)));
+            let join = grp.drained;
+            if grp.count == 1 {
+                self.live_insert(g);
+            }
+            self.mark_group_stale(g);
+            self.wf.mark_pair_dirty(src.index(), dst.index());
             self.dirty = true;
             self.cached_next = None;
-            (Some(g), grp.drained)
+            (Some(g), join, 0)
         };
         self.flows[idx] = FlowRec {
             size_gb: gb,
             group,
             join_drain,
+            local_pos,
             alive: true,
         };
         self.active += 1;
-        if !local {
-            self.emit_link_sample();
+        if !local && self.obs.is_enabled() {
+            self.obs_pending = true;
         }
         FlowKey(idx)
     }
@@ -228,16 +349,30 @@ impl FlowSim {
             Some(g) => {
                 self.groups[g].count -= 1;
                 // Heap entries are discarded lazily when popped.
+                if self.groups[g].count == 0 {
+                    self.live_remove(g);
+                }
+                self.mark_group_stale(g);
+                let (src, dst) = (self.groups[g].src, self.groups[g].dst);
+                self.wf.mark_pair_dirty(src, dst);
                 self.dirty = true;
                 // Refund WAN accounting for unsent bytes of a cancelled flow.
                 self.total_wan_gb -= remaining;
                 if remaining > 0.0 {
-                    let (src, dst) = (self.groups[g].src, self.groups[g].dst);
                     self.obs.wan_transfer(SiteId(src), SiteId(dst), -remaining);
                 }
-                self.emit_link_sample();
+                if self.obs.is_enabled() {
+                    self.obs_pending = true;
+                }
             }
-            None => self.locals.retain(|&i| i != fkey.0),
+            None => {
+                let pos = self.flows[fkey.0].local_pos;
+                self.locals.swap_remove(pos);
+                if pos < self.locals.len() {
+                    let moved = self.locals[pos];
+                    self.flows[moved].local_pos = pos;
+                }
+            }
         }
         self.free.push(fkey.0);
         self.active -= 1;
@@ -249,9 +384,12 @@ impl FlowSim {
         assert!(up_gbps > 0.0 && down_gbps > 0.0);
         self.up_gbps[site.index()] = up_gbps;
         self.down_gbps[site.index()] = down_gbps;
+        self.wf.mark_pair_dirty(site.index(), site.index());
         self.dirty = true;
         self.cached_next = None;
-        self.emit_link_sample();
+        if self.obs.is_enabled() {
+            self.obs_pending = true;
+        }
     }
 
     /// Advances the clock to `t`, draining every flow at its current rate.
@@ -263,14 +401,59 @@ impl FlowSim {
         assert!(t >= self.now - 1e-9, "time must be monotone");
         let dt = (t - self.now).max(0.0);
         if dt > 0.0 {
+            // The owed sample belongs to the instant the mutations happened
+            // at, so flush before moving the clock.
+            self.flush_link_sample();
             self.refresh();
-            for g in &mut self.groups {
-                if g.count > 0 && g.rate > 0.0 {
-                    g.drained += g.rate * dt;
+            for &g in &self.live {
+                let grp = &mut self.groups[g];
+                if grp.rate > 0.0 {
+                    grp.drained += grp.rate * dt;
                 }
             }
+            self.time_epoch += 1;
+            self.all_stale = true;
+        } else if t.to_bits() != self.now.to_bits() {
+            // The clock value changed bitwise (a sub-epsilon step backwards
+            // or across the zero signs): ETAs derive from `now`, so they
+            // must be recomputed to stay bit-exact.
+            self.time_epoch += 1;
+            self.all_stale = true;
         }
         self.now = t;
+    }
+
+    /// The earliest valid ETA entry for group `g` (validating the group's
+    /// threshold heap lazily), or `None` when the group has no runnable
+    /// member at a positive rate.
+    fn group_entry(&mut self, g: usize) -> Option<EtaEntry> {
+        // Discard heap entries of removed flows or stale re-additions.
+        let (threshold, idx) = loop {
+            let &Reverse((th, idx)) = self.groups[g].heap.peek()?;
+            let f = &self.flows[idx];
+            let valid = f.alive && f.group == Some(g) && key(f.join_drain + f.size_gb) == th;
+            if valid {
+                break (th, idx);
+            }
+            self.groups[g].heap.pop();
+        };
+        let grp = &self.groups[g];
+        let remaining = (f64::from_bits(threshold) - grp.drained).max(0.0);
+        let eta = if remaining <= 1e-12 {
+            self.now
+        } else if grp.rate <= 0.0 {
+            return None; // Stalled (cannot happen with positive capacities).
+        } else {
+            self.now + remaining / grp.rate
+        };
+        Some(EtaEntry {
+            ord: ord_key(eta),
+            group: g,
+            eta_bits: eta.to_bits(),
+            flow: idx,
+            stamp: grp.eta_stamp,
+            epoch: self.time_epoch,
+        })
     }
 
     /// The earliest `(flow, absolute completion time)` among in-flight flows
@@ -281,41 +464,51 @@ impl FlowSim {
         if let Some(cached) = self.cached_next {
             return cached;
         }
+        self.flush_link_sample();
         self.refresh();
-        let mut best: Option<(FlowKey, f64)> = None;
         // Local flows (no group) complete immediately.
         if let Some(&i) = self.locals.first() {
             return Some((FlowKey(i), self.now));
         }
-        for g in 0..self.groups.len() {
-            // Discard heap entries of removed flows or stale re-additions.
-            let (threshold, idx) = loop {
-                let Some(&Reverse((th, idx))) = self.groups[g].heap.peek() else {
-                    break (u64::MAX, usize::MAX);
-                };
-                let f = &self.flows[idx];
-                let valid = f.alive && f.group == Some(g) && key(f.join_drain + f.size_gb) == th;
-                if valid {
-                    break (th, idx);
-                }
-                self.groups[g].heap.pop();
-            };
-            if idx == usize::MAX {
-                continue;
+        if self.all_stale {
+            // The clock moved: every ETA must be re-derived. Rebuild the
+            // heap in one O(live) heapify, reusing its buffer.
+            self.all_stale = false;
+            for g in std::mem::take(&mut self.stale) {
+                // (the Vec keeps its capacity through take+restore below)
+                self.groups[g].stale_queued = false;
             }
-            let grp = &self.groups[g];
-            let remaining = (f64::from_bits(threshold) - grp.drained).max(0.0);
-            let eta = if remaining <= 1e-12 {
-                self.now
-            } else if grp.rate <= 0.0 {
-                continue; // Stalled (cannot happen with positive capacities).
-            } else {
-                self.now + remaining / grp.rate
-            };
-            if best.is_none_or(|(_, t)| eta < t) {
-                best = Some((FlowKey(idx), eta));
+            let mut buf = std::mem::take(&mut self.eta_heap).into_vec();
+            buf.clear();
+            for i in 0..self.live.len() {
+                let g = self.live[i];
+                if let Some(e) = self.group_entry(g) {
+                    buf.push(Reverse(e));
+                }
+            }
+            self.eta_heap = BinaryHeap::from(buf);
+        } else {
+            while let Some(g) = self.stale.pop() {
+                self.groups[g].stale_queued = false;
+                if self.groups[g].count == 0 {
+                    continue;
+                }
+                if let Some(e) = self.group_entry(g) {
+                    self.eta_heap.push(Reverse(e));
+                }
             }
         }
+        // Pop superseded entries until the top is current; it stays in the
+        // heap for future queries.
+        let best = loop {
+            let Some(Reverse(e)) = self.eta_heap.peek() else {
+                break None;
+            };
+            if e.epoch == self.time_epoch && e.stamp == self.groups[e.group].eta_stamp {
+                break Some((FlowKey(e.flow), f64::from_bits(e.eta_bits)));
+            }
+            self.eta_heap.pop();
+        };
         self.cached_next = Some(best);
         best
     }
@@ -356,50 +549,68 @@ impl FlowSim {
     /// Allocation-free variant of [`FlowSim::link_usage`]: clears and fills
     /// the caller's buffers so a hot caller can reuse their capacity.
     pub fn link_usage_into(&mut self, up: &mut Vec<f64>, down: &mut Vec<f64>) {
+        self.flush_link_sample();
         self.refresh();
+        self.fill_usage(up, down);
+    }
+
+    /// Sums live-group rates into the buffers (ascending group order — the
+    /// accumulation order is part of the bit-exact contract).
+    fn fill_usage(&self, up: &mut Vec<f64>, down: &mut Vec<f64>) {
         let n = self.up_gbps.len();
         up.clear();
         up.resize(n, 0.0);
         down.clear();
         down.resize(n, 0.0);
-        for g in &self.groups {
-            if g.count > 0 {
-                up[g.src] += g.rate * g.count as f64;
-                down[g.dst] += g.rate * g.count as f64;
-            }
+        for &gi in &self.live {
+            let g = &self.groups[gi];
+            up[g.src] += g.rate * g.count as f64;
+            down[g.dst] += g.rate * g.count as f64;
         }
     }
 
-    /// Emits a per-link utilization sample at the current instant. The
-    /// `is_enabled` guard keeps the disabled path free of the refresh and
-    /// the usage computation; same-instant samples coalesce in the sink.
-    fn emit_link_sample(&mut self) {
-        if !self.obs.is_enabled() {
+    /// Emits the owed per-link utilization sample, if any. Deferring to the
+    /// end of a same-timestamp mutation burst is invisible in the sink
+    /// (same-instant samples coalesce to the last one) and means one rate
+    /// refresh per burst instead of one per mutation.
+    fn flush_link_sample(&mut self) {
+        if !self.obs_pending {
             return;
         }
-        let (up, down) = self.link_usage();
+        self.obs_pending = false;
+        self.refresh();
+        let mut up = std::mem::take(&mut self.obs_up);
+        let mut down = std::mem::take(&mut self.obs_down);
+        self.fill_usage(&mut up, &mut down);
         self.obs.link_sample(self.now, &up, &down);
+        self.obs_up = up;
+        self.obs_down = down;
     }
 
-    /// Recomputes group rates if any mutation happened since the last
-    /// refresh.
+    /// Recomputes the rates of groups in mutated link components if any
+    /// mutation happened since the last refresh; untouched components keep
+    /// their (still exact) rates.
     fn refresh(&mut self) {
         if !self.dirty {
             return;
         }
         self.dirty = false;
-        let specs: Vec<GroupSpec> = self
-            .groups
-            .iter()
-            .map(|g| GroupSpec {
-                src: g.src,
-                dst: g.dst,
-                count: g.count,
-            })
-            .collect();
-        let rates = waterfill_groups(&specs, &self.up_gbps, &self.down_gbps);
-        for (g, r) in self.groups.iter_mut().zip(rates) {
-            g.rate = r;
+        let groups = &self.groups;
+        self.wf.refill(
+            &self.live,
+            |g| {
+                let gr = &groups[g];
+                (gr.src, gr.dst, gr.count)
+            },
+            &self.up_gbps,
+            &self.down_gbps,
+        );
+        for i in 0..self.wf.refilled().len() {
+            let (g, r) = self.wf.refilled()[i];
+            if self.groups[g].rate.to_bits() != r.to_bits() {
+                self.groups[g].rate = r;
+                self.mark_group_stale(g);
+            }
         }
     }
 }
@@ -465,6 +676,24 @@ mod tests {
     }
 
     #[test]
+    fn local_flow_removal_is_positional() {
+        // Three local flows; removing the first must keep the other two
+        // alive and resolvable (swap_remove repositions the moved entry).
+        let mut sim = FlowSim::new(vec![1.0], vec![1.0]);
+        let a = sim.add_flow(SiteId(0), SiteId(0), 1.0);
+        let b = sim.add_flow(SiteId(0), SiteId(0), 1.0);
+        let c = sim.add_flow(SiteId(0), SiteId(0), 1.0);
+        sim.remove_flow(a);
+        assert_eq!(sim.active_flows(), 2);
+        let (k1, _) = sim.next_completion().unwrap();
+        sim.remove_flow(k1);
+        let (k2, _) = sim.next_completion().unwrap();
+        sim.remove_flow(k2);
+        assert!(sim.next_completion().is_none());
+        assert!([b, c].contains(&k1) && [b, c].contains(&k2) && k1 != k2);
+    }
+
+    #[test]
     fn cancelling_a_flow_refunds_wan_accounting() {
         let mut sim = FlowSim::new(vec![1.0, 1.0], vec![1.0, 1.0]);
         let k = sim.add_flow(SiteId(0), SiteId(1), 10.0);
@@ -494,6 +723,36 @@ mod tests {
         let b = sim.add_flow(SiteId(1), SiteId(0), 2.0);
         assert_eq!(sim.active_flows(), 1);
         assert!((sim.remaining_gb(b) - 2.0).abs() < 1e-9);
+    }
+
+    /// Once a pair's group drains empty it leaves the live list; re-adding
+    /// flows on the pair (and on others) must still produce completions in
+    /// exact ETA order, and the long-dead pair must not resurface.
+    #[test]
+    fn completion_order_is_unchanged_after_group_pruning() {
+        let mut sim = FlowSim::new(vec![2.0; 3], vec![2.0; 3]);
+        // Round 1: drain pair (0,1) to empty so its group goes dormant.
+        let a = sim.add_flow(SiteId(0), SiteId(1), 2.0);
+        let (ka, ta) = sim.next_completion().unwrap();
+        assert_eq!(ka, a);
+        sim.advance_to(ta);
+        sim.remove_flow(a);
+        assert!(sim.next_completion().is_none());
+        // Round 2: flows on (1,2) and the revived (0,1); sizes chosen so
+        // the revived pair finishes second. The (0,1) drain clock kept its
+        // round-1 value, so remaining bytes must still resolve exactly.
+        let b = sim.add_flow(SiteId(1), SiteId(2), 2.0);
+        let c = sim.add_flow(SiteId(0), SiteId(1), 4.0);
+        let (kb, tb) = sim.next_completion().unwrap();
+        assert_eq!(kb, b);
+        assert!((tb - 2.0).abs() < 1e-9); // 2 GB at 2 GB/s from t=1.
+        sim.advance_to(tb);
+        sim.remove_flow(b);
+        let (kc, tc) = sim.next_completion().unwrap();
+        assert_eq!(kc, c);
+        assert!((tc - 3.0).abs() < 1e-9);
+        sim.advance_to(tc);
+        assert_eq!(sim.remove_flow(c), 0.0);
     }
 
     /// Drains `n` flows over `sites` sites to completion, asserting exact
@@ -549,6 +808,7 @@ mod tests {
         let k = sim.add_flow(SiteId(0), SiteId(1), 10.0);
         sim.advance_to(2.0);
         sim.remove_flow(k); // Cancelled: 8 GB refunded.
+        sim.next_completion(); // Flush the sample owed for the removal.
         let r = obs.finish().unwrap();
         assert!((r.wan_pair(SiteId(0), SiteId(1)) - 2.0).abs() < 1e-9);
         assert!((r.total_wan_gb() - sim.total_wan_gb()).abs() < 1e-12);

@@ -18,4 +18,4 @@ mod flowsim;
 mod maxmin;
 
 pub use flowsim::{FlowKey, FlowSim};
-pub use maxmin::{max_min_rates, waterfill_groups, FlowSpec, GroupSpec};
+pub use maxmin::{max_min_rates, waterfill_groups, FlowSpec, GroupSpec, Waterfiller};

@@ -1,5 +1,7 @@
 //! Max-min fair rate allocation by progressive filling.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use tetrium_cluster::SiteId;
 
 /// A wide-area flow between two sites.
@@ -93,76 +95,366 @@ pub struct GroupSpec {
 /// Max-min fair per-flow rate of each group, by progressive filling with a
 /// lazily re-validated link heap.
 ///
-/// Saturation levels are monotone over the filling (freezing a group can
-/// only raise the level at which other links saturate), so a stale heap
-/// entry is simply re-pushed with its recomputed level. Each group freezes
-/// exactly once, giving `O(groups + links·log links)` per call — the
-/// property that keeps shuffle-heavy simulations tractable.
+/// Stateless convenience wrapper over [`Waterfiller`]: allocates fresh
+/// scratch per call. Hot callers (the flow simulator) hold a persistent
+/// [`Waterfiller`] instead and reuse its buffers across calls.
 pub fn waterfill_groups(groups: &[GroupSpec], up_gbps: &[f64], down_gbps: &[f64]) -> Vec<f64> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
     let n = up_gbps.len();
     assert_eq!(down_gbps.len(), n);
-    // Links: 0..n uplinks, n..2n downlinks.
-    let mut rem = vec![0.0f64; 2 * n];
-    let mut act = vec![0usize; 2 * n];
-    rem[..n].copy_from_slice(up_gbps);
-    rem[n..].copy_from_slice(down_gbps);
-    let mut link_groups: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
-    for (g, spec) in groups.iter().enumerate() {
-        assert!(spec.src != spec.dst, "local flows cannot be grouped");
-        assert!(spec.src < n && spec.dst < n);
-        if spec.count == 0 {
-            continue;
-        }
-        act[spec.src] += spec.count;
-        act[n + spec.dst] += spec.count;
-        link_groups[spec.src].push(g);
-        link_groups[n + spec.dst].push(g);
-    }
-
+    let mut wf = Waterfiller::new(n);
     let mut rates = vec![0.0f64; groups.len()];
-    let mut frozen: Vec<bool> = groups.iter().map(|g| g.count == 0).collect();
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    // f64 levels are non-negative, so their bit patterns order correctly as
-    // u64 keys (avoids a float-ordering wrapper).
-    let key = |level: f64| -> u64 { level.max(0.0).to_bits() };
-    for l in 0..2 * n {
-        if act[l] > 0 {
-            heap.push(Reverse((key(rem[l].max(0.0) / act[l] as f64), l)));
-        }
-    }
-    while let Some(Reverse((stored, l))) = heap.pop() {
-        if act[l] == 0 {
-            continue;
-        }
-        let exact = rem[l].max(0.0) / act[l] as f64;
-        if key(exact) > stored {
-            heap.push(Reverse((key(exact), l)));
-            continue;
-        }
-        // Freeze every unfrozen group crossing link `l` at this level.
-        let level = exact;
-        let members = std::mem::take(&mut link_groups[l]);
-        for g in members {
-            if frozen[g] {
-                continue;
-            }
-            frozen[g] = true;
-            rates[g] = level;
-            let spec = &groups[g];
-            for m in [spec.src, n + spec.dst] {
-                act[m] -= spec.count;
-                rem[m] = (rem[m] - level * spec.count as f64).max(0.0);
-                if m != l && act[m] > 0 {
-                    heap.push(Reverse((key(rem[m] / act[m] as f64), m)));
-                }
-            }
-        }
-        act[l] = 0;
+    let live: Vec<usize> = (0..groups.len()).filter(|&g| groups[g].count > 0).collect();
+    wf.mark_all_dirty();
+    wf.refill(
+        &live,
+        |g| (groups[g].src, groups[g].dst, groups[g].count),
+        up_gbps,
+        down_gbps,
+    );
+    for &(g, r) in wf.refilled() {
+        rates[g] = r;
     }
     rates
+}
+
+/// Orders non-negative f64 levels as u64 keys.
+#[inline]
+fn key(level: f64) -> u64 {
+    level.max(0.0).to_bits()
+}
+
+/// Persistent progressive-filling state: all scratch buffers (per-link
+/// remaining capacity and active counts, link→group membership, the
+/// saturation heap, and a link union-find) live across calls, so the steady
+/// state of a refill allocates nothing.
+///
+/// # Dirty-link incremental refills
+///
+/// Links and groups form a bipartite graph (each group crosses its source
+/// uplink and destination downlink). Progressive filling is *independent
+/// across connected components* of that graph: freezing a group only
+/// updates the remaining capacity and active count of the two links it
+/// crosses, so the fill arithmetic of one component never observes another.
+/// A mutation (flow added/removed, capacity change) therefore only
+/// invalidates the rates of groups in the components containing the links
+/// it touched — the *dirty* links. [`Waterfiller::refill`] unions the
+/// current live groups' links, scopes the fill to components holding a
+/// dirty link, and leaves every other component's rates untouched. When the
+/// bottleneck structure actually moves — components merge, split, or a
+/// saturation order changes inside one — the moved structure is by
+/// construction inside a dirty component and gets a full (component-wide)
+/// refill, so the result is always *exactly* the rates a from-scratch fill
+/// would produce, bit for bit (the arithmetic sequence per component is
+/// identical).
+#[derive(Debug)]
+pub struct Waterfiller {
+    n_sites: usize,
+    /// Per-link remaining capacity during a fill (0..n uplinks, n..2n
+    /// downlinks).
+    rem: Vec<f64>,
+    /// Per-link count of unfrozen flows.
+    act: Vec<usize>,
+    /// Per-link list of groups crossing it (rebuilt per refill, scoped).
+    link_groups: Vec<Vec<usize>>,
+    /// Saturation heap of `(level key, link)` packed into a `u128`
+    /// (`key << 64 | link`; one-word compares), min-first. Ordering is
+    /// identical to the `(key, link)` tuple.
+    heap: BinaryHeap<Reverse<u128>>,
+    /// Per-group frozen marker (valid only for groups in the current scope).
+    frozen: Vec<bool>,
+    /// Union-find parent over links, rebuilt per refill.
+    parent: Vec<u32>,
+    /// Links marked dirty by mutations since the last refill.
+    dirty_links: Vec<usize>,
+    dirty_mask: Vec<bool>,
+    all_dirty: bool,
+    /// Per-root dirty marker (scratch).
+    dirty_root: Vec<bool>,
+    /// Links participating in the current scoped fill, ascending.
+    scoped_links: Vec<usize>,
+    /// Per-group `(src, dst, count)` cached for the current refill so the
+    /// fill loop stays on this compact array instead of chasing the
+    /// caller's group records.
+    spec_cache: Vec<(u32, u32, u32)>,
+    /// Scratch the frozen link's member list is swapped into (the buffers
+    /// circulate between this and `link_groups`, so freezing never
+    /// deallocates).
+    members_scratch: Vec<usize>,
+    /// Key of the most recent heap push per link. The fill keeps the
+    /// invariant that every active link has an entry at or below its
+    /// current saturation level: levels are monotone over the fill modulo
+    /// float rounding, so only the (rare) downward rounding moves need a
+    /// fresh push — see the freeze loop.
+    best_key: Vec<u64>,
+    /// `(group, new rate)` pairs produced by the last refill.
+    refilled: Vec<(usize, f64)>,
+}
+
+impl Waterfiller {
+    /// Creates a waterfiller over `n_sites` sites (2 × `n_sites` links).
+    pub fn new(n_sites: usize) -> Self {
+        let links = 2 * n_sites;
+        Self {
+            n_sites,
+            rem: vec![0.0; links],
+            act: vec![0; links],
+            link_groups: vec![Vec::new(); links],
+            heap: BinaryHeap::new(),
+            frozen: Vec::new(),
+            parent: vec![0; links],
+            dirty_links: Vec::new(),
+            dirty_mask: vec![false; links],
+            all_dirty: false,
+            dirty_root: vec![false; links],
+            scoped_links: Vec::new(),
+            spec_cache: Vec::new(),
+            members_scratch: Vec::new(),
+            best_key: vec![0; links],
+            refilled: Vec::new(),
+        }
+    }
+
+    /// Marks one site's uplink or downlink dirty: the next [`refill`] will
+    /// recompute every group in that link's connected component.
+    ///
+    /// [`refill`]: Waterfiller::refill
+    #[inline]
+    pub fn mark_dirty(&mut self, link: usize) {
+        if !self.dirty_mask[link] && !self.all_dirty {
+            self.dirty_mask[link] = true;
+            self.dirty_links.push(link);
+        }
+    }
+
+    /// Marks the uplink of `src` and the downlink of `dst` dirty.
+    #[inline]
+    pub fn mark_pair_dirty(&mut self, src: usize, dst: usize) {
+        self.mark_dirty(src);
+        self.mark_dirty(self.n_sites + dst);
+    }
+
+    /// Marks everything dirty: the next [`refill`] recomputes all live
+    /// groups.
+    ///
+    /// [`refill`]: Waterfiller::refill
+    pub fn mark_all_dirty(&mut self) {
+        self.all_dirty = true;
+        for l in self.dirty_links.drain(..) {
+            self.dirty_mask[l] = false;
+        }
+    }
+
+    /// Whether any link is marked dirty.
+    pub fn is_dirty(&self) -> bool {
+        self.all_dirty || !self.dirty_links.is_empty()
+    }
+
+    fn find(&mut self, l: usize) -> usize {
+        let mut root = l;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = l;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Recomputes the rates of every live group whose component contains a
+    /// dirty link, clearing the dirty set. `live` must list live (count > 0)
+    /// group ids in ascending order; `spec` maps a group id to its
+    /// `(src, dst, count)`. The results are exposed via
+    /// [`Waterfiller::refilled`]; groups outside the dirty components are
+    /// not recomputed and keep whatever rate the caller stored for them.
+    pub fn refill(
+        &mut self,
+        live: &[usize],
+        spec: impl Fn(usize) -> (usize, usize, usize),
+        up_gbps: &[f64],
+        down_gbps: &[f64],
+    ) {
+        let n = self.n_sites;
+        assert_eq!(up_gbps.len(), n);
+        assert_eq!(down_gbps.len(), n);
+        self.refilled.clear();
+        let full = self.all_dirty;
+        if !full && self.dirty_links.is_empty() {
+            return;
+        }
+
+        // Cache every live group's spec once; all later passes read the
+        // compact array. Also union the live groups' link pairs and mark
+        // the roots reached by dirty links (a full refill scopes every
+        // link, so it skips the union pass).
+        if let Some(&max_g) = live.last() {
+            if self.spec_cache.len() <= max_g {
+                self.spec_cache.resize(max_g + 1, (0, 0, 0));
+            }
+            if self.frozen.len() <= max_g {
+                self.frozen.resize(max_g + 1, false);
+            }
+        }
+        if full {
+            for &g in live {
+                let (src, dst, count) = spec(g);
+                assert!(src != dst, "local flows cannot be grouped");
+                assert!(src < n && dst < n);
+                self.spec_cache[g] = (src as u32, dst as u32, count as u32);
+            }
+        } else {
+            for (l, p) in self.parent.iter_mut().enumerate() {
+                *p = l as u32;
+            }
+            for &g in live {
+                let (src, dst, count) = spec(g);
+                assert!(src != dst, "local flows cannot be grouped");
+                assert!(src < n && dst < n);
+                self.spec_cache[g] = (src as u32, dst as u32, count as u32);
+                let (a, b) = (self.find(src), self.find(n + dst));
+                if a != b {
+                    self.parent[a] = b as u32;
+                }
+            }
+            self.dirty_root.iter_mut().for_each(|d| *d = false);
+            for i in 0..self.dirty_links.len() {
+                let l = self.dirty_links[i];
+                let r = self.find(l);
+                self.dirty_root[r] = true;
+            }
+        }
+
+        // Reset per-link fill state for scoped links and collect the scoped
+        // group set into the link membership lists (ascending group order —
+        // the fill's arithmetic order).
+        self.scoped_links.clear();
+        for l in 0..2 * n {
+            let scoped = full || {
+                let r = self.find(l);
+                self.dirty_root[r]
+            };
+            if scoped {
+                self.scoped_links.push(l);
+                self.rem[l] = if l < n { up_gbps[l] } else { down_gbps[l - n] };
+                self.act[l] = 0;
+                self.link_groups[l].clear();
+            }
+        }
+        for &g in live {
+            let (src, dst, count) = self.spec_cache[g];
+            let (src, dst, count) = (src as usize, dst as usize, count as usize);
+            let in_scope = full || {
+                let r = self.find(src);
+                self.dirty_root[r]
+            };
+            if !in_scope {
+                continue;
+            }
+            self.frozen[g] = false;
+            self.act[src] += count;
+            self.act[n + dst] += count;
+            self.link_groups[src].push(g);
+            self.link_groups[n + dst].push(g);
+        }
+
+        // Progressive filling over the scoped component(s), identical to a
+        // from-scratch fill restricted to them: saturation levels are
+        // monotone over the filling (freezing a group can only raise the
+        // level at which other links saturate), so a stale heap entry is
+        // simply re-pushed with its recomputed level. Each group freezes
+        // exactly once, giving `O(groups + links·log links)` per refill.
+        debug_assert!(self.heap.is_empty());
+        let pack = |k: u64, l: usize| ((k as u128) << 64) | l as u128;
+        let mut heap_buf = std::mem::take(&mut self.heap).into_vec();
+        heap_buf.clear();
+        for i in 0..self.scoped_links.len() {
+            let l = self.scoped_links[i];
+            if self.act[l] > 0 {
+                let k = key(self.rem[l].max(0.0) / self.act[l] as f64);
+                self.best_key[l] = k;
+                heap_buf.push(Reverse(pack(k, l)));
+            }
+        }
+        // Heapify in one O(links) pass; link keys are distinct, so the pop
+        // order matches one-by-one pushes exactly.
+        let Waterfiller {
+            rem,
+            act,
+            link_groups,
+            heap,
+            frozen,
+            spec_cache,
+            members_scratch,
+            refilled,
+            best_key,
+            ..
+        } = &mut *self;
+        *heap = BinaryHeap::from(heap_buf);
+        while let Some(Reverse(packed)) = heap.pop() {
+            let (stored, l) = ((packed >> 64) as u64, packed as u64 as usize);
+            if act[l] == 0 {
+                continue;
+            }
+            let exact = rem[l].max(0.0) / act[l] as f64;
+            if key(exact) > stored {
+                best_key[l] = key(exact);
+                heap.push(Reverse(pack(key(exact), l)));
+                continue;
+            }
+            // Freeze every unfrozen group crossing link `l` at this level.
+            // The member list swaps against a scratch buffer (leaving the
+            // link's list empty, as the fill requires) so no Vec is dropped
+            // or grown from zero on this path.
+            let level = exact;
+            members_scratch.clear();
+            std::mem::swap(members_scratch, &mut link_groups[l]);
+            for &g in members_scratch.iter() {
+                if frozen[g] {
+                    continue;
+                }
+                frozen[g] = true;
+                refilled.push((g, level));
+                let (src, dst, count) = spec_cache[g];
+                let (src, dst, count) = (src as usize, dst as usize, count as usize);
+                // Counterpart links almost never need a re-push: the entry
+                // behind `best_key[m]` is still at or below the new level
+                // (levels are monotone over the fill), and the
+                // revalidate-and-repush step above restores the exact key
+                // when it surfaces. Only a *downward* float-rounding move —
+                // the new level landing below every live entry — needs a
+                // fresh push to keep the at-or-below invariant, so the
+                // freeze order stays exactly that of an eager heap while
+                // the heap itself stays at `O(links)` entries.
+                for m in [src, n + dst] {
+                    act[m] -= count;
+                    rem[m] = (rem[m] - level * count as f64).max(0.0);
+                    if act[m] > 0 {
+                        let nk = key(rem[m] / act[m] as f64);
+                        if nk < best_key[m] {
+                            best_key[m] = nk;
+                            heap.push(Reverse(pack(nk, m)));
+                        }
+                    }
+                }
+            }
+            act[l] = 0;
+        }
+
+        self.all_dirty = false;
+        for l in self.dirty_links.drain(..) {
+            self.dirty_mask[l] = false;
+        }
+    }
+
+    /// The `(group, per-flow rate)` results of the last [`refill`]: exactly
+    /// the groups inside the dirty components, each frozen once.
+    ///
+    /// [`refill`]: Waterfiller::refill
+    pub fn refilled(&self) -> &[(usize, f64)] {
+        &self.refilled
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +531,54 @@ mod tests {
                 let up_sat = upload[fl.src.index()] >= up[fl.src.index()] - 1e-6;
                 let down_sat = download[fl.dst.index()] >= down[fl.dst.index()] - 1e-6;
                 assert!(up_sat || down_sat, "flow {i} not bottlenecked");
+            }
+        }
+    }
+
+    /// Incremental refills (dirty-link scoping) must reproduce the full
+    /// fill bit for bit, for every mutation in a deterministic churn
+    /// sequence.
+    #[test]
+    fn incremental_refill_matches_full_fill_bitwise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 6;
+        let up: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..8.0)).collect();
+        let down: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..8.0)).collect();
+        // One group per ordered pair; counts mutate over time.
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|s| (0..n).filter(move |&d| d != s).map(move |d| (s, d)))
+            .collect();
+        let mut counts = vec![0usize; pairs.len()];
+        let mut rates = vec![0.0f64; pairs.len()];
+        let mut wf = Waterfiller::new(n);
+        for step in 0..400 {
+            let g = rng.gen_range(0..pairs.len());
+            if counts[g] > 0 && rng.gen_bool(0.4) {
+                counts[g] -= 1;
+            } else {
+                counts[g] += rng.gen_range(1..4usize);
+            }
+            let (s, d) = pairs[g];
+            wf.mark_pair_dirty(s, d);
+            let live: Vec<usize> = (0..pairs.len()).filter(|&g| counts[g] > 0).collect();
+            wf.refill(&live, |g| (pairs[g].0, pairs[g].1, counts[g]), &up, &down);
+            for &(g, r) in wf.refilled() {
+                rates[g] = r;
+            }
+            let specs: Vec<GroupSpec> = pairs
+                .iter()
+                .zip(&counts)
+                .map(|(&(src, dst), &count)| GroupSpec { src, dst, count })
+                .collect();
+            let want = waterfill_groups(&specs, &up, &down);
+            for &g in &live {
+                assert!(
+                    rates[g].to_bits() == want[g].to_bits(),
+                    "step {step}: group {g} incremental {} != full {}",
+                    rates[g],
+                    want[g]
+                );
             }
         }
     }

@@ -76,7 +76,10 @@ pub struct Engine {
     events: EventQueue,
     jobs: Vec<JobRt>,
     job_index: HashMap<JobId, usize>,
-    flow_map: HashMap<FlowKey, FlowOwner>,
+    /// Owner of each in-flight flow, indexed by `FlowKey::index()` (flow
+    /// keys are dense slab indices, so a vector beats a hash map on the
+    /// per-flow-event path).
+    flow_owner: Vec<Option<FlowOwner>>,
     copies: HashMap<(usize, usize, usize), CopyRt>,
     next_copy_id: u64,
     scheduler: Box<dyn Scheduler>,
@@ -102,6 +105,7 @@ pub struct Engine {
     dispatch_scratch: Vec<Vec<(i64, usize, usize, usize)>>,
     launch_scratch: Vec<(i64, usize, usize, usize)>,
     usage_scratch: (Vec<f64>, Vec<f64>),
+    fetch_scratch: Vec<(SiteId, f64)>,
 }
 
 impl Engine {
@@ -149,7 +153,7 @@ impl Engine {
             events: EventQueue::new(),
             jobs: jobs.into_iter().map(|j| JobRt::new(j, n)).collect(),
             job_index,
-            flow_map: HashMap::new(),
+            flow_owner: Vec::new(),
             copies: HashMap::new(),
             next_copy_id: 0,
             scheduler,
@@ -171,7 +175,22 @@ impl Engine {
             dispatch_scratch: Vec::new(),
             launch_scratch: Vec::new(),
             usage_scratch: (Vec::new(), Vec::new()),
+            fetch_scratch: Vec::new(),
         }
+    }
+
+    /// Records `owner` for an in-flight flow.
+    fn set_flow_owner(&mut self, key: FlowKey, owner: FlowOwner) {
+        let i = key.index();
+        if self.flow_owner.len() <= i {
+            self.flow_owner.resize(i + 1, None);
+        }
+        self.flow_owner[i] = Some(owner);
+    }
+
+    /// Removes and returns the owner of a flow, if any.
+    fn take_flow_owner(&mut self, key: FlowKey) -> Option<FlowOwner> {
+        self.flow_owner.get_mut(key.index()).and_then(Option::take)
     }
 
     /// Adds capacity-drop events that fire during the run (§4.2).
@@ -312,7 +331,7 @@ impl Engine {
 
     fn on_flow_done(&mut self, key: FlowKey) {
         self.flows.remove_flow(key);
-        let Some(owner) = self.flow_map.remove(&key) else {
+        let Some(owner) = self.take_flow_owner(key) else {
             return;
         };
         let (j, s, t) = match owner {
@@ -335,7 +354,7 @@ impl Engine {
         };
         if let Some((src, gb)) = open_next {
             let flow = self.flows.add_flow(src, site, gb);
-            self.flow_map.insert(flow, FlowOwner::Task(j, s, t));
+            self.set_flow_owner(flow, FlowOwner::Task(j, s, t));
             if let TaskState::Fetching { pending, .. } = &mut self.jobs[j].stages[s].tasks[t].state
             {
                 pending.push(flow);
@@ -644,22 +663,64 @@ impl Engine {
         let kind = self.jobs[j].job.stages[s].kind;
         let mean = self.jobs[j].job.stages[s].task_secs;
         let secs = self.sample_duration(mean);
-        let (input_site, input_gb, share) = {
+        {
             let task = &mut self.jobs[j].stages[s].tasks[t];
             task.run_site = Some(site);
             task.actual_secs = Some(secs);
             task.launched_at = Some(self.now);
-            (task.input_site, task.input_gb, task.share)
-        };
+        }
 
         // Collect this task's remote fetches, then open at most
         // `max_fetch_concurrency` immediately; the rest queue behind them.
-        let mut fetches: Vec<(SiteId, f64)> = Vec::new();
+        // All flows of a same-instant launch burst (an n-source shuffle
+        // fan-out, or many tasks dispatched at one scheduling point) enter
+        // the simulator before the next completion query, so the whole
+        // burst costs one rate refresh.
+        let mut fetches = std::mem::take(&mut self.fetch_scratch);
+        self.collect_fetches(j, s, t, kind, site, &mut fetches);
+        if fetches.is_empty() {
+            self.fetch_scratch = fetches;
+            self.begin_compute(j, s, t);
+            return;
+        }
+        for &(_, gb) in &fetches {
+            self.jobs[j].wan_gb += gb;
+        }
+        let cap = self.cfg.max_fetch_concurrency.max(1);
+        let mut pending = Vec::new();
+        let mut queued = Vec::new();
+        for (i, &(src, gb)) in fetches.iter().enumerate() {
+            if i < cap {
+                let key = self.flows.add_flow(src, site, gb);
+                self.set_flow_owner(key, FlowOwner::Task(j, s, t));
+                pending.push(key);
+            } else {
+                queued.push((src, gb));
+            }
+        }
+        self.fetch_scratch = fetches;
+        self.jobs[j].stages[s].tasks[t].state = TaskState::Fetching { pending, queued };
+    }
+
+    /// Fills `fetches` with the remote inputs an attempt of task `(j, s, t)`
+    /// running at `site` must pull over the WAN: a map task's home
+    /// partition, or a reduce task's shuffle share from every other site.
+    fn collect_fetches(
+        &self,
+        j: usize,
+        s: usize,
+        t: usize,
+        kind: StageKind,
+        site: SiteId,
+        fetches: &mut Vec<(SiteId, f64)>,
+    ) {
+        fetches.clear();
+        let task = &self.jobs[j].stages[s].tasks[t];
         match kind {
             StageKind::Map => {
-                let src = input_site.expect("map task has a home partition");
-                if src != site && input_gb > 1e-12 {
-                    fetches.push((src, input_gb));
+                let src = task.input_site.expect("map task has a home partition");
+                if src != site && task.input_gb > 1e-12 {
+                    fetches.push((src, task.input_gb));
                 }
             }
             StageKind::Reduce => {
@@ -668,33 +729,13 @@ impl Engine {
                     .as_deref()
                     .expect("runnable stage has realized input");
                 for x in 0..self.cluster.len() {
-                    let vol = share * input.at(SiteId(x));
+                    let vol = task.share * input.at(SiteId(x));
                     if SiteId(x) != site && vol > 1e-12 {
                         fetches.push((SiteId(x), vol));
                     }
                 }
             }
         }
-        if fetches.is_empty() {
-            self.begin_compute(j, s, t);
-            return;
-        }
-        for (_, gb) in &fetches {
-            self.jobs[j].wan_gb += gb;
-        }
-        let cap = self.cfg.max_fetch_concurrency.max(1);
-        let mut pending = Vec::new();
-        let mut queued = Vec::new();
-        for (i, (src, gb)) in fetches.into_iter().enumerate() {
-            if i < cap {
-                let key = self.flows.add_flow(src, site, gb);
-                self.flow_map.insert(key, FlowOwner::Task(j, s, t));
-                pending.push(key);
-            } else {
-                queued.push((src, gb));
-            }
-        }
-        self.jobs[j].stages[s].tasks[t].state = TaskState::Fetching { pending, queued };
     }
 
     fn sample_duration(&mut self, mean: f64) -> f64 {
@@ -783,46 +824,24 @@ impl Engine {
         let mean = self.jobs[j].job.stages[s].task_secs;
         let secs = self.sample_duration(mean);
         let kind = self.jobs[j].job.stages[s].kind;
-        let (input_site, input_gb, share) = {
-            let task = &self.jobs[j].stages[s].tasks[t];
-            (task.input_site, task.input_gb, task.share)
-        };
-        let mut fetches: Vec<(SiteId, f64)> = Vec::new();
-        match kind {
-            StageKind::Map => {
-                let src = input_site.expect("map task has a home partition");
-                if src != site && input_gb > 1e-12 {
-                    fetches.push((src, input_gb));
-                }
-            }
-            StageKind::Reduce => {
-                let input = self.jobs[j].stages[s]
-                    .input
-                    .as_deref()
-                    .expect("runnable stage has realized input");
-                for x in 0..self.cluster.len() {
-                    let vol = share * input.at(SiteId(x));
-                    if SiteId(x) != site && vol > 1e-12 {
-                        fetches.push((SiteId(x), vol));
-                    }
-                }
-            }
-        }
-        for (_, gb) in &fetches {
+        let mut fetches = std::mem::take(&mut self.fetch_scratch);
+        self.collect_fetches(j, s, t, kind, site, &mut fetches);
+        for &(_, gb) in &fetches {
             self.jobs[j].wan_gb += gb;
         }
         let cap = self.cfg.max_fetch_concurrency.max(1);
         let mut pending = Vec::new();
         let mut queued = Vec::new();
-        for (i, (src, gb)) in fetches.into_iter().enumerate() {
+        for (i, &(src, gb)) in fetches.iter().enumerate() {
             if i < cap {
                 let key = self.flows.add_flow(src, site, gb);
-                self.flow_map.insert(key, FlowOwner::Copy(j, s, t, id));
+                self.set_flow_owner(key, FlowOwner::Copy(j, s, t, id));
                 pending.push(key);
             } else {
                 queued.push((src, gb));
             }
         }
+        self.fetch_scratch = fetches;
         self.copies_launched += 1;
         let computing = pending.is_empty();
         if computing {
@@ -857,7 +876,7 @@ impl Engine {
         let site = copy.site;
         if let Some((src, gb)) = copy.queued.pop() {
             let flow = self.flows.add_flow(src, site, gb);
-            self.flow_map.insert(flow, FlowOwner::Copy(j, s, t, id));
+            self.set_flow_owner(flow, FlowOwner::Copy(j, s, t, id));
             if let Some(copy) = self.copies.get_mut(&(j, s, t)) {
                 copy.pending.push(flow);
             }
@@ -922,7 +941,7 @@ impl Engine {
         // behind the concurrency cap (which were charged in full at launch).
         for key in orig_flows {
             let unsent = self.flows.remove_flow(key);
-            self.flow_map.remove(&key);
+            self.take_flow_owner(key);
             self.jobs[j].wan_gb -= unsent;
         }
         for (_, gb) in orig_queued {
@@ -962,7 +981,7 @@ impl Engine {
         // all of them up front at launch.
         for key in copy.pending {
             let unsent = self.flows.remove_flow(key);
-            self.flow_map.remove(&key);
+            self.take_flow_owner(key);
             self.jobs[j].wan_gb -= unsent;
         }
         for (_, gb) in copy.queued {

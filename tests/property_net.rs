@@ -164,6 +164,128 @@ proptest! {
         }
     }
 
+    /// Capacity-churn-heavy differential check: `set_capacity` dominates the
+    /// interleaving, so nearly every step dirties a link pair and forces a
+    /// scoped refill whose result must still match the from-scratch
+    /// oracle. This pins the dirty-link bookkeeping (mask reset, union-find
+    /// scoping, full-fill fallback) under sustained capacity movement.
+    #[test]
+    fn flowsim_matches_oracle_under_capacity_churn(
+        (up, down) in caps_strategy(),
+        ops in proptest::collection::vec((0usize..8, 0usize..7, 0usize..7, 1u32..40), 1..60),
+    ) {
+        use tetrium::net::{FlowKey, FlowSim};
+        let n = up.len();
+        let mut sim = FlowSim::new(up.clone(), down.clone());
+        let (mut up, mut down) = (up, down);
+        let mut live: Vec<(FlowKey, usize, usize)> = Vec::new();
+        for (op, a, b, v) in ops {
+            match op {
+                0 => {
+                    let s = a % n;
+                    let mut d = b % n;
+                    if s == d {
+                        d = (d + 1) % n;
+                    }
+                    let k = sim.add_flow(SiteId(s), SiteId(d), v as f64 * 0.1);
+                    live.push((k, s, d));
+                }
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (k, _, _) = live.swap_remove(a % live.len());
+                    prop_assert!(sim.remove_flow(k) >= 0.0);
+                }
+                // Ops 2..=7: capacity churn on some site — three times the
+                // weight of every other mutation combined.
+                _ => {
+                    let s = a % n;
+                    up[s] = (v as f64) * 0.05;
+                    down[s] = (b + 1) as f64 * 0.05;
+                    sim.set_capacity(SiteId(s), up[s], down[s]);
+                }
+            }
+            let flows: Vec<FlowSpec> = live
+                .iter()
+                .map(|&(_, s, d)| FlowSpec { src: SiteId(s), dst: SiteId(d) })
+                .collect();
+            let oracle = max_min_rates(&flows, &up, &down);
+            for (&(k, s, d), &want) in live.iter().zip(&oracle) {
+                let got = sim.rate_gbps(k);
+                prop_assert!(
+                    (got - want).abs() < 1e-6 * (1.0 + want),
+                    "flow {}->{}: sim rate {} vs oracle {}", s, d, got, want
+                );
+            }
+        }
+    }
+
+    /// Same-pair churn: every add/remove hits the *same* `(src, dst)` group
+    /// (with one static background pair for contention), repeatedly driving
+    /// the group's flow count through 0 and back. This pins the live-list
+    /// insert/remove path, group reuse after emptying, and the pruned-group
+    /// drain clocks: a group revived after going empty must behave exactly
+    /// like a fresh one.
+    #[test]
+    fn flowsim_matches_oracle_under_same_pair_churn(
+        (up, down) in caps_strategy(),
+        pair in (0usize..7, 1usize..7),
+        ops in proptest::collection::vec((0usize..3, 0usize..13, 1u32..40), 1..60),
+    ) {
+        use tetrium::net::{FlowKey, FlowSim};
+        let n = up.len();
+        let s = pair.0 % n;
+        let d = (s + (pair.1 % (n - 1)) + 1) % n;
+        let mut sim = FlowSim::new(up.clone(), down.clone());
+        // One background flow on a different pair keeps the component
+        // non-trivial so the churned group contends for links.
+        let (bs, bd) = (d, s);
+        let bg = sim.add_flow(SiteId(bs), SiteId(bd), 1e6);
+        let mut live: Vec<FlowKey> = Vec::new();
+        for (op, a, v) in ops {
+            match op {
+                0 => live.push(sim.add_flow(SiteId(s), SiteId(d), v as f64 * 0.1)),
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let k = live.swap_remove(a % live.len());
+                    prop_assert!(sim.remove_flow(k) >= 0.0);
+                }
+                _ => {
+                    if let Some((_, t)) = sim.next_completion() {
+                        let target = sim.now() + (t - sim.now()) * (v as f64 / 40.0);
+                        sim.advance_to(target);
+                        while let Some((k, tc)) = sim.next_completion() {
+                            if tc > sim.now() + 1e-12 {
+                                break;
+                            }
+                            sim.remove_flow(k);
+                            live.retain(|&lk| lk != k);
+                        }
+                    }
+                }
+            }
+            let mut flows: Vec<FlowSpec> =
+                vec![FlowSpec { src: SiteId(bs), dst: SiteId(bd) }];
+            flows.extend(live.iter().map(|_| FlowSpec { src: SiteId(s), dst: SiteId(d) }));
+            let oracle = max_min_rates(&flows, &up, &down);
+            let got_bg = sim.rate_gbps(bg);
+            prop_assert!(
+                (got_bg - oracle[0]).abs() < 1e-6 * (1.0 + oracle[0]),
+                "background flow rate {} vs oracle {}", got_bg, oracle[0]
+            );
+            for (&k, &want) in live.iter().zip(&oracle[1..]) {
+                let got = sim.rate_gbps(k);
+                prop_assert!(
+                    (got - want).abs() < 1e-6 * (1.0 + want),
+                    "churned flow: sim rate {} vs oracle {}", got, want
+                );
+            }
+        }
+    }
+
     /// The fluid simulator conserves bytes: every flow driven to completion
     /// accounts exactly its size of WAN traffic.
     #[test]
