@@ -24,6 +24,7 @@ fn main() {
     fwd_rev::run_fig();
     vs_tetris::run_fig();
     skew_sweep::run_fig();
+    resilience::run_fig();
     let wall = t0.elapsed().as_secs_f64();
     println!("\nall figures regenerated; records in target/experiments/");
     eprintln!("[all_figures] wall-clock {wall:.1} s on {threads} thread(s)");

@@ -68,8 +68,11 @@ fn main() {
         "flowsim_churn: {churn_events} events in {churn_median:.3} s -> {churn_events_per_sec:.0} events/s"
     );
 
+    let resilience_median = resilience_sweep_median();
+    println!("resilience_sweep: 6 clean/degraded runs in {resilience_median:.3} s");
+
     if check {
-        check_against_baseline(median, churn_median);
+        check_against_baseline(median, churn_median, resilience_median);
         return;
     }
 
@@ -86,6 +89,11 @@ fn main() {
             "events": churn_events,
             "median_run_secs": churn_median,
             "events_per_sec": churn_events_per_sec,
+        },
+        "resilience_sweep": {
+            "workload": "drop-30-sites",
+            "runs": 6,
+            "median_run_secs": resilience_median,
         },
     });
     match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
@@ -124,11 +132,40 @@ fn flowsim_churn_median() -> (usize, f64) {
     (events, secs[secs.len() / 2])
 }
 
+/// Median wall time of the mid-run-dynamics resilience sweep (the same
+/// core `tests/resilience.rs` and the `resilience` figure run): three
+/// schedulers × {clean, degraded} on the 30-site trace workload. Guards
+/// the dynamics event path's overhead in the engine hot loop.
+fn resilience_sweep_median() -> f64 {
+    use tetrium_bench::figs::resilience::{half_drop_at_biggest_site, sweep};
+    let cluster = ec2_thirty_instances();
+    let params = TraceParams {
+        median_input_gb: 10.0,
+        mean_interarrival_secs: 30.0,
+        mean_task_secs: 5.0,
+        tasks_per_gb: 4.0,
+        max_tasks: 150,
+        ..TraceParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    let jobs = trace_like_jobs(&cluster, 6, &params, &mut rng);
+    let timeline = half_drop_at_biggest_site(&cluster, 60.0);
+    let mut secs: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            sweep(1, &cluster, &jobs, &timeline, 31);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    secs[secs.len() / 2]
+}
+
 /// Compares measured medians against the committed baseline without
 /// rewriting it. Fails (exit 1) when any measured time exceeds its baseline
 /// by more than the tolerance — 2% by default, overridable through
 /// `TETRIUM_PERF_TOLERANCE` (a ratio, e.g. `0.10`) for noisy CI machines.
-fn check_against_baseline(median: f64, churn_median: f64) {
+fn check_against_baseline(median: f64, churn_median: f64, resilience_median: f64) {
     let path = "benchmarks/perf_baseline.json";
     let body =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check requires {path}: {e}"));
@@ -141,6 +178,7 @@ fn check_against_baseline(median: f64, churn_median: f64) {
     for (name, measured) in [
         ("engine_throughput", median),
         ("flowsim_churn", churn_median),
+        ("resilience_sweep", resilience_median),
     ] {
         let Some(base) = baseline[name]["median_run_secs"].as_f64() else {
             println!("perf check: no {name}.median_run_secs in baseline, skipping");

@@ -1,0 +1,4 @@
+//! Regenerates the mid-run-dynamics resilience sweep; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::resilience::run_fig();
+}

@@ -1,0 +1,142 @@
+//! Resilience sweep (Fig 11 companion): completion-time degradation under
+//! a mid-run 50% capacity drop at the most capable site.
+//!
+//! Each scheduler runs the same workload twice — clean, and with a
+//! [`DynamicsTimeline`] halving the most capable site's slots and links
+//! mid-run — and the table reports the relative degradation in average
+//! response time. Tetrium reschedules around the drop (its scheduling
+//! instance fires on the dynamics event), so its degradation stays below
+//! the static placements of In-Place and Centralized, which keep feeding
+//! the shrunken site.
+
+use crate::runner::{cell, run_cells_with, Cell, CellFn};
+use crate::{banner, fifty_sites, thread_count, trace_engine, trace_workload, write_record};
+use tetrium::cluster::{Cluster, DynamicsChange, DynamicsEvent, DynamicsTimeline, SiteId};
+use tetrium::sim::Engine;
+use tetrium::SchedulerKind;
+use tetrium_jobs::Job;
+
+/// One scheduler's clean-vs-degraded outcome.
+#[derive(Debug, Clone)]
+pub struct ResilienceRow {
+    /// Scheduler label.
+    pub scheduler: &'static str,
+    /// Average response time without dynamics, in seconds.
+    pub clean_avg: f64,
+    /// Average response time under the mid-run drop, in seconds.
+    pub degraded_avg: f64,
+}
+
+impl ResilienceRow {
+    /// Relative completion-time degradation, in percent.
+    pub fn degradation_pct(&self) -> f64 {
+        if self.clean_avg <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.degraded_avg - self.clean_avg) / self.clean_avg
+    }
+}
+
+/// The sweep's scheduler lineup: the adaptive system vs the two static
+/// placements the acceptance experiment compares against.
+fn kinds() -> [(&'static str, SchedulerKind); 3] {
+    [
+        ("tetrium", SchedulerKind::Tetrium),
+        ("in-place", SchedulerKind::InPlace),
+        ("centralized", SchedulerKind::Centralized),
+    ]
+}
+
+/// Builds the sweep's drop: half the capacity of the most capable site
+/// (the site every scheduler leans on) at `at_time`.
+pub fn half_drop_at_biggest_site(cluster: &Cluster, at_time: f64) -> DynamicsTimeline {
+    let biggest = (0..cluster.len())
+        .max_by_key(|&i| cluster.site(SiteId(i)).slots)
+        .expect("non-empty cluster");
+    DynamicsTimeline::new(vec![DynamicsEvent::new(
+        SiteId(biggest),
+        at_time,
+        DynamicsChange::Capacity { keep: 0.5 },
+    )])
+}
+
+/// Runs the clean/degraded pair for every scheduler on `threads` workers.
+/// Cells execute in parallel but the rows come back in lineup order, so
+/// the output is byte-identical for any worker count.
+pub fn sweep(
+    threads: usize,
+    cluster: &Cluster,
+    jobs: &[Job],
+    timeline: &DynamicsTimeline,
+    seed: u64,
+) -> Vec<ResilienceRow> {
+    let mut grid: Vec<(Cell, CellFn<'_, f64>)> = Vec::new();
+    for (name, kind) in kinds() {
+        for degraded in [false, true] {
+            let workload = if degraded { "drop=0.5" } else { "clean" };
+            grid.push(cell(Cell::new("resilience", name, workload, seed), {
+                let kind = kind.clone();
+                let timeline = timeline.clone();
+                move || {
+                    let mut engine = Engine::new(
+                        cluster.clone(),
+                        jobs.to_vec(),
+                        kind.build(),
+                        trace_engine(seed),
+                    );
+                    if degraded {
+                        engine = engine.with_dynamics(timeline);
+                    }
+                    engine.run().expect("run completes").avg_response()
+                }
+            }));
+        }
+    }
+    let mut avgs = run_cells_with(threads, grid).into_iter();
+    kinds()
+        .into_iter()
+        .map(|(name, _)| {
+            let clean_avg = avgs.next().expect("clean cell");
+            let degraded_avg = avgs.next().expect("degraded cell");
+            ResilienceRow {
+                scheduler: name,
+                clean_avg,
+                degraded_avg,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full-scale sweep and prints/records the table.
+pub fn run_fig() {
+    banner(
+        "resilience",
+        "mid-run 50% drop at the most capable site: degradation by scheduler",
+    );
+    let cluster = fifty_sites(1);
+    let jobs = trace_workload(&cluster, 11);
+    let timeline = half_drop_at_biggest_site(&cluster, 120.0);
+    let rows = sweep(thread_count(), &cluster, &jobs, &timeline, 11);
+    println!(
+        "{:<13} {:>11} {:>11} {:>12}",
+        "scheduler", "clean (s)", "dropped (s)", "degradation"
+    );
+    let mut recs = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<13} {:>11.1} {:>11.1} {:>11.1}%",
+            r.scheduler,
+            r.clean_avg,
+            r.degraded_avg,
+            r.degradation_pct()
+        );
+        recs.push(serde_json::json!({
+            "scheduler": r.scheduler,
+            "clean_avg_s": r.clean_avg,
+            "degraded_avg_s": r.degraded_avg,
+            "degradation_pct": r.degradation_pct(),
+        }));
+    }
+    println!("(expected: tetrium re-places around the drop and degrades least)");
+    write_record("resilience", &serde_json::json!({ "rows": recs }));
+}

@@ -5,10 +5,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tetrium::{run_workload, SchedulerKind};
+use tetrium::{run_workload, run_workload_dynamic, SchedulerKind};
 use tetrium_bench::runner::CellFn;
 use tetrium_bench::{cell, run_cells_with, thread_count, Cell};
-use tetrium_cluster::{Cluster, Site};
+use tetrium_cluster::{Cluster, DynamicsChange, DynamicsEvent, DynamicsTimeline, Site, SiteId};
 use tetrium_sim::EngineConfig;
 use tetrium_workload::{trace_like_jobs, TraceParams};
 
@@ -77,6 +77,70 @@ fn render_grid(threads: usize) -> String {
     out
 }
 
+/// Same contract with an active [`DynamicsTimeline`]: a capacity drop plus
+/// an outage-with-recovery exercise the failure/retry path, whose obs
+/// records (failures, refunds, re-placements) must also be byte-identical
+/// across worker counts.
+fn render_dynamic_grid(threads: usize) -> String {
+    let cluster = small_cluster();
+    let params = TraceParams {
+        median_input_gb: 2.0,
+        mean_interarrival_secs: 10.0,
+        mean_task_secs: 1.0,
+        tasks_per_gb: 2.0,
+        max_tasks: 20,
+        ..TraceParams::default()
+    };
+    let timeline = DynamicsTimeline::new(vec![
+        DynamicsEvent::new(SiteId(3), 8.0, DynamicsChange::Capacity { keep: 0.5 }),
+        DynamicsEvent::new(SiteId(0), 12.0, DynamicsChange::Outage),
+        DynamicsEvent::new(SiteId(0), 25.0, DynamicsChange::Recover),
+    ]);
+    let workloads: Vec<(u64, Vec<tetrium_jobs::Job>)> = [2u64, 3]
+        .into_iter()
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (seed, trace_like_jobs(&cluster, 4, &params, &mut rng))
+        })
+        .collect();
+
+    let mut grid: Vec<(Cell, CellFn<'_, _>)> = Vec::new();
+    for (seed, jobs) in &workloads {
+        for (name, kind) in [
+            ("tetrium", SchedulerKind::Tetrium),
+            ("in-place", SchedulerKind::InPlace),
+            ("iridium", SchedulerKind::Iridium),
+        ] {
+            grid.push(cell(Cell::new("det-dyn", name, "mini-dynamics", *seed), {
+                let cluster = &cluster;
+                let timeline = timeline.clone();
+                move || {
+                    let mut cfg = EngineConfig::trace_like(*seed);
+                    cfg.record_obs = true;
+                    let r =
+                        run_workload_dynamic(cluster.clone(), jobs.clone(), kind, cfg, timeline)
+                            .expect("completes");
+                    let obs =
+                        serde_json::to_string(&r.obs.as_ref().unwrap().to_json(false)).unwrap();
+                    format!(
+                        "{name:<10} seed={seed} avg={:.6} wan={:.6} dyn={} fail={} obs={obs}",
+                        r.avg_response(),
+                        r.total_wan_gb,
+                        r.dynamics_events,
+                        r.task_failures,
+                    )
+                }
+            }));
+        }
+    }
+    let mut out = String::new();
+    for line in run_cells_with(threads, grid) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 #[test]
 fn one_and_four_workers_render_identical_output() {
     let sequential = render_grid(1);
@@ -88,6 +152,25 @@ fn one_and_four_workers_render_identical_output() {
     assert_eq!(
         sequential, parallel,
         "output must not depend on thread count"
+    );
+}
+
+#[test]
+fn dynamics_grid_renders_identical_output_across_worker_counts() {
+    let sequential = render_dynamic_grid(1);
+    let parallel = render_dynamic_grid(4);
+    assert!(
+        sequential.lines().count() >= 6,
+        "grid should produce one row per cell"
+    );
+    // The timeline must actually have fired in every cell, otherwise this
+    // is just the static grid again.
+    for line in sequential.lines() {
+        assert!(line.contains("dyn=3"), "timeline not applied: {line}");
+    }
+    assert_eq!(
+        sequential, parallel,
+        "dynamics-active output must not depend on thread count"
     );
 }
 

@@ -1,0 +1,95 @@
+//! Fig-11-style acceptance check for the mid-run dynamics subsystem: when
+//! the most capable site loses half its capacity mid-run, the adaptive
+//! scheduler (Tetrium) must degrade strictly less than the static
+//! placements (In-Place, Centralized), and the sweep itself must be
+//! byte-deterministic across worker counts.
+//!
+//! Runs a debug-friendly scale (8 sites, a handful of jobs) through the
+//! same `sweep` core the full-scale `resilience` binary uses.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tetrium::cluster::{Cluster, DynamicsTimeline, Site};
+use tetrium_bench::figs::resilience::{half_drop_at_biggest_site, sweep, ResilienceRow};
+use tetrium_jobs::Job;
+use tetrium_workload::{trace_like_jobs, TraceParams};
+
+/// Compute-bound, well-connected sites so the slot drop — not the WAN — is
+/// the binding resource: one big site carrying over half the slots, three
+/// small ones, uniform input.
+fn setup() -> (Cluster, Vec<Job>, DynamicsTimeline) {
+    let mut sites = vec![Site::new("big", 16, 1.0, 1.0)];
+    for i in 0..3 {
+        sites.push(Site::new(format!("s{i}"), 4, 1.0, 1.0));
+    }
+    let cluster = Cluster::new(sites);
+    let params = TraceParams {
+        mean_interarrival_secs: 0.0,
+        median_input_gb: 2.0,
+        input_skew_exponent: (0.0, 0.0),
+        output_ratio: (0.2, 0.5),
+        early_growth_prob: 0.0,
+        key_skew_prob: 0.0,
+        key_skew_severity: 1.0,
+        stages: (2, 3),
+        mean_task_secs: 5.0,
+        tasks_per_gb: 4.0,
+        max_tasks: 60,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let jobs = trace_like_jobs(&cluster, 5, &params, &mut rng);
+    let timeline = half_drop_at_biggest_site(&cluster, 10.0);
+    (cluster, jobs, timeline)
+}
+
+fn render(rows: &[ResilienceRow]) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "{} clean={} degraded={} pct={}\n",
+                r.scheduler,
+                r.clean_avg.to_bits(),
+                r.degraded_avg.to_bits(),
+                r.degradation_pct()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tetrium_degrades_least_under_mid_run_drop() {
+    let (cluster, jobs, timeline) = setup();
+    let rows = sweep(2, &cluster, &jobs, &timeline, 11);
+    for r in &rows {
+        eprintln!(
+            "{:<13} clean={:.2} degraded={:.2} pct={:.2}",
+            r.scheduler,
+            r.clean_avg,
+            r.degraded_avg,
+            r.degradation_pct()
+        );
+    }
+    let pct = |name: &str| {
+        rows.iter()
+            .find(|r| r.scheduler == name)
+            .unwrap()
+            .degradation_pct()
+    };
+    let (tet, inp, cen) = (pct("tetrium"), pct("in-place"), pct("centralized"));
+    assert!(
+        tet < inp,
+        "tetrium degradation {tet:.2}% not below in-place {inp:.2}%"
+    );
+    assert!(
+        tet < cen,
+        "tetrium degradation {tet:.2}% not below centralized {cen:.2}%"
+    );
+}
+
+#[test]
+fn sweep_is_byte_identical_across_worker_counts() {
+    let (cluster, jobs, timeline) = setup();
+    let one = render(&sweep(1, &cluster, &jobs, &timeline, 11));
+    let four = render(&sweep(4, &cluster, &jobs, &timeline, 11));
+    assert_eq!(one, four, "sweep output differs across worker counts");
+}

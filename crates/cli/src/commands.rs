@@ -9,7 +9,7 @@ use tetrium::sim::EngineConfig;
 use tetrium::workload::{
     bigdata_like_jobs, tpcds_like_jobs, trace_like_jobs, Scenario, TraceParams,
 };
-use tetrium::{run_workload, SchedulerKind};
+use tetrium::{run_workload, run_workload_dynamic, SchedulerKind};
 
 /// Help text printed on argument errors.
 pub const USAGE: &str = "\
@@ -21,6 +21,7 @@ usage:
                        [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
                        [--rho R] [--epsilon E] [--seed S] [--json out.json]
                        [--trace chrome_trace.json] [--obs obs.json]
+                       [--dynamics timeline.json]
   tetrium-cli compare  --scenario scenario.json [--seed S]";
 
 /// Routes a command line to its subcommand.
@@ -127,18 +128,28 @@ fn run(args: &Args) -> Result<(), String> {
         "json",
         "trace",
         "obs",
+        "dynamics",
     ])?;
     let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
     let rho: f64 = args.get_or("rho", 1.0)?;
     let epsilon: f64 = args.get_or("epsilon", 1.0)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let kind = scheduler_kind(args.get("scheduler").unwrap_or("tetrium"), rho, epsilon)?;
+    let dynamics = args
+        .get("dynamics")
+        .map(|path| load_dynamics(path, &scenario.cluster))
+        .transpose()?;
 
     let mut cfg = EngineConfig::trace_like(seed);
     cfg.record_trace = args.get("trace").is_some();
     cfg.record_obs = args.get("obs").is_some();
-    let report =
-        run_workload(scenario.cluster, scenario.jobs, kind, cfg).map_err(|e| e.to_string())?;
+    let report = match dynamics {
+        Some(timeline) => {
+            run_workload_dynamic(scenario.cluster, scenario.jobs, kind, cfg, timeline)
+        }
+        None => run_workload(scenario.cluster, scenario.jobs, kind, cfg),
+    }
+    .map_err(|e| e.to_string())?;
 
     println!(
         "{}: {} jobs, avg response {:.1} s, p90 {:.1} s, WAN {:.1} GB, makespan {:.1} s",
@@ -195,6 +206,22 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads and validates a mid-run dynamics timeline (a JSON array of
+/// `{"site": N, "at_time": S, "change": {"kind": ...}}` events).
+fn load_dynamics(
+    path: &str,
+    cluster: &Cluster,
+) -> Result<tetrium::cluster::DynamicsTimeline, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read dynamics {path}: {e}"))?;
+    let timeline: tetrium::cluster::DynamicsTimeline =
+        serde_json::from_str(&body).map_err(|e| format!("bad dynamics {path}: {e}"))?;
+    timeline
+        .validate_for(cluster)
+        .map_err(|e| format!("bad dynamics {path}: {e}"))?;
+    Ok(timeline)
+}
+
 /// Console digest of a run's observability record: per-site occupancy,
 /// where attempt time went, and how the scheduler behaved.
 fn print_obs_summary(obs: &tetrium::obs::ObsReport, makespan: f64) {
@@ -232,6 +259,12 @@ fn print_obs_summary(obs: &tetrium::obs::ObsReport, makespan: f64) {
         "events: {} copies launched, {} won, {} attempts cancelled, {} failures, {} capacity drops",
         c.copies_launched, c.copies_won, c.attempts_cancelled, c.task_failures, c.capacity_drops
     );
+    if c.dynamics_events > 0 {
+        println!(
+            "dynamics: {} timeline events, {} site outages, {} attempts retried",
+            c.dynamics_events, c.site_outages, c.dynamics_retries
+        );
+    }
 }
 
 fn compare(args: &Args) -> Result<(), String> {
@@ -319,6 +352,39 @@ mod tests {
             body.contains("wall_ms"),
             "CLI obs output includes wall latency"
         );
+        // A mid-run dynamics timeline loads, validates and runs end to end.
+        let dyn_path = dir.join("dynamics.json");
+        std::fs::write(
+            &dyn_path,
+            r#"[
+                {"site": 0, "at_time": 30.0, "change": {"kind": "capacity", "keep": 0.5}},
+                {"site": 0, "at_time": 200.0, "change": {"kind": "recover"}}
+            ]"#,
+        )
+        .unwrap();
+        dispatch(&sv(&[
+            "run",
+            "--scenario",
+            out,
+            "--dynamics",
+            dyn_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Out-of-range sites are rejected at load time, not mid-run.
+        std::fs::write(
+            &dyn_path,
+            r#"[{"site": 99, "at_time": 1.0, "change": {"kind": "outage"}}]"#,
+        )
+        .unwrap();
+        let err = dispatch(&sv(&[
+            "run",
+            "--scenario",
+            out,
+            "--dynamics",
+            dyn_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("out of range"), "err: {err}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -102,6 +102,7 @@ mod tests {
             copies_launched: 0,
             copies_won: 0,
             task_failures: 0,
+            dynamics_events: 0,
             trace: Vec::new(),
             obs: None,
         }

@@ -380,8 +380,17 @@ impl FlowSim {
     }
 
     /// Updates a site's link capacities (resource dynamics, §4.2).
+    ///
+    /// Zero is allowed and models a full link outage: flows bottlenecked on
+    /// the zeroed link get rate 0 from the waterfiller and become
+    /// *stalled* — they keep their drained progress but are excluded from
+    /// [`FlowSim::next_completion`] (no infinite/NaN ETA is ever produced),
+    /// so the engine never busy-loops on them. Restoring a positive
+    /// capacity later resumes the stalled flows from where they stopped.
+    /// Construction ([`FlowSim::new`]) still requires positive capacities:
+    /// only mid-run dynamics may zero a link.
     pub fn set_capacity(&mut self, site: SiteId, up_gbps: f64, down_gbps: f64) {
-        assert!(up_gbps > 0.0 && down_gbps > 0.0);
+        assert!(up_gbps >= 0.0 && down_gbps >= 0.0 && up_gbps.is_finite() && down_gbps.is_finite());
         self.up_gbps[site.index()] = up_gbps;
         self.down_gbps[site.index()] = down_gbps;
         self.wf.mark_pair_dirty(site.index(), site.index());
@@ -442,7 +451,10 @@ impl FlowSim {
         let eta = if remaining <= 1e-12 {
             self.now
         } else if grp.rate <= 0.0 {
-            return None; // Stalled (cannot happen with positive capacities).
+            // Stalled: the group sits on a zeroed link (`set_capacity` with
+            // 0 during an outage). No finite ETA exists; the group rejoins
+            // the completion heap when a capacity change restores its rate.
+            return None;
         } else {
             self.now + remaining / grp.rate
         };

@@ -38,6 +38,9 @@ pub enum Trigger {
     SlotRelease,
     /// A site's capacity dropped (§4.2).
     CapacityDrop,
+    /// A dynamics-timeline event (outage, recovery, link degradation)
+    /// changed the cluster's resources mid-run.
+    Dynamics,
     /// A task attempt was lost to failure injection.
     Failure,
     /// The event loop went idle with work remaining and retried.
@@ -52,6 +55,7 @@ impl Trigger {
             Trigger::StageDone => "stage-done",
             Trigger::SlotRelease => "slot-release",
             Trigger::CapacityDrop => "capacity-drop",
+            Trigger::Dynamics => "dynamics",
             Trigger::Failure => "failure",
             Trigger::IdleRetry => "idle-retry",
         }
@@ -171,6 +175,14 @@ pub struct Counters {
     pub task_failures: usize,
     /// Capacity-drop events applied.
     pub capacity_drops: usize,
+    /// Dynamics-timeline events applied (capacity drops, link changes,
+    /// outages and recoveries — a superset of `capacity_drops`).
+    pub dynamics_events: usize,
+    /// Full site outages applied.
+    pub site_outages: usize,
+    /// Task attempts killed by a site outage and re-queued for
+    /// re-placement (bounded by the engine's retry budget).
+    pub dynamics_retries: usize,
 }
 
 /// Everything one run recorded. Also serves as the live recording state
@@ -349,6 +361,9 @@ impl ObsReport {
                 "attempts_cancelled": self.counters.attempts_cancelled,
                 "task_failures": self.counters.task_failures,
                 "capacity_drops": self.counters.capacity_drops,
+                "dynamics_events": self.counters.dynamics_events,
+                "site_outages": self.counters.site_outages,
+                "dynamics_retries": self.counters.dynamics_retries,
             },
             "wan_pair_gb": self.wan_pair_gb,
             "slot_timeline": self.slot_timeline
@@ -516,6 +531,21 @@ impl Obs {
     /// Counts a capacity-drop event.
     pub fn capacity_drop(&self) {
         self.with(|r| r.counters.capacity_drops += 1);
+    }
+
+    /// Counts an applied dynamics-timeline event of any kind.
+    pub fn dynamics_event(&self) {
+        self.with(|r| r.counters.dynamics_events += 1);
+    }
+
+    /// Counts a full site outage.
+    pub fn site_outage(&self) {
+        self.with(|r| r.counters.site_outages += 1);
+    }
+
+    /// Counts an attempt killed by an outage and re-queued.
+    pub fn dynamics_retry(&self) {
+        self.with(|r| r.counters.dynamics_retries += 1);
     }
 
     /// Extracts the recorded report, leaving the shared state empty (other

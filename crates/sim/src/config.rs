@@ -69,6 +69,13 @@ pub struct EngineConfig {
     /// the unlaunched pool and is re-placed at the next scheduling instance;
     /// each attempt re-fails independently.
     pub failure_prob: f64,
+    /// How many attempts of one task may be lost (to failure injection or
+    /// to a site outage) before the run aborts with
+    /// [`crate::SimError::RetriesExhausted`]. The generous default never
+    /// triggers under realistic failure probabilities (p ≤ 0.5 over 32
+    /// consecutive attempts is below 1e-9) but bounds the outage
+    /// retry-with-re-placement loop.
+    pub max_task_retries: usize,
     /// Record a [`crate::report::TaskTrace`] per finished task in the run
     /// report (timeline analysis; off by default to keep reports small).
     pub record_trace: bool,
@@ -94,6 +101,7 @@ impl Default for EngineConfig {
             max_fetch_concurrency: 8,
             speculation: None,
             failure_prob: 0.0,
+            max_task_retries: 32,
             record_trace: false,
             record_obs: false,
             seed: 0,
@@ -121,6 +129,7 @@ impl EngineConfig {
             // off here so the shipped EXPERIMENTS.md numbers regenerate
             // exactly from this configuration.
             failure_prob: 0.0,
+            max_task_retries: 32,
             record_trace: false,
             record_obs: false,
             seed,

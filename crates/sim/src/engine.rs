@@ -13,7 +13,7 @@ use rand_distr::{Distribution, LogNormal};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
-use tetrium_cluster::{CapacityDrop, Cluster, SiteId};
+use tetrium_cluster::{CapacityDrop, Cluster, DynamicsChange, DynamicsTimeline, SiteId};
 use tetrium_jobs::{Job, JobId, StageKind};
 use tetrium_net::{FlowKey, FlowSim};
 use tetrium_obs::{Obs, SchedRecord, TaskPhaseEvent, Trigger};
@@ -26,6 +26,18 @@ pub enum SimError {
         /// Number of unfinished jobs at the stall.
         unfinished: usize,
     },
+    /// One task lost more attempts (to failure injection or site outages)
+    /// than [`EngineConfig::max_task_retries`] allows.
+    RetriesExhausted {
+        /// Workload index of the job.
+        job: usize,
+        /// Stage index within the job.
+        stage: usize,
+        /// Task index within the stage.
+        task: usize,
+        /// Attempts lost when the run aborted.
+        retries: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -33,6 +45,17 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Stalled { unfinished } => {
                 write!(f, "scheduler stalled with {unfinished} unfinished jobs")
+            }
+            SimError::RetriesExhausted {
+                job,
+                stage,
+                task,
+                retries,
+            } => {
+                write!(
+                    f,
+                    "task {task} of job {job} stage {stage} lost {retries} attempts"
+                )
             }
         }
     }
@@ -86,7 +109,11 @@ pub struct Engine {
     cfg: EngineConfig,
     rng: StdRng,
     now: f64,
-    drops: Vec<CapacityDrop>,
+    dynamics: DynamicsTimeline,
+    /// Set when a per-task retry budget is exhausted; checked by the event
+    /// loop after each event so the run aborts deterministically.
+    fatal: Option<SimError>,
+    dynamics_applied: usize,
     sched_pending: bool,
     /// Trigger of the pending scheduling instance: the first requester of a
     /// batched instance wins (later requests coalesce into it).
@@ -160,7 +187,9 @@ impl Engine {
             cfg,
             rng: StdRng::seed_from_u64(seed),
             now: 0.0,
-            drops: Vec::new(),
+            dynamics: DynamicsTimeline::default(),
+            fatal: None,
+            dynamics_applied: 0,
             sched_pending: false,
             pending_trigger: Trigger::JobArrival,
             recent_secs: VecDeque::with_capacity(64),
@@ -194,8 +223,18 @@ impl Engine {
     }
 
     /// Adds capacity-drop events that fire during the run (§4.2).
-    pub fn with_drops(mut self, drops: Vec<CapacityDrop>) -> Self {
-        self.drops = drops;
+    ///
+    /// Legacy entry point: the drops are converted into the equivalent
+    /// [`DynamicsTimeline`] and merged with any timeline already set.
+    pub fn with_drops(self, drops: Vec<CapacityDrop>) -> Self {
+        self.with_dynamics(DynamicsTimeline::from_drops(&drops))
+    }
+
+    /// Merges a mid-run resource-dynamics timeline into the run: capacity
+    /// drops and recoveries, link degradations and full site outages fire
+    /// at their `at_time` through the event queue.
+    pub fn with_dynamics(mut self, timeline: DynamicsTimeline) -> Self {
+        self.dynamics.extend(timeline);
         self
     }
 
@@ -205,8 +244,9 @@ impl Engine {
             self.events
                 .push(self.jobs[i].job.arrival, Event::JobArrival(i));
         }
-        for (i, d) in self.drops.iter().enumerate() {
-            self.events.push(d.at_time, Event::CapacityDrop(i));
+        for i in 0..self.dynamics.len() {
+            let at = self.dynamics.events()[i].at_time;
+            self.events.push(at, Event::Dynamics(i));
         }
 
         loop {
@@ -242,6 +282,9 @@ impl Engine {
                         self.on_event(ev);
                     }
                 }
+            }
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
             }
         }
         Ok(self.into_report())
@@ -290,18 +333,128 @@ impl Engine {
                 self.run_scheduler(trigger);
                 self.maybe_speculate();
             }
-            Event::CapacityDrop(i) => {
-                let d = self.drops[i];
-                let site = d.site.index();
-                let degraded = d.degraded(self.cluster.site(d.site));
-                self.cur_slots[site] = degraded.slots;
-                self.cur_up[site] = degraded.up_gbps;
-                self.cur_down[site] = degraded.down_gbps;
-                self.flows
-                    .set_capacity(d.site, degraded.up_gbps, degraded.down_gbps);
+            Event::Dynamics(i) => self.apply_dynamics(i),
+        }
+    }
+
+    /// Applies dynamics-timeline event `i`: swaps the site's live capacities
+    /// to the event's target (always derived from the configured baseline),
+    /// updates the flow simulator, fails attempts stranded by an outage and
+    /// requests rescheduling.
+    ///
+    /// Occupancy above a shrunken slot count drains naturally: dispatch and
+    /// speculation compute free slots with `saturating_sub`, so no new task
+    /// launches at the site until enough running attempts finish
+    /// (clamp-and-drain), and `occupied` keeps tracking real slot holders.
+    fn apply_dynamics(&mut self, i: usize) {
+        let ev = self.dynamics.events()[i];
+        let site = ev.site;
+        let target = ev.target(self.cluster.site(site));
+        let s = site.index();
+        self.cur_slots[s] = target.slots;
+        self.cur_up[s] = target.up_gbps;
+        self.cur_down[s] = target.down_gbps;
+        self.flows
+            .set_capacity(site, target.up_gbps, target.down_gbps);
+        self.dynamics_applied += 1;
+        self.obs.dynamics_event();
+        let trigger = match ev.change {
+            DynamicsChange::Capacity { .. } => {
+                // Converted legacy `CapacityDrop`s keep emitting the counter
+                // and trigger they always did.
                 self.obs.capacity_drop();
-                self.request_sched(true, Trigger::CapacityDrop);
+                Trigger::CapacityDrop
             }
+            DynamicsChange::Outage => {
+                self.obs.site_outage();
+                self.fail_attempts_at(site);
+                Trigger::Dynamics
+            }
+            DynamicsChange::Links { .. } | DynamicsChange::Recover => Trigger::Dynamics,
+        };
+        self.request_sched(true, trigger);
+    }
+
+    /// Fails every attempt running at `site` (a full outage): originals
+    /// re-enter the scheduling pool through the bounded retry path, and
+    /// speculative copies are torn down with their WAN refunds.
+    fn fail_attempts_at(&mut self, site: SiteId) {
+        for j in 0..self.jobs.len() {
+            for s in 0..self.jobs[j].stages.len() {
+                if self.jobs[j].stages[s].status != StageStatus::Runnable {
+                    continue;
+                }
+                for t in 0..self.jobs[j].stages[s].tasks.len() {
+                    let task = &self.jobs[j].stages[s].tasks[t];
+                    let running_here = task.run_site == Some(site)
+                        && matches!(
+                            task.state,
+                            TaskState::Fetching { .. } | TaskState::Computing { .. }
+                        );
+                    if running_here {
+                        self.obs.dynamics_retry();
+                        self.fail_attempt(j, s, t, site);
+                    }
+                }
+            }
+        }
+        // Copies at the dead site are torn down too. HashMap iteration order
+        // is nondeterministic, so collect and sort the keys before any
+        // order-dependent effect.
+        let mut doomed: Vec<(usize, usize, usize)> = self
+            .copies
+            .iter()
+            .filter(|(_, c)| c.site == site)
+            .map(|(&k, _)| k)
+            .collect();
+        doomed.sort_unstable();
+        for (j, s, t) in doomed {
+            self.cancel_copy(j, s, t);
+        }
+    }
+
+    /// Fails one original attempt of task `(j, s, t)` running at `site`:
+    /// refunds WAN charged for fetches that will never complete (the unsent
+    /// remainder of in-flight flows plus fetches still queued behind the
+    /// concurrency cap, both charged in full at launch), releases the slot,
+    /// and returns the task to the pool for re-placement. Arms
+    /// [`SimError::RetriesExhausted`] once the attempt budget is spent.
+    fn fail_attempt(&mut self, j: usize, s: usize, t: usize, site: SiteId) {
+        // Fetch teardown first: a computing attempt has none, so for the
+        // classic failure-injection path this is a no-op.
+        let (pending, queued) = match &mut self.jobs[j].stages[s].tasks[t].state {
+            TaskState::Fetching { pending, queued } => {
+                (std::mem::take(pending), std::mem::take(queued))
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        for key in pending {
+            let unsent = self.flows.remove_flow(key);
+            self.take_flow_owner(key);
+            self.jobs[j].wan_gb -= unsent;
+        }
+        for (_, gb) in queued {
+            self.jobs[j].wan_gb -= gb;
+        }
+        self.vacate_slot(site);
+        self.task_failures += 1;
+        self.obs.task_failure();
+        self.obs
+            .task_event(self.now, j, s, t, false, TaskPhaseEvent::Failed, site);
+        let task = &mut self.jobs[j].stages[s].tasks[t];
+        task.state = TaskState::Unlaunched;
+        task.run_site = None;
+        task.actual_secs = None;
+        task.compute_started = None;
+        task.launched_at = None;
+        task.retries += 1;
+        if task.retries > self.cfg.max_task_retries && self.fatal.is_none() {
+            self.fatal = Some(SimError::RetriesExhausted {
+                job: j,
+                stage: s,
+                task: t,
+                retries: task.retries,
+            });
         }
     }
 
@@ -387,12 +540,19 @@ impl Engine {
 
     fn on_compute_done(&mut self, j: usize, s: usize, t: usize) {
         let (site, secs, launched_at, compute_started) = {
-            let task = &mut self.jobs[j].stages[s].tasks[t];
-            if !matches!(task.state, TaskState::Computing { .. }) {
-                // A speculative copy already finished this task.
+            let task = &self.jobs[j].stages[s].tasks[t];
+            let TaskState::Computing { done_at } = task.state else {
+                // A speculative copy already finished this task, or the
+                // attempt was lost to a failure or an outage.
+                return;
+            };
+            if done_at != self.now {
+                // Stale event: the attempt that pushed it was failed by an
+                // outage and the task relaunched; the live attempt enqueued
+                // its own completion. (Exact float equality holds — the
+                // event carries the same bits `done_at` was set to.)
                 return;
             }
-            task.state = TaskState::Done;
             (
                 task.run_site.expect("running task has a site"),
                 task.actual_secs.unwrap_or(0.0),
@@ -404,20 +564,11 @@ impl Engine {
         // returns to the pool for re-placement. A live speculative copy, if
         // any, keeps running and may still complete the task.
         if self.cfg.failure_prob > 0.0 && self.rng.gen::<f64>() < self.cfg.failure_prob {
-            self.vacate_slot(site);
-            self.task_failures += 1;
-            self.obs.task_failure();
-            self.obs
-                .task_event(self.now, j, s, t, false, TaskPhaseEvent::Failed, site);
-            let task = &mut self.jobs[j].stages[s].tasks[t];
-            task.state = TaskState::Unlaunched;
-            task.run_site = None;
-            task.actual_secs = None;
-            task.compute_started = None;
-            task.launched_at = None;
+            self.fail_attempt(j, s, t, site);
             self.request_sched(true, Trigger::Failure);
             return;
         }
+        self.jobs[j].stages[s].tasks[t].state = TaskState::Done;
         self.vacate_slot(site);
         self.cancel_copy(j, s, t);
         self.finish_task(
@@ -1014,11 +1165,20 @@ impl Engine {
         self.flows.link_usage_into(&mut up_used, &mut down_used);
         out.now = self.now;
         out.sites.clear();
-        out.sites.extend((0..self.cluster.len()).map(|s| SiteState {
-            slots: self.cur_slots[s],
-            free_slots: self.cur_slots[s].saturating_sub(self.occupied[s]),
-            up_gbps: (self.cur_up[s] - up_used[s]).max(self.cur_up[s] * 0.05),
-            down_gbps: (self.cur_down[s] - down_used[s]).max(self.cur_down[s] * 0.05),
+        out.sites.extend((0..self.cluster.len()).map(|s| {
+            SiteState {
+                slots: self.cur_slots[s],
+                free_slots: self.cur_slots[s].saturating_sub(self.occupied[s]),
+                // The extra 1e-9 floor only bites when a dynamics event zeroed
+                // the link outright; it keeps scheduler transfer-time models
+                // finite (no 0/0) without perturbing healthy-link reports.
+                up_gbps: (self.cur_up[s] - up_used[s])
+                    .max(self.cur_up[s] * 0.05)
+                    .max(1e-9),
+                down_gbps: (self.cur_down[s] - down_used[s])
+                    .max(self.cur_down[s] * 0.05)
+                    .max(1e-9),
+            }
         }));
         self.usage_scratch = (up_used, down_used);
         out.jobs.clear();
@@ -1153,6 +1313,7 @@ impl Engine {
             copies_launched: self.copies_launched,
             copies_won: self.copies_won,
             task_failures: self.task_failures,
+            dynamics_events: self.dynamics_applied,
             trace: self.trace,
             obs: self.obs.finish(),
         }
@@ -1629,6 +1790,282 @@ mod tests {
         .run()
         .unwrap();
         assert!(off.obs.is_none());
+    }
+
+    #[test]
+    fn with_drops_matches_equivalent_dynamics_timeline() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline};
+        let mk = || {
+            let input = DataDistribution::new(vec![4.0, 0.0]);
+            Job::new(
+                JobId(0),
+                "m",
+                0.0,
+                vec![tetrium_jobs::Stage::root_map(input, 4, 1.0, 0.5)],
+            )
+        };
+        let legacy = Engine::new(
+            cluster2(),
+            vec![mk()],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .with_drops(vec![CapacityDrop::new(SiteId(0), 0.5, 0.5)])
+        .run()
+        .unwrap();
+        let timeline = DynamicsTimeline::new(vec![DynamicsEvent::new(
+            SiteId(0),
+            0.5,
+            DynamicsChange::Capacity { keep: 0.5 },
+        )]);
+        let explicit = Engine::new(
+            cluster2(),
+            vec![mk()],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .with_dynamics(timeline)
+        .run()
+        .unwrap();
+        assert_eq!(legacy.jobs[0].response, explicit.jobs[0].response);
+        assert_eq!(legacy.total_wan_gb, explicit.total_wan_gb);
+        assert_eq!(legacy.dynamics_events, 1);
+        assert_eq!(explicit.dynamics_events, 1);
+    }
+
+    #[test]
+    fn recovery_restores_parallelism() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline};
+        // 4 tasks, 2 slots at site a. Dropping to 1 slot at 0.5 s alone
+        // serializes the second wave (3 s); recovering at 1.0 s restores
+        // both slots exactly when the wave ends, so the run finishes in 2 s.
+        let mk = || {
+            let input = DataDistribution::new(vec![4.0, 0.0]);
+            Job::new(
+                JobId(0),
+                "m",
+                0.0,
+                vec![tetrium_jobs::Stage::root_map(input, 4, 1.0, 0.5)],
+            )
+        };
+        let timeline = DynamicsTimeline::new(vec![
+            DynamicsEvent::new(SiteId(0), 0.5, DynamicsChange::Capacity { keep: 0.5 }),
+            DynamicsEvent::new(SiteId(0), 1.0, DynamicsChange::Recover),
+        ]);
+        let report = Engine::new(
+            cluster2(),
+            vec![mk()],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .with_dynamics(timeline)
+        .run()
+        .unwrap();
+        assert!(
+            (report.jobs[0].response - 2.0).abs() < 1e-9,
+            "response {}",
+            report.jobs[0].response
+        );
+        assert_eq!(report.dynamics_events, 2);
+    }
+
+    /// A drop below the running task count must clamp and drain: occupancy
+    /// stays accurate, no slot count goes negative, and no new task launches
+    /// until enough running attempts finish.
+    #[test]
+    fn slot_drop_below_occupancy_clamps_and_drains() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline};
+        // 6 tasks of 1 s, 2 slots. At 0.5 s the site keeps 1 slot while 2
+        // attempts still run (occupied > capacity). They drain at 1.0 s;
+        // the remaining 4 serialize on the single slot: 2, 3, 4, 5 s.
+        let input = DataDistribution::new(vec![6.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 6, 1.0, 0.5)],
+        );
+        let timeline = DynamicsTimeline::new(vec![DynamicsEvent::new(
+            SiteId(0),
+            0.5,
+            DynamicsChange::Capacity { keep: 0.5 },
+        )]);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                record_obs: true,
+                ..EngineConfig::default()
+            },
+        )
+        .with_dynamics(timeline)
+        .run()
+        .unwrap();
+        assert!(
+            (report.jobs[0].response - 5.0).abs() < 1e-9,
+            "response {}",
+            report.jobs[0].response
+        );
+        let obs = report.obs.expect("obs recorded");
+        let tl = &obs.slot_timeline[0];
+        // Never oversubscribed beyond the pre-drop capacity, and once the
+        // drop's drain completes occupancy never exceeds the clamped count.
+        assert!(tl.iter().all(|&(_, occ)| occ <= 2));
+        assert!(tl
+            .iter()
+            .filter(|&&(at, _)| at > 1.0 + 1e-9)
+            .all(|&(_, occ)| occ <= 1));
+        assert_eq!(tl.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn outage_fails_running_tasks_and_recovery_completes_the_job() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline};
+        // 4 local map tasks at site a. The outage at 0.5 s kills the two
+        // running attempts; the site is dead until 1.5 s, then all four
+        // tasks run from scratch in two waves: done at 3.5 s.
+        let input = DataDistribution::new(vec![4.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 4, 1.0, 0.5)],
+        );
+        let timeline = DynamicsTimeline::new(vec![
+            DynamicsEvent::new(SiteId(0), 0.5, DynamicsChange::Outage),
+            DynamicsEvent::new(SiteId(0), 1.5, DynamicsChange::Recover),
+        ]);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                record_obs: true,
+                ..EngineConfig::default()
+            },
+        )
+        .with_dynamics(timeline)
+        .run()
+        .unwrap();
+        assert!(
+            (report.jobs[0].response - 3.5).abs() < 1e-9,
+            "response {}",
+            report.jobs[0].response
+        );
+        assert_eq!(report.task_failures, 2);
+        assert_eq!(report.dynamics_events, 2);
+        let obs = report.obs.expect("obs recorded");
+        assert_eq!(obs.counters.site_outages, 1);
+        assert_eq!(obs.counters.dynamics_events, 2);
+        assert_eq!(obs.counters.dynamics_retries, 2);
+        assert_eq!(obs.counters.task_failures, 2);
+    }
+
+    #[test]
+    fn outage_without_recovery_stalls() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline};
+        let input = DataDistribution::new(vec![4.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 4, 1.0, 0.5)],
+        );
+        let timeline = DynamicsTimeline::new(vec![DynamicsEvent::new(
+            SiteId(0),
+            0.5,
+            DynamicsChange::Outage,
+        )]);
+        // LocalScheduler insists on the dead input site, so nothing can be
+        // re-placed and the run reports a stall instead of spinning.
+        let err = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .with_dynamics(timeline)
+        .run()
+        .unwrap_err();
+        assert_eq!(err, SimError::Stalled { unfinished: 1 });
+    }
+
+    /// An outage that kills a *fetching* attempt must refund the unsent
+    /// remainder of its in-flight flows so the per-job WAN ledger stays in
+    /// lockstep with the flow simulator's.
+    #[test]
+    fn outage_mid_fetch_refunds_wan_and_ledger_reconciles() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline};
+        // Maps finish at 1 s leaving 1 GB of shuffle input at each site; the
+        // reduce runs at a and starts pulling b's 1 GB at 1 GB/s. The outage
+        // at 1.5 s kills it half-fetched (0.5 GB refunded); after recovery
+        // at 2.0 s it re-fetches in full: done at 3.0, computed at 4.0.
+        let input = DataDistribution::new(vec![2.0, 2.0]);
+        let job = Job::map_reduce(JobId(0), "mr", 0.0, input, 2, 1.0, 0.5, 1, 1.0);
+        let timeline = DynamicsTimeline::new(vec![
+            DynamicsEvent::new(SiteId(0), 1.5, DynamicsChange::Outage),
+            DynamicsEvent::new(SiteId(0), 2.0, DynamicsChange::Recover),
+        ]);
+        let report = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        )
+        .with_dynamics(timeline)
+        .run()
+        .unwrap();
+        assert!(
+            (report.jobs[0].response - 4.0).abs() < 1e-9,
+            "response {}",
+            report.jobs[0].response
+        );
+        assert_eq!(report.task_failures, 1);
+        // 0.5 GB moved by the doomed attempt + 1.0 GB by the retry.
+        assert!(
+            (report.jobs[0].wan_gb - 1.5).abs() < 1e-9,
+            "wan {}",
+            report.jobs[0].wan_gb
+        );
+        let per_job: f64 = report.jobs.iter().map(|j| j.wan_gb).sum();
+        assert!(
+            (per_job - report.total_wan_gb).abs() < 1e-6,
+            "per-job wan {per_job} != flowsim wan {}",
+            report.total_wan_gb
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_run() {
+        let input = DataDistribution::new(vec![1.0, 0.0]);
+        let job = Job::new(
+            JobId(0),
+            "m",
+            0.0,
+            vec![tetrium_jobs::Stage::root_map(input, 1, 1.0, 1.0)],
+        );
+        let err = Engine::new(
+            cluster2(),
+            vec![job],
+            Box::new(LocalScheduler),
+            EngineConfig {
+                failure_prob: 1.0,
+                max_task_retries: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .run()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RetriesExhausted {
+                job: 0,
+                stage: 0,
+                task: 0,
+                retries: 3,
+            }
+        );
     }
 
     /// A winning copy's trace must carry the copy's own timeline, not the

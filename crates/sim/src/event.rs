@@ -18,8 +18,9 @@ pub enum Event {
     CopyComputeDone(usize, usize, usize, u64),
     /// A batched scheduling instance fires.
     SchedulingPoint,
-    /// Capacity drop (by index into the engine's drop list) takes effect.
-    CapacityDrop(usize),
+    /// A dynamics-timeline event (by index into the engine's timeline —
+    /// capacity drop, link change, outage or recovery) takes effect.
+    Dynamics(usize),
 }
 
 /// A heap entry ordered by `(time, seq)`.

@@ -111,6 +111,9 @@ pub struct RunReport {
     pub copies_won: usize,
     /// Task attempts lost to injected failures and re-run.
     pub task_failures: usize,
+    /// Mid-run dynamics-timeline events applied (capacity drops, link
+    /// changes, outages, recoveries).
+    pub dynamics_events: usize,
     /// Per-task execution records (empty unless trace recording is on).
     pub trace: Vec<TaskTrace>,
     /// Observability record of the run (`None` unless
@@ -189,6 +192,7 @@ mod tests {
             copies_launched: 0,
             copies_won: 0,
             task_failures: 0,
+            dynamics_events: 0,
             trace: Vec::new(),
             obs: None,
         }

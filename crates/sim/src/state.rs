@@ -52,6 +52,9 @@ pub struct TaskRt {
     pub compute_started: Option<f64>,
     /// When the task was launched into a slot (for trace recording).
     pub launched_at: Option<f64>,
+    /// Attempts of this task lost so far (failure injection or site
+    /// outage); bounded by `EngineConfig::max_task_retries`.
+    pub retries: usize,
 }
 
 /// Stage status within the engine.
@@ -217,6 +220,7 @@ pub fn build_tasks(
         actual_secs: None,
         compute_started: None,
         launched_at: None,
+        retries: 0,
     };
     match kind {
         StageKind::Map => {

@@ -102,6 +102,27 @@ pub fn run_workload(
     Engine::new(cluster, jobs, scheduler.build(), cfg).run()
 }
 
+/// Like [`run_workload`], but applies a mid-run resource-dynamics timeline
+/// (capacity drops and recoveries, link degradations, site outages) through
+/// the engine's event queue.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the scheduler stalls (for instance when an
+/// outage without recovery strands tasks a scheduler insists on placing at
+/// the dead site) or a task exhausts its retry budget.
+pub fn run_workload_dynamic(
+    cluster: Cluster,
+    jobs: Vec<Job>,
+    scheduler: SchedulerKind,
+    cfg: EngineConfig,
+    dynamics: tetrium_cluster::DynamicsTimeline,
+) -> Result<RunReport, SimError> {
+    Engine::new(cluster, jobs, scheduler.build(), cfg)
+        .with_dynamics(dynamics)
+        .run()
+}
+
 /// Computes each job's isolated service time: the response time when it
 /// runs alone on an otherwise idle cluster under the same scheduler and a
 /// noise-free engine. Returned in the same order as `jobs`.
@@ -151,6 +172,33 @@ mod tests {
             assert_eq!(report.jobs.len(), 1);
             assert!(report.jobs[0].response > 0.0);
         }
+    }
+
+    #[test]
+    fn dynamic_run_applies_the_timeline() {
+        use tetrium_cluster::{DynamicsChange, DynamicsEvent, DynamicsTimeline, SiteId};
+        let clean = run_workload(
+            fig4_cluster(),
+            vec![fig4_job()],
+            SchedulerKind::Tetrium,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let timeline = DynamicsTimeline::new(vec![DynamicsEvent::new(
+            SiteId(0),
+            clean.makespan * 0.25,
+            DynamicsChange::Capacity { keep: 0.5 },
+        )]);
+        let degraded = run_workload_dynamic(
+            fig4_cluster(),
+            vec![fig4_job()],
+            SchedulerKind::Tetrium,
+            EngineConfig::default(),
+            timeline,
+        )
+        .unwrap();
+        assert_eq!(degraded.dynamics_events, 1);
+        assert!(degraded.jobs[0].response >= clean.jobs[0].response - 1e-9);
     }
 
     #[test]

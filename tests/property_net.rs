@@ -286,6 +286,72 @@ proptest! {
         }
     }
 
+    /// Zeroing a site's links (`set_capacity(_, 0, 0)`, the engine's outage
+    /// and link-failure model) must *stall* its flows explicitly: rate
+    /// exactly zero, no inf/NaN ETA, excluded from `next_completion` — and
+    /// the flows keep their drained progress, resuming to exact byte
+    /// conservation once capacity is restored.
+    #[test]
+    fn zero_capacity_stalls_flows_and_restore_resumes(
+        (up, down) in caps_strategy(),
+        specs in proptest::collection::vec((0usize..7, 0usize..7, 1u32..50), 1..20),
+        dead in 0usize..7,
+        frac in 1u32..39,
+    ) {
+        use tetrium::net::FlowSim;
+        let n = up.len();
+        let dead = dead % n;
+        let mut sim = FlowSim::new(up.clone(), down.clone());
+        let mut keys = Vec::new();
+        let mut expected = 0.0;
+        for (s, d, gb10) in specs {
+            let (s, d) = (s % n, d % n);
+            let gb = gb10 as f64 * 0.1;
+            if s != d {
+                expected += gb;
+            }
+            keys.push((sim.add_flow(SiteId(s), SiteId(d), gb), s, d));
+        }
+        // Drain partway so stalled flows carry partial progress.
+        if let Some((_, t)) = sim.next_completion() {
+            let target = sim.now() + (t - sim.now()) * (frac as f64 / 40.0);
+            sim.advance_to(target);
+        }
+        sim.set_capacity(SiteId(dead), 0.0, 0.0);
+        for &(k, s, d) in &keys {
+            if s == d {
+                continue;
+            }
+            let r = sim.rate_gbps(k);
+            prop_assert!(r.is_finite(), "flow {}->{} rate {} not finite", s, d, r);
+            if s == dead || d == dead {
+                prop_assert_eq!(r, 0.0, "flow {}->{} must stall", s, d);
+            }
+        }
+        if let Some((k, t)) = sim.next_completion() {
+            prop_assert!(t.is_finite(), "stalled flows must not produce inf ETAs");
+            let &(_, s, d) = keys.iter().find(|&&(kk, _, _)| kk == k).unwrap();
+            prop_assert!(
+                s == d || (s != dead && d != dead),
+                "stalled flow {}->{} offered as next completion", s, d
+            );
+        }
+        // Restore the site and drive everything to completion: the ledger
+        // must account every byte exactly once, stall included.
+        sim.set_capacity(SiteId(dead), up[dead], down[dead]);
+        let mut guard = 0;
+        while let Some((k, t)) = sim.next_completion() {
+            sim.advance_to(t);
+            let rem = sim.remove_flow(k);
+            prop_assert!(rem < 1e-6, "removed with {} GB left", rem);
+            keys.retain(|&(kk, _, _)| kk != k);
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop runaway");
+        }
+        prop_assert!(keys.is_empty(), "{} flows never completed", keys.len());
+        prop_assert!((sim.total_wan_gb() - expected).abs() < 1e-6 * (1.0 + expected));
+    }
+
     /// The fluid simulator conserves bytes: every flow driven to completion
     /// accounts exactly its size of WAN traffic.
     #[test]
