@@ -42,11 +42,7 @@ impl Scheduler for CentralizedScheduler {
                 .max_by(|(ia, a), (ib, b)| {
                     a.slots
                         .cmp(&b.slots)
-                        .then(
-                            (a.up_gbps + a.down_gbps)
-                                .partial_cmp(&(b.up_gbps + b.down_gbps))
-                                .unwrap(),
-                        )
+                        .then((a.up_gbps + a.down_gbps).total_cmp(&(b.up_gbps + b.down_gbps)))
                         .then(ib.cmp(ia))
                 })
                 .map(|(i, _)| i)

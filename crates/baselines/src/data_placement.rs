@@ -51,11 +51,7 @@ pub fn iridium_data_move(
         // Donor: the worst upload-time site. Receiver: the site whose
         // pressure is lowest after receiving a chunk.
         let donor = (0..n)
-            .max_by(|&a, &b| {
-                (vols[a] / up_gbps[a])
-                    .partial_cmp(&(vols[b] / up_gbps[b]))
-                    .unwrap()
-            })
+            .max_by(|&a, &b| (vols[a] / up_gbps[a]).total_cmp(&(vols[b] / up_gbps[b])))
             .unwrap();
         if vols[donor] < chunk {
             break;
@@ -64,8 +60,7 @@ pub fn iridium_data_move(
             .filter(|&y| y != donor)
             .min_by(|&a, &b| {
                 ((vols[a] + chunk) / up_gbps[a].min(down_gbps[a]))
-                    .partial_cmp(&((vols[b] + chunk) / up_gbps[b].min(down_gbps[b])))
-                    .unwrap()
+                    .total_cmp(&((vols[b] + chunk) / up_gbps[b].min(down_gbps[b])))
             })
             .unwrap();
         let mut trial = vols.clone();

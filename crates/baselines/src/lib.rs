@@ -48,8 +48,7 @@ pub(crate) fn fair_plans(
     order.sort_by(|&a, &b| {
         snap.jobs[a]
             .arrival
-            .partial_cmp(&snap.jobs[b].arrival)
-            .unwrap()
+            .total_cmp(&snap.jobs[b].arrival)
             .then(snap.jobs[a].id.cmp(&snap.jobs[b].id))
     });
     let njobs = order.len().max(1) as i64;

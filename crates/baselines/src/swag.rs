@@ -79,12 +79,7 @@ impl Scheduler for SwagScheduler {
                         .fold(0.0f64, f64::max);
                     (pos, (eta, *ji))
                 })
-                .min_by(|a, b| {
-                    a.1 .0
-                        .partial_cmp(&b.1 .0)
-                        .unwrap()
-                        .then(a.1 .1.cmp(&b.1 .1))
-                })
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
                 .expect("non-empty");
             let (ji, d) = remaining.remove(pos);
             for x in 0..n {

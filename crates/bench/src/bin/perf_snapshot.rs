@@ -27,6 +27,13 @@ use tetrium_workload::{trace_like_jobs, TraceParams};
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    // The perf gate must never time auditor overhead: refuse to measure a
+    // build carrying the `audit` feature (DESIGN.md §10).
+    assert!(
+        !tetrium_sim::audit_enabled() || !check,
+        "perf_snapshot --check refuses to run with the `audit` feature \
+         enabled; rebuild without it"
+    );
     let cluster = ec2_thirty_instances();
     let params = TraceParams {
         median_input_gb: 10.0,
@@ -55,7 +62,7 @@ fn main() {
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    secs.sort_by(|a, b| a.total_cmp(b));
     let median = secs[secs.len() / 2];
     let tasks_per_sec = total_tasks as f64 / median;
     println!(
@@ -128,7 +135,7 @@ fn flowsim_churn_median() -> (usize, f64) {
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    secs.sort_by(|a, b| a.total_cmp(b));
     (events, secs[secs.len() / 2])
 }
 
@@ -157,7 +164,7 @@ fn resilience_sweep_median() -> f64 {
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    secs.sort_by(|a, b| a.total_cmp(b));
     secs[secs.len() / 2]
 }
 

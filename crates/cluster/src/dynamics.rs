@@ -327,8 +327,7 @@ impl DynamicsTimeline {
     }
 
     fn sort(&mut self) {
-        self.events
-            .sort_by(|a, b| a.at_time.partial_cmp(&b.at_time).expect("finite times"));
+        self.events.sort_by(|a, b| a.at_time.total_cmp(&b.at_time));
     }
 
     /// The events in time order.

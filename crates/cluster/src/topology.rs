@@ -74,11 +74,7 @@ impl Cluster {
             .max_by(|(ia, a), (ib, b)| {
                 a.slots
                     .cmp(&b.slots)
-                    .then_with(|| {
-                        (a.up_gbps + a.down_gbps)
-                            .partial_cmp(&(b.up_gbps + b.down_gbps))
-                            .unwrap()
-                    })
+                    .then_with(|| (a.up_gbps + a.down_gbps).total_cmp(&(b.up_gbps + b.down_gbps)))
                     .then(ib.cmp(ia))
             })
             .expect("cluster is non-empty");

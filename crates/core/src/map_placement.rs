@@ -122,7 +122,7 @@ pub fn solve_map_placement(p: &MapProblem) -> Result<MapPlacement, LpError> {
             by_bw.sort_by(|&a, &b| {
                 let ka = p.up_gbps[a].min(p.down_gbps[a]);
                 let kb = p.up_gbps[b].min(p.down_gbps[b]);
-                kb.partial_cmp(&ka).unwrap()
+                kb.total_cmp(&ka)
             });
             for &i in by_bw.iter().take(half) {
                 ok[i] = true;

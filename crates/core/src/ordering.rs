@@ -72,13 +72,13 @@ pub fn order_map_tasks(ordering: MapOrdering, tasks: &[MapTaskRef], up_gbps: &[f
                 }
             }
             for (_, mut g) in by_src {
-                g.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                g.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 let head = g[0].0;
                 groups.push((head, g));
             }
             // Most-constrained source first, but interleave round-robin so no
             // single uplink is hammered by consecutive launches.
-            groups.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            groups.sort_by(|a, b| b.0.total_cmp(&a.0));
             let mut order = Vec::with_capacity(tasks.len());
             let mut cursors: Vec<std::vec::IntoIter<(f64, usize)>> =
                 groups.into_iter().map(|(_, g)| g.into_iter()).collect();
@@ -112,7 +112,7 @@ pub fn order_reduce_tasks(
     match ordering {
         ReduceOrdering::LongestFirst => {
             let mut v: Vec<(usize, f64)> = inputs.to_vec();
-            v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             v.into_iter().map(|(i, _)| i).collect()
         }
         ReduceOrdering::Random => {

@@ -53,8 +53,7 @@ pub fn select_replicas(partitions: &[ReplicatedPartition], cluster: &Cluster) ->
     order.sort_by(|&a, &b| {
         partitions[b]
             .gb
-            .partial_cmp(&partitions[a].gb)
-            .unwrap()
+            .total_cmp(&partitions[a].gb)
             .then(a.cmp(&b))
     });
     let mut choice = vec![SiteId(0); partitions.len()];
@@ -68,8 +67,7 @@ pub fn select_replicas(partitions: &[ReplicatedPartition], cluster: &Cluster) ->
                 assert!(a.index() < n && b.index() < n, "replica site out of range");
                 let da = (load[a.index()] + p.gb) / cluster.site(a).up_gbps;
                 let db = (load[b.index()] + p.gb) / cluster.site(b).up_gbps;
-                da.partial_cmp(&db)
-                    .unwrap()
+                da.total_cmp(&db)
                     .then(cluster.site(b).slots.cmp(&cluster.site(a).slots))
                     .then(a.index().cmp(&b.index()))
             })

@@ -28,7 +28,7 @@ use crate::ordering::{order_map_tasks, order_reduce_tasks, MapOrdering, ReduceOr
 use crate::reduce_placement::{solve_reduce_placement, ReduceProblem};
 use crate::reverse::{plan_best, ReduceStageSpec};
 use crate::wan::{reduce_min_wan, wan_budget, WanKnob};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use tetrium_cluster::SiteId;
 use tetrium_jobs::{largest_remainder_round, JobId, StageKind};
 use tetrium_obs::{Obs, PlannerRecord};
@@ -119,13 +119,13 @@ pub struct TetriumScheduler {
     cfg: TetriumConfig,
     name: String,
     prev_caps: Option<Vec<usize>>,
-    prev_dest: HashMap<(JobId, usize), Vec<usize>>,
+    prev_dest: BTreeMap<(JobId, usize), Vec<usize>>,
     /// Cached full-capacity stage plans: re-solving the LP at every slot
     /// release is wasted work when nothing material changed (the prototype
     /// batches scheduling instances for the same reason, §5). A cached plan
     /// is reused until slot capacities change or the stage's unlaunched set
     /// shrinks below half of what was planned.
-    plan_cache: HashMap<(JobId, usize), CachedPlan>,
+    plan_cache: BTreeMap<(JobId, usize), CachedPlan>,
     /// Set once a capacity change has been observed; from then on the
     /// `dynamics_k` restriction applies to every re-assignment (updating a
     /// site manager costs coordination whether or not the capacities moved
@@ -179,8 +179,8 @@ impl TetriumScheduler {
             cfg,
             name,
             prev_caps: None,
-            prev_dest: HashMap::new(),
-            plan_cache: HashMap::new(),
+            prev_dest: BTreeMap::new(),
+            plan_cache: BTreeMap::new(),
             restricted: false,
             instance: 0,
             obs: Obs::disabled(),
@@ -607,7 +607,7 @@ impl Scheduler for TetriumScheduler {
             let (ja, jb) = (&snap.jobs[a], &snap.jobs[b]);
             ja.remaining_stages
                 .cmp(&jb.remaining_stages)
-                .then(ja.arrival.partial_cmp(&jb.arrival).unwrap())
+                .then(ja.arrival.total_cmp(&jb.arrival))
                 .then(ja.id.cmp(&jb.id))
         });
 
@@ -675,16 +675,13 @@ impl Scheduler for TetriumScheduler {
                 let (ja, jb) = (&snap.jobs[a.job_idx], &snap.jobs[b.job_idx]);
                 ja.remaining_stages
                     .cmp(&jb.remaining_stages)
-                    .then(a.t_j.partial_cmp(&b.t_j).unwrap())
-                    .then(ja.arrival.partial_cmp(&jb.arrival).unwrap())
+                    .then(a.t_j.total_cmp(&b.t_j))
+                    .then(ja.arrival.total_cmp(&jb.arrival))
                     .then(ja.id.cmp(&jb.id))
             }),
             JobPolicy::Fair => planned.sort_by(|a, b| {
                 let (ja, jb) = (&snap.jobs[a.job_idx], &snap.jobs[b.job_idx]);
-                ja.arrival
-                    .partial_cmp(&jb.arrival)
-                    .unwrap()
-                    .then(ja.id.cmp(&jb.id))
+                ja.arrival.total_cmp(&jb.arrival).then(ja.id.cmp(&jb.id))
             }),
         }
 

@@ -49,7 +49,7 @@ pub fn wan_budget(knob: WanKnob, w_min: f64, w_max: f64) -> f64 {
 /// the LP in Eqs. 11–13): keep the largest site's data local.
 pub fn reduce_min_wan(shuffle_gb: &[f64]) -> f64 {
     let total: f64 = shuffle_gb.iter().sum();
-    let max = shuffle_gb.iter().cloned().fold(0.0f64, f64::max);
+    let max = shuffle_gb.iter().copied().fold(0.0f64, f64::max);
     (total - max).max(0.0)
 }
 

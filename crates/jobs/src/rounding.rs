@@ -49,7 +49,7 @@ pub fn largest_remainder_round(fractions: &[f64], total: usize) -> Vec<usize> {
         .map(|(i, s)| (i, s - s.floor()))
         .collect();
     // Sort by remainder descending, breaking ties by index for determinism.
-    remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    remainder.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for k in 0..total.saturating_sub(assigned) {
         counts[remainder[k % n].0] += 1;
     }

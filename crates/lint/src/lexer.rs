@@ -1,0 +1,444 @@
+//! A minimal Rust lexer with source spans.
+//!
+//! The lint rules (see [`crate::rules`]) work on token sequences, not a full
+//! AST: the hazards they police (`HashMap` iteration, `partial_cmp` on
+//! floats, wall-clock calls, lossy casts) are all visible at the token
+//! level, and a hand-rolled lexer keeps the tool dependency-free (the build
+//! environment vendors no `syn`). The lexer understands everything needed to
+//! avoid false positives from non-code text: line and nested block comments,
+//! (raw/byte) string literals, char literals vs. lifetimes, and numeric
+//! literals with suffixes.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `for`, `fn`, ... are plain idents here).
+    Ident,
+    /// Numeric literal (int or float, any base, with or without suffix).
+    Num,
+    /// String, raw-string, byte-string or char literal.
+    Lit,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Punctuation. `::` is fused into a single token; everything else is a
+    /// single character.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// Whether this numeric literal is written in float form (has a decimal
+    /// point or a decimal exponent; hex/octal/binary literals never are).
+    pub fn is_float_lit(&self) -> bool {
+        if self.kind != TokKind::Num {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0X") {
+            return false;
+        }
+        t.contains('.') || t.contains('e') || t.contains('E')
+    }
+}
+
+/// An allowlist escape-hatch marker parsed from a comment.
+///
+/// `// lint:allow(L1, L3) -- reason` suppresses findings of the listed rules
+/// on the marker's line and on the line directly below it (so a comment line
+/// above the offending code works). `// lint:allow-file(L3) -- reason`
+/// suppresses the rule for the whole file.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    pub rules: Vec<String>,
+    pub line: u32,
+    pub whole_file: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<AllowMarker>,
+    /// Source split into lines, for rendering diagnostics.
+    pub lines: Vec<String>,
+}
+
+/// Lexes `src` into tokens, allow markers and source lines.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            parse_allow(&text, tline, &mut allows);
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let start = i;
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            let text: String = chars[start..i.min(chars.len())].iter().collect();
+            parse_allow(&text, tline, &mut allows);
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (any # count).
+        if c == 'r' || (c == 'b' && i + 1 < chars.len() && chars[i + 1] == 'r') {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < chars.len() && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '"' {
+                // Consume prefix up to and including the opening quote.
+                while i <= j {
+                    bump!();
+                }
+                // Scan to closing quote followed by `hashes` hashes.
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < chars.len() && chars[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                bump!();
+                            }
+                            break 'raw;
+                        }
+                    }
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            // Not a raw string: fall through to identifier lexing.
+        }
+        // Strings and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < chars.len() && chars[i + 1] == '"') {
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' || (c == 'b' && i + 1 < chars.len() && chars[i + 1] == '\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            // Char literal if the quote closes after one (possibly escaped)
+            // character; otherwise it's a lifetime.
+            let is_char = if q + 1 < chars.len() && chars[q + 1] == '\\' {
+                true
+            } else {
+                q + 2 < chars.len() && chars[q + 2] == '\''
+            };
+            if is_char {
+                if c == 'b' {
+                    bump!();
+                }
+                bump!(); // quote
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                bump!(); // quote
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < chars.len() && matches!(chars[i + 1], 'x' | 'X' | 'o' | 'b') {
+                bump!();
+                bump!();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    bump!();
+                }
+                // Decimal point: only if followed by a digit (so `1.max(2)`
+                // and `0..n` lex the dot separately).
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    bump!();
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        bump!();
+                    }
+                }
+                // Exponent.
+                if i < chars.len() && matches!(chars[i], 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < chars.len() && matches!(chars[j], '+' | '-') {
+                        j += 1;
+                    }
+                    if j < chars.len() && chars[j].is_ascii_digit() {
+                        while i < j {
+                            bump!();
+                        }
+                        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            bump!();
+                        }
+                    }
+                }
+                // Type suffix (f64, u32, ...).
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // `::` fused; all other punctuation single-char.
+        if c == ':' && i + 1 < chars.len() && chars[i + 1] == ':' {
+            bump!();
+            bump!();
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".into(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        bump!();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+
+    Lexed {
+        toks,
+        allows,
+        lines: src.lines().map(str::to_string).collect(),
+    }
+}
+
+/// Parses `lint:allow(...)` / `lint:allow-file(...)` markers out of a
+/// comment's text.
+fn parse_allow(comment: &str, line: u32, out: &mut Vec<AllowMarker>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow") {
+        rest = &rest[pos + "lint:allow".len()..];
+        let whole_file = rest.starts_with("-file");
+        let after = if whole_file {
+            &rest["-file".len()..]
+        } else {
+            rest
+        };
+        let Some(open) = after.find('(') else {
+            continue;
+        };
+        let Some(close) = after[open..].find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[open + 1..open + close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            out.push(AllowMarker {
+                rules,
+                line,
+                whole_file,
+            });
+        }
+        rest = &after[open + close..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_numbers_and_spans() {
+        let l = lex("let x = 1.5;\nfoo.bar()");
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "foo", "bar"]);
+        let num = l.toks.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert!(num.is_float_lit());
+        assert_eq!((num.line, num.col), (1, 9));
+        let foo = l.toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (2, 1));
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let l = lex("// HashMap here\n/* partial_cmp /* nested */ */\nlet s = \"thread_rng\";");
+        assert!(!l.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("partial_cmp")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("thread_rng")));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let l = lex("let r = r#\"Instant::now\"#; let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!l.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn float_detection_excludes_hex_and_ints() {
+        let l = lex("0x1e5 17 2.0 1e9 3f64");
+        let floats: Vec<bool> = l.toks.iter().map(Tok::is_float_lit).collect();
+        assert_eq!(floats, [false, false, true, true, false]);
+    }
+
+    #[test]
+    fn allow_markers_parse() {
+        let l = lex("// lint:allow(L1, L4) -- reason\nx();\n// lint:allow-file(L3)\n");
+        assert_eq!(l.allows.len(), 2);
+        assert_eq!(l.allows[0].rules, ["L1", "L4"]);
+        assert_eq!(l.allows[0].line, 1);
+        assert!(!l.allows[0].whole_file);
+        assert!(l.allows[1].whole_file);
+        assert_eq!(l.allows[1].rules, ["L3"]);
+    }
+
+    #[test]
+    fn double_colon_fuses() {
+        let l = lex("Instant::now()");
+        assert!(l.toks[1].is_punct("::"));
+        assert!(l.toks[0].is_ident("Instant") && l.toks[2].is_ident("now"));
+    }
+}

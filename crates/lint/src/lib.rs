@@ -1,0 +1,165 @@
+//! `tetrium-lint`: repo-specific determinism/ledger static analysis.
+//!
+//! Tetrium's reproduction contract is byte-identical figure/obs output
+//! across `TETRIUM_THREADS` (DESIGN.md §7–§9), and its scheduling results
+//! rest on exact WAN/slot ledger accounting. Four classes of Rust code have
+//! historically broken one or the other, so this pass rejects them
+//! mechanically:
+//!
+//! * **L1** — iteration over `HashMap`/`HashSet` in simulation-facing crates
+//!   (`sim`, `net`, `cluster`, `baselines`, and any `sched` path). Keyed
+//!   lookup is fine; iteration order is seeded by `RandomState` and leaks
+//!   nondeterminism into event order. Use `BTreeMap`, a slab, or a sorted vec.
+//! * **L2** — `partial_cmp` in comparator position anywhere in the
+//!   workspace. `partial_cmp().unwrap()` float sorts panic on NaN and invite
+//!   `sort_by` comparators that are not total orders; use `f64::total_cmp`
+//!   or a documented NaN-free wrapper. (Definitions of `fn partial_cmp` in
+//!   `PartialOrd` impls are exempt.)
+//! * **L3** — wall-clock/entropy sources (`Instant::now`, `SystemTime`,
+//!   `thread_rng`, `RandomState`) outside `crates/bench` timing code.
+//! * **L4** — lossy `as` casts fed by float arithmetic on the ledger hot
+//!   paths (`engine.rs`, `flowsim.rs`, `maxmin.rs`). Bytes, slots and rates
+//!   must round through a named, documented helper, not an inline `as`.
+//!
+//! Escape hatch: `// lint:allow(L3) -- reason` suppresses a rule on the
+//! marker's line and the line below it; `// lint:allow-file(L3) -- reason`
+//! suppresses it for the whole file. Allow markers without a reason still
+//! work, but reviewers should expect one.
+
+pub mod lexer;
+mod rules;
+mod walk;
+
+use lexer::Lexed;
+use std::path::Path;
+
+/// Lint rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// HashMap/HashSet iteration in simulation-facing code.
+    L1,
+    /// `partial_cmp` used as a comparator.
+    L2,
+    /// Wall-clock or entropy source outside bench code.
+    L3,
+    /// Lossy `as` cast on a ledger quantity.
+    L4,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+        }
+    }
+}
+
+/// One diagnostic: a rule violation at a source span.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path (or the virtual path given to
+    /// [`lint_source`]).
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Length of the underlined token text (for caret rendering).
+    pub len: u32,
+    pub message: String,
+    /// The source line, for rendering.
+    pub src_line: String,
+}
+
+impl Finding {
+    /// Renders the finding in rustc style:
+    /// `error[L3]: ...` / `--> path:line:col` / source + caret underline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("error[{}]: {}\n", self.rule.name(), self.message));
+        out.push_str(&format!("  --> {}:{}:{}\n", self.path, self.line, self.col));
+        out.push_str("   |\n");
+        out.push_str(&format!("{:>3}| {}\n", self.line, self.src_line));
+        let pad = " ".repeat(self.col.saturating_sub(1) as usize);
+        let carets = "^".repeat(self.len.max(1) as usize);
+        out.push_str(&format!("   | {pad}{carets}\n"));
+        out
+    }
+}
+
+/// Lints a single file's source text. `virtual_path` determines rule scope
+/// (which rules apply where), so tests can lint snippets "as if" they lived
+/// at a given workspace path.
+pub fn lint_source(virtual_path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let mut findings = Vec::new();
+    if rules::l1_applies(virtual_path) {
+        rules::check_l1(&lexed, &mut findings);
+    }
+    rules::check_l2(&lexed, &mut findings);
+    if rules::l3_applies(virtual_path) {
+        rules::check_l3(&lexed, &mut findings);
+    }
+    if rules::l4_applies(virtual_path) {
+        rules::check_l4(&lexed, &mut findings);
+    }
+    let findings = apply_allows(&lexed, findings);
+    finalize(virtual_path, &lexed, findings)
+}
+
+/// Drops findings suppressed by `lint:allow` markers.
+fn apply_allows(lexed: &Lexed, findings: Vec<rules::RawFinding>) -> Vec<rules::RawFinding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !lexed.allows.iter().any(|a| {
+                a.rules.iter().any(|r| r == f.rule.name())
+                    && (a.whole_file || f.line == a.line || f.line == a.line + 1)
+            })
+        })
+        .collect()
+}
+
+/// Attaches path and source-line context, sorts by position.
+fn finalize(path: &str, lexed: &Lexed, raw: Vec<rules::RawFinding>) -> Vec<Finding> {
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .map(|f| Finding {
+            rule: f.rule,
+            path: path.to_string(),
+            line: f.line,
+            col: f.col,
+            len: f.len,
+            message: f.message,
+            src_line: lexed
+                .lines
+                .get(f.line as usize - 1)
+                .cloned()
+                .unwrap_or_default(),
+        })
+        .collect();
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Lints every Rust source file under `root` (the workspace root),
+/// excluding `vendor/`, `target/`, and fixture directories. Returns
+/// findings sorted by (path, line, col).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = walk::rust_sources(root)?;
+    let mut findings = Vec::new();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs)?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&rel_str, &src));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}

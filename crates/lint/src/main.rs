@@ -1,0 +1,49 @@
+//! CLI for `tetrium-lint`. Run via `cargo lint` (alias) or
+//! `cargo run -p tetrium-lint`. Exits non-zero when any finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root(),
+    };
+    let findings = match tetrium_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tetrium-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        eprintln!("{}", f.render());
+    }
+    if findings.is_empty() {
+        eprintln!("tetrium-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tetrium-lint: {} finding{} (suppress with `// lint:allow(Ln) -- reason`)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(|p| p.to_path_buf())
+                .unwrap_or(p)
+        }
+        Err(_) => PathBuf::from("."),
+    }
+}

@@ -1,0 +1,412 @@
+//! The four lint rules, implemented over token sequences.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::Rule;
+use std::collections::BTreeSet;
+
+/// A finding before path/source-line context is attached.
+#[derive(Debug)]
+pub struct RawFinding {
+    pub rule: Rule,
+    pub line: u32,
+    pub col: u32,
+    pub len: u32,
+    pub message: String,
+}
+
+fn finding(rule: Rule, tok: &Tok, len: u32, message: String) -> RawFinding {
+    RawFinding {
+        rule,
+        line: tok.line,
+        col: tok.col,
+        len,
+        message,
+    }
+}
+
+/// L1 applies to simulation-facing code: the engine, flow simulator,
+/// cluster model, baselines, and any scheduler path.
+pub fn l1_applies(path: &str) -> bool {
+    path.starts_with("crates/sim/")
+        || path.starts_with("crates/net/")
+        || path.starts_with("crates/cluster/")
+        || path.starts_with("crates/baselines/")
+        || path.contains("sched")
+}
+
+/// L3 applies everywhere except bench timing code.
+pub fn l3_applies(path: &str) -> bool {
+    !path.starts_with("crates/bench/")
+}
+
+/// L4 applies to the ledger hot paths only.
+pub fn l4_applies(path: &str) -> bool {
+    path.ends_with("crates/sim/src/engine.rs")
+        || path.ends_with("crates/net/src/flowsim.rs")
+        || path.ends_with("crates/net/src/maxmin.rs")
+        || path == "engine.rs"
+        || path == "flowsim.rs"
+        || path == "maxmin.rs"
+}
+
+/// Iteration methods on `HashMap`/`HashSet` that expose `RandomState`
+/// ordering.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+    "extract_if",
+];
+
+/// L1: find bindings/fields typed or initialised as `HashMap`/`HashSet`,
+/// then flag any iteration over them (method calls above, or appearing as a
+/// `for .. in` iterable without a keyed accessor).
+pub fn check_l1(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    // Pass A: collect binding names. Two shapes cover this codebase:
+    //   `name: [std::collections::] HashMap<..>`   (fields, lets, args)
+    //   `name = [path::] HashMap::new/with_capacity/default/from(..)`
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::`-style path prefix, then
+        // over reference sigils (`& 'a mut`) so `m: &HashMap<..>` args count.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1
+            && (toks[j - 1].is_punct("&")
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+            continue;
+        }
+        if j >= 2 && toks[j - 1].is_punct("=") && toks[j - 2].kind == TokKind::Ident {
+            // `name = HashMap::new()` — only when followed by a constructor.
+            if toks.get(i + 1).map(|n| n.is_punct("::")).unwrap_or(false) {
+                names.insert(toks[j - 2].text.clone());
+            }
+        }
+    }
+
+    // An occurrence of a collected name only counts when it is the binding
+    // itself: bare (`copies`) or on `self` (`self.copies`). A dotted access
+    // on another receiver (`job.runnable`) is a different field that merely
+    // shares the name.
+    let is_binding_use = |i: usize| -> bool {
+        if i >= 1 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::")) {
+            toks[i - 1].is_punct(".") && i >= 2 && toks[i - 2].is_ident("self")
+        } else {
+            true
+        }
+    };
+
+    // Pass B1: `name.iter()` and friends.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !names.contains(&t.text) || !is_binding_use(i) {
+            continue;
+        }
+        if let (Some(dot), Some(m)) = (toks.get(i + 1), toks.get(i + 2)) {
+            if dot.is_punct(".")
+                && m.kind == TokKind::Ident
+                && ITER_METHODS.contains(&m.text.as_str())
+            {
+                out.push(finding(
+                    Rule::L1,
+                    m,
+                    m.text.len() as u32,
+                    format!(
+                        "iteration over hash collection `{}` via `.{}()`; \
+                         HashMap/HashSet order is seeded by RandomState — use \
+                         BTreeMap/BTreeSet or a sorted vec in simulation code",
+                        t.text, m.text
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Pass B2: `for x in [&[mut]] ...name... {` where `name` is not
+    // immediately followed by `.` (a keyed accessor like `.get()` returning
+    // an iterable value is fine; `.iter()` is caught by pass B1).
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Find the `in` for this loop header.
+        let Some(in_pos) = toks[i + 1..]
+            .iter()
+            .position(|t| t.is_ident("in") || t.is_punct("{"))
+            .map(|p| p + i + 1)
+        else {
+            break;
+        };
+        if !toks[in_pos].is_ident("in") {
+            i = in_pos;
+            continue;
+        }
+        // Scan the iterable expression up to the body `{`.
+        let mut j = in_pos + 1;
+        while j < toks.len() && !toks[j].is_punct("{") {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident
+                && names.contains(&t.text)
+                && is_binding_use(j)
+                && !toks.get(j + 1).map(|n| n.is_punct(".")).unwrap_or(false)
+            {
+                out.push(finding(
+                    Rule::L1,
+                    t,
+                    t.text.len() as u32,
+                    format!(
+                        "`for` iteration over hash collection `{}`; \
+                         HashMap/HashSet order is seeded by RandomState — use \
+                         BTreeMap/BTreeSet or a sorted vec in simulation code",
+                        t.text
+                    ),
+                ));
+            }
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// L2: `partial_cmp` used as a comparator (anywhere). Definitions
+/// (`fn partial_cmp`) inside `PartialOrd` impls are exempt.
+pub fn check_l2(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        out.push(finding(
+            Rule::L2,
+            t,
+            t.text.len() as u32,
+            "`partial_cmp` in comparator position; use `f64::total_cmp` (or a \
+             documented NaN-free wrapper) so float sorts are total and \
+             panic-free"
+                .to_string(),
+        ));
+    }
+}
+
+/// L3: wall-clock / entropy sources outside bench code.
+pub fn check_l3(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            // `Instant` only counts when it is actually read (`Instant::now`):
+            // mentioning the type (e.g. in a signature) is harmless.
+            "Instant" => {
+                toks.get(i + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+                    && toks.get(i + 2).map(|n| n.is_ident("now")).unwrap_or(false)
+            }
+            "SystemTime" | "thread_rng" | "RandomState" => true,
+            _ => false,
+        };
+        if hit {
+            out.push(finding(
+                Rule::L3,
+                t,
+                t.text.len() as u32,
+                format!(
+                    "wall-clock/entropy source `{}` outside bench timing code; \
+                     simulation output must be a pure function of the seed",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Integer cast targets that truncate a float.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Method names that mark the casted expression as float arithmetic.
+const FLOAT_METHODS: &[&str] = &[
+    "ceil", "floor", "round", "trunc", "sqrt", "powf", "powi", "exp", "ln", "log2", "log10", "abs",
+    "recip", "hypot", "mul_add", "min", "max", "clamp",
+];
+
+/// L4: `expr as <int>` where the primary expression on the left shows float
+/// evidence (a float literal, an `f64`/`f32` mention, or a float method),
+/// plus any `as f32` (f64→f32 silently loses ledger precision). The walk
+/// skips backwards over matched `()`/`[]` groups — scanning their interiors
+/// for evidence — and over `.`-/`::`-joined path segments.
+pub fn check_l4(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(ty) = toks.get(i + 1) else { continue };
+        if ty.kind != TokKind::Ident {
+            continue;
+        }
+        if ty.text == "f32" {
+            out.push(finding(
+                Rule::L4,
+                t,
+                2,
+                "lossy `as f32` cast on a ledger hot path; keep ledger \
+                 quantities in f64"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if !INT_TYPES.contains(&ty.text.as_str()) {
+            continue;
+        }
+        if cast_source_is_float(toks, i) {
+            out.push(finding(
+                Rule::L4,
+                t,
+                2,
+                format!(
+                    "lossy float-to-`{}` `as` cast on a ledger hot path; round \
+                     through a named, documented helper instead of an inline \
+                     cast",
+                    ty.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Is a token float evidence?
+fn is_float_evidence(t: &Tok) -> bool {
+    t.is_float_lit()
+        || (t.kind == TokKind::Num && (t.text.ends_with("f64") || t.text.ends_with("f32")))
+        || t.is_ident("f64")
+        || t.is_ident("f32")
+        || (t.kind == TokKind::Ident && FLOAT_METHODS.contains(&t.text.as_str()))
+}
+
+/// Walks backwards from the token before `as` over the primary expression
+/// being cast, returning true if any part of it shows float evidence.
+fn cast_source_is_float(toks: &[Tok], as_pos: usize) -> bool {
+    let mut j = as_pos; // exclusive upper bound; inspect toks[j-1]
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(")") || t.is_punct("]") {
+            // Skip the matched group, scanning its interior.
+            let close = if t.is_punct(")") { ")" } else { "]" };
+            let open = if t.is_punct(")") { "(" } else { "[" };
+            let mut depth = 0usize;
+            let mut k = j;
+            while k > 0 {
+                let u = &toks[k - 1];
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if is_float_evidence(u) {
+                    return true;
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                return false; // unbalanced; bail conservatively
+            }
+            j = k - 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident || t.kind == TokKind::Num {
+            if is_float_evidence(t) {
+                return true;
+            }
+            // Part of the expression path (ident/field/number); keep walking
+            // only if joined by `.`/`::`/`?` to more expression.
+            j -= 1;
+            continue;
+        }
+        if t.is_punct(".") || t.is_punct("::") || t.is_punct("?") {
+            j -= 1;
+            continue;
+        }
+        break; // any other punct ends the primary expression
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+    use crate::Rule;
+
+    #[test]
+    fn l4_flags_float_cast_and_spares_int_packing() {
+        let bad = "fn f(n: f64) -> usize { (n * 1.5).ceil() as usize }";
+        let f = lint_source("crates/net/src/maxmin.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::L4);
+        // Pure integer packing must not fire.
+        let good = "fn key(a: usize, b: usize) -> u64 { ((a as u64) << 32) | b as u64 }";
+        assert!(lint_source("crates/net/src/maxmin.rs", good).is_empty());
+    }
+
+    #[test]
+    fn l1_keyed_lookup_is_fine_iteration_is_not() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> u32 { *m.get(&1).unwrap() }";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> u32 { m.values().sum() }";
+        let f = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::L1);
+    }
+
+    #[test]
+    fn l2_definition_is_exempt() {
+        let src =
+            "impl PartialOrd for X { fn partial_cmp(&self, o: &X) -> Option<Ordering> { None } }";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_skips_bench_and_type_mentions() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(lint_source("crates/sim/src/x.rs", src).len(), 1);
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+        let sig = "fn f(deadline: Instant) {}";
+        assert!(lint_source("crates/sim/src/x.rs", sig).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_next_line() {
+        let src = "// lint:allow(L3) -- telemetry only\nfn f() { let t = Instant::now(); }";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+        let src = "// lint:allow(L1) -- wrong rule\nfn f() { let t = Instant::now(); }";
+        assert_eq!(lint_source("crates/sim/src/x.rs", src).len(), 1);
+    }
+}

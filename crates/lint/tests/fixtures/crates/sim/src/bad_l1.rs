@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, u32>) -> u32 {
+    let mut sum = 0;
+    for v in m.values() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,3 @@
+pub fn tasks_for(gb: f64, per_task: f64) -> usize {
+    (gb / per_task).ceil() as usize
+}

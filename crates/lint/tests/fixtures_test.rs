@@ -1,0 +1,105 @@
+//! Lint self-tests over the `tests/fixtures/` tree: each known-bad snippet
+//! must fire its rule at the exact span, and the known-good allowlisted file
+//! must produce zero findings. The fixture tree mirrors workspace paths
+//! (`crates/sim/src/...`) because rule scoping keys off the path, and the
+//! workspace walker skips any directory named `fixtures`, so these
+//! deliberately-bad files never fail the real `cargo lint` run.
+
+use std::path::Path;
+use tetrium_lint::{lint_workspace, Finding, Rule};
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    lint_workspace(&root).expect("fixture tree scans")
+}
+
+fn for_file<'a>(findings: &'a [Finding], name: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.path.ends_with(name)).collect()
+}
+
+#[test]
+fn l1_fixture_fires_on_the_values_call() {
+    let all = fixture_findings();
+    let f = for_file(&all, "bad_l1.rs");
+    assert_eq!(f.len(), 1, "exactly one finding: {f:?}");
+    assert_eq!(f[0].rule, Rule::L1);
+    assert_eq!(
+        (f[0].line, f[0].col, f[0].len),
+        (5, 16, 6),
+        "span of `values`"
+    );
+}
+
+#[test]
+fn l2_fixture_fires_on_the_comparator() {
+    let all = fixture_findings();
+    let f = for_file(&all, "bad_l2.rs");
+    assert_eq!(f.len(), 1, "exactly one finding: {f:?}");
+    assert_eq!(f[0].rule, Rule::L2);
+    assert_eq!(
+        (f[0].line, f[0].col, f[0].len),
+        (2, 25, 11),
+        "span of `partial_cmp`"
+    );
+}
+
+#[test]
+fn l3_fixture_fires_on_the_now_call_not_the_type() {
+    let all = fixture_findings();
+    let f = for_file(&all, "bad_l3.rs");
+    assert_eq!(f.len(), 1, "the `Instant` return type must not fire: {f:?}");
+    assert_eq!(f[0].rule, Rule::L3);
+    assert_eq!(
+        (f[0].line, f[0].col, f[0].len),
+        (2, 16, 7),
+        "span of `Instant`"
+    );
+}
+
+#[test]
+fn l4_fixture_fires_on_the_cast() {
+    let all = fixture_findings();
+    let f = for_file(&all, "engine.rs");
+    assert_eq!(f.len(), 1, "exactly one finding: {f:?}");
+    assert_eq!(f[0].rule, Rule::L4);
+    assert_eq!((f[0].line, f[0].col, f[0].len), (2, 28, 2), "span of `as`");
+}
+
+#[test]
+fn good_fixture_with_allowlist_escapes_is_clean() {
+    let all = fixture_findings();
+    let f = for_file(&all, "good_allowed.rs");
+    assert!(f.is_empty(), "allowlisted escapes must suppress: {f:?}");
+}
+
+#[test]
+fn diagnostics_render_with_caret_under_the_span() {
+    let all = fixture_findings();
+    let f = for_file(&all, "bad_l2.rs");
+    let rendered = f[0].render();
+    assert!(rendered.contains("error[L2]"), "{rendered}");
+    assert!(rendered.contains("bad_l2.rs:2:25"), "{rendered}");
+    assert!(rendered.contains("^^^^^^^^^^^"), "{rendered}");
+}
+
+/// The real workspace must stay lint-clean: reverting any satellite fix of
+/// this PR (total_cmp conversions, BTreeMap conversions, the `copy_cap`
+/// helper, the allow markers) makes this test fail, not just the CI lint
+/// job.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let findings = lint_workspace(&root).expect("workspace scans");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

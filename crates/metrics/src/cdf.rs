@@ -19,7 +19,7 @@ impl Cdf {
     /// Builds a CDF from a sample (non-finite values are dropped).
     pub fn new(mut values: Vec<f64>) -> Self {
         values.retain(|v| v.is_finite());
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(|a, b| a.total_cmp(b));
         Self { sorted: values }
     }
 

@@ -19,7 +19,7 @@
 
 use crate::maxmin::Waterfiller;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use tetrium_cluster::SiteId;
 use tetrium_obs::Obs;
 
@@ -132,7 +132,7 @@ pub struct FlowSim {
     flows: Vec<FlowRec>,
     free: Vec<usize>,
     groups: Vec<Group>,
-    group_index: HashMap<(usize, usize), usize>,
+    group_index: BTreeMap<(usize, usize), usize>,
     /// Group ids with `count > 0`, ascending. Groups whose pair drained
     /// empty stay in the table (their drain clock must survive re-use) but
     /// drop off this list, so long-dead pairs cost nothing per event.
@@ -189,7 +189,7 @@ impl FlowSim {
             flows: Vec::new(),
             free: Vec::new(),
             groups: Vec::new(),
-            group_index: HashMap::new(),
+            group_index: BTreeMap::new(),
             live: Vec::new(),
             now: 0.0,
             total_wan_gb: 0.0,
@@ -627,9 +627,177 @@ impl FlowSim {
     }
 }
 
+#[cfg(feature = "audit")]
+impl FlowSim {
+    /// Audit-mode invariant check (feature `audit`, DESIGN.md §10): re-checks
+    /// the simulator's incremental state against from-scratch oracles and
+    /// panics with full context on any violation.
+    ///
+    /// Invariants:
+    /// 1. Every live group's per-flow rate is **bit-exact** equal to a
+    ///    from-scratch [`crate::waterfill_groups`] over the same groups and
+    ///    capacities (the dirty-component refill contract).
+    /// 2. Per-link conservation: Σ (rate × count) over groups crossing a
+    ///    link never exceeds its capacity (tiny relative tolerance for the
+    ///    summation order).
+    /// 3. Per-flow byte conservation: for every alive WAN flow,
+    ///    `sent + remaining == size` with `0 ≤ sent ≤ size` up to float
+    ///    drift, where `sent = group.drained − join_drain` (drain clocks are
+    ///    monotone, so a violation means bytes were created or destroyed).
+    /// 4. Bookkeeping consistency: group member counts match the alive flow
+    ///    records, the live list is exactly the non-empty groups in
+    ///    ascending order, and `active` counts the alive flows.
+    pub fn audit(&mut self, ctx: &str) {
+        self.refresh();
+        let n = self.up_gbps.len();
+
+        // 1. Rates vs the stateless oracle, bit for bit.
+        let specs: Vec<crate::GroupSpec> = self
+            .groups
+            .iter()
+            .map(|g| crate::GroupSpec {
+                src: g.src,
+                dst: g.dst,
+                count: g.count,
+            })
+            .collect();
+        let oracle = crate::waterfill_groups(&specs, &self.up_gbps, &self.down_gbps);
+        for &g in &self.live {
+            let gr = &self.groups[g];
+            assert!(
+                gr.rate.to_bits() == oracle[g].to_bits(),
+                "audit[{ctx}]: group {g} ({}->{}, count {}) incremental rate \
+                 {:?} != from-scratch waterfill {:?} at t={}",
+                gr.src,
+                gr.dst,
+                gr.count,
+                gr.rate,
+                oracle[g],
+                self.now
+            );
+        }
+
+        // 2. Per-link conservation.
+        let mut up_used = vec![0.0f64; n];
+        let mut down_used = vec![0.0f64; n];
+        for &g in &self.live {
+            let gr = &self.groups[g];
+            let total = gr.rate * gr.count as f64;
+            up_used[gr.src] += total;
+            down_used[gr.dst] += total;
+        }
+        for s in 0..n {
+            assert!(
+                up_used[s] <= self.up_gbps[s] * (1.0 + 1e-9) + 1e-12,
+                "audit[{ctx}]: uplink {s} oversubscribed: {} > cap {} at t={}",
+                up_used[s],
+                self.up_gbps[s],
+                self.now
+            );
+            assert!(
+                down_used[s] <= self.down_gbps[s] * (1.0 + 1e-9) + 1e-12,
+                "audit[{ctx}]: downlink {s} oversubscribed: {} > cap {} at t={}",
+                down_used[s],
+                self.down_gbps[s],
+                self.now
+            );
+        }
+
+        // 3. Per-flow byte conservation.
+        for (i, f) in self.flows.iter().enumerate() {
+            if !f.alive {
+                continue;
+            }
+            let Some(g) = f.group else { continue };
+            let sent = self.groups[g].drained - f.join_drain;
+            let tol = 1e-6 * (1.0 + f.size_gb);
+            assert!(
+                sent >= -tol,
+                "audit[{ctx}]: flow {i} drained backwards (sent {sent}) at t={}",
+                self.now
+            );
+            assert!(
+                sent <= f.size_gb + tol,
+                "audit[{ctx}]: flow {i} overshot its size: sent {sent} of \
+                 {} GB (group {g} drained {}, joined at {}) at t={}",
+                f.size_gb,
+                self.groups[g].drained,
+                f.join_drain,
+                self.now
+            );
+        }
+
+        // 4. Bookkeeping consistency.
+        let mut member_counts = vec![0usize; self.groups.len()];
+        let mut alive = 0usize;
+        for f in &self.flows {
+            if f.alive {
+                alive += 1;
+                if let Some(g) = f.group {
+                    member_counts[g] += 1;
+                }
+            }
+        }
+        assert!(
+            alive == self.active,
+            "audit[{ctx}]: active counter {} != alive flow records {alive}",
+            self.active
+        );
+        for (g, gr) in self.groups.iter().enumerate() {
+            assert!(
+                gr.count == member_counts[g],
+                "audit[{ctx}]: group {g} count {} != alive members {}",
+                gr.count,
+                member_counts[g]
+            );
+        }
+        let expect_live: Vec<usize> = (0..self.groups.len())
+            .filter(|&g| self.groups[g].count > 0)
+            .collect();
+        assert!(
+            self.live == expect_live,
+            "audit[{ctx}]: live list {:?} != non-empty groups {:?}",
+            self.live,
+            expect_live
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Exercises the audit oracle across the simulator's full lifecycle —
+    /// adds, drains, removals, capacity changes including a zero-capacity
+    /// outage — proving the incremental state matches the from-scratch
+    /// waterfill at every step (and that the oracle tolerates zeroed links).
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_passes_through_churn_and_outage() {
+        let mut sim = FlowSim::new(vec![2.0, 9.0, 3.0], vec![9.0, 4.0, 9.0]);
+        sim.audit("empty");
+        let a = sim.add_flow(SiteId(0), SiteId(1), 4.0);
+        let b = sim.add_flow(SiteId(0), SiteId(2), 8.0);
+        let c = sim.add_flow(SiteId(2), SiteId(1), 6.0);
+        sim.audit("after adds");
+        let (_, t) = sim.next_completion().unwrap();
+        sim.advance_to(t * 0.5);
+        sim.audit("mid drain");
+        sim.set_capacity(SiteId(0), 0.0, 0.0); // outage
+        sim.audit("outage");
+        sim.advance_to(t * 0.75);
+        sim.remove_flow(c);
+        sim.audit("removal during outage");
+        sim.set_capacity(SiteId(0), 5.0, 5.0); // recovery
+        sim.audit("recovery");
+        while let Some((k, t)) = sim.next_completion() {
+            sim.advance_to(t);
+            sim.remove_flow(k);
+            sim.audit("drain to empty");
+        }
+        assert!(sim.active_flows() == 0);
+        let _ = (a, b);
+    }
 
     #[test]
     fn single_transfer_finishes_at_bottleneck_time() {

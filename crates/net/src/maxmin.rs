@@ -50,8 +50,8 @@ pub fn max_min_rates(flows: &[FlowSpec], up_gbps: &[f64], down_gbps: &[f64]) -> 
     let mut rates = vec![0.0f64; flows.len()];
     let mut group_of = vec![usize::MAX; flows.len()];
     let mut groups: Vec<GroupSpec> = Vec::new();
-    let mut index: std::collections::HashMap<(usize, usize), usize> =
-        std::collections::HashMap::new();
+    let mut index: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
     for (i, f) in flows.iter().enumerate() {
         assert!(f.src.index() < n_sites && f.dst.index() < n_sites);
         if f.is_local() {

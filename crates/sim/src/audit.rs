@@ -1,0 +1,115 @@
+//! Feature-gated runtime invariant auditor (DESIGN.md §10).
+//!
+//! With `--features audit`, the engine calls into this module after every
+//! processed event, re-deriving each conservation invariant from scratch
+//! and panicking with full event context on the first violation. The
+//! auditor holds only *shadow* state (previous event time, previous retry
+//! counts) — it never feeds anything back into the simulation, so enabling
+//! it cannot change any figure or obs output, only abort a broken run.
+//!
+//! The invariants checked here are the engine-level half of the audit; the
+//! flow-level half (bit-exact waterfill rates, link conservation, per-flow
+//! byte conservation) lives in `FlowSim::audit`.
+
+use std::collections::BTreeMap;
+
+/// Shadow state carried across events by the auditing engine.
+#[derive(Debug)]
+pub(crate) struct Auditor {
+    /// Events processed so far (for context dumps).
+    pub events: u64,
+    /// Timestamp of the previous event; event times must be monotone.
+    last_time: f64,
+    /// Retry count of each task at the previous event, keyed
+    /// `(job, stage, task)`. A `BTreeMap` so the auditor itself iterates
+    /// deterministically.
+    retries: BTreeMap<(usize, usize, usize), usize>,
+}
+
+impl Auditor {
+    pub fn new() -> Self {
+        Self {
+            events: 0,
+            last_time: f64::NEG_INFINITY,
+            retries: BTreeMap::new(),
+        }
+    }
+
+    /// Event-time monotonicity: simulation time never moves backwards.
+    pub fn check_time(&mut self, now: f64, ctx: &str) {
+        assert!(
+            now >= self.last_time,
+            "audit[{ctx}]: event time went backwards: {} -> {now} (event #{})",
+            self.last_time,
+            self.events
+        );
+        self.last_time = now;
+        self.events += 1;
+    }
+
+    /// Retry-budget monotonicity: a task's retry count never decreases and
+    /// never exceeds the budget by more than the one increment that trips
+    /// the fatal abort.
+    pub fn check_retry(
+        &mut self,
+        key: (usize, usize, usize),
+        retries: usize,
+        max_retries: usize,
+        ctx: &str,
+    ) {
+        let prev = self.retries.entry(key).or_insert(0);
+        assert!(
+            retries >= *prev,
+            "audit[{ctx}]: task {key:?} retry count shrank: {} -> {retries} (event #{})",
+            *prev,
+            self.events
+        );
+        assert!(
+            retries <= max_retries + 1,
+            "audit[{ctx}]: task {key:?} exceeded its retry budget: {retries} > {} + 1 (event #{})",
+            max_retries,
+            self.events
+        );
+        *prev = retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_sequences_pass() {
+        let mut a = Auditor::new();
+        a.check_time(0.0, "t0");
+        a.check_time(0.0, "t1"); // equal times are fine (same-instant burst)
+        a.check_time(3.5, "t2");
+        a.check_retry((0, 0, 0), 0, 2, "r0");
+        a.check_retry((0, 0, 0), 1, 2, "r1");
+        a.check_retry((0, 0, 0), 3, 2, "r2"); // max + 1: the fatal increment
+        assert_eq!(a.events, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time went backwards")]
+    fn time_regression_panics() {
+        let mut a = Auditor::new();
+        a.check_time(5.0, "t0");
+        a.check_time(4.0, "t1");
+    }
+
+    #[test]
+    #[should_panic(expected = "retry count shrank")]
+    fn retry_shrink_panics() {
+        let mut a = Auditor::new();
+        a.check_retry((1, 2, 3), 2, 5, "r0");
+        a.check_retry((1, 2, 3), 1, 5, "r1");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its retry budget")]
+    fn retry_overrun_panics() {
+        let mut a = Auditor::new();
+        a.check_retry((0, 0, 0), 4, 2, "r0");
+    }
+}

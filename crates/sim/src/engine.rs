@@ -10,7 +10,7 @@ use crate::state::{build_tasks, CopyRt, JobRt, StageRt, StageStatus, TaskState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 use tetrium_cluster::{CapacityDrop, Cluster, DynamicsChange, DynamicsTimeline, SiteId};
@@ -103,7 +103,7 @@ pub struct Engine {
     /// keys are dense slab indices, so a vector beats a hash map on the
     /// per-flow-event path).
     flow_owner: Vec<Option<FlowOwner>>,
-    copies: HashMap<(usize, usize, usize), CopyRt>,
+    copies: BTreeMap<(usize, usize, usize), CopyRt>,
     next_copy_id: u64,
     scheduler: Box<dyn Scheduler>,
     cfg: EngineConfig,
@@ -133,6 +133,19 @@ pub struct Engine {
     launch_scratch: Vec<(i64, usize, usize, usize)>,
     usage_scratch: (Vec<f64>, Vec<f64>),
     fetch_scratch: Vec<(SiteId, f64)>,
+    /// Shadow state for the runtime invariant auditor (DESIGN.md §10).
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::Auditor,
+}
+
+/// Per-stage cap on live speculative copies: `ceil(tasks × frac)`, at
+/// least one. The float→integer rounding for this ledger quantity is
+/// confined to one documented helper so the engine hot path carries no
+/// inline lossy casts; task counts sit far below f64's exact-integer range,
+/// so the product and its ceiling are exact.
+fn copy_cap(tasks: usize, frac: f64) -> usize {
+    // lint:allow(L4) -- documented rounding helper (see doc comment)
+    ((tasks as f64 * frac).ceil() as usize).max(1)
 }
 
 impl Engine {
@@ -181,7 +194,7 @@ impl Engine {
             jobs: jobs.into_iter().map(|j| JobRt::new(j, n)).collect(),
             job_index,
             flow_owner: Vec::new(),
-            copies: HashMap::new(),
+            copies: BTreeMap::new(),
             next_copy_id: 0,
             scheduler,
             cfg,
@@ -205,6 +218,8 @@ impl Engine {
             launch_scratch: Vec::new(),
             usage_scratch: (Vec::new(), Vec::new()),
             fetch_scratch: Vec::new(),
+            #[cfg(feature = "audit")]
+            auditor: crate::audit::Auditor::new(),
         }
     }
 
@@ -276,10 +291,16 @@ impl Engine {
                         let (key, t) = self.flows.next_completion().expect("net event");
                         self.advance_to(t);
                         self.on_flow_done(key);
+                        #[cfg(feature = "audit")]
+                        self.audit_check(&format!("FlowDone({}) at t={t}", key.index()));
                     } else {
                         let (t, ev) = self.events.pop().expect("heap event");
+                        #[cfg(feature = "audit")]
+                        let ctx = format!("{ev:?} at t={t}");
                         self.advance_to(t);
                         self.on_event(ev);
+                        #[cfg(feature = "audit")]
+                        self.audit_check(&ctx);
                     }
                 }
             }
@@ -398,16 +419,15 @@ impl Engine {
                 }
             }
         }
-        // Copies at the dead site are torn down too. HashMap iteration order
-        // is nondeterministic, so collect and sort the keys before any
-        // order-dependent effect.
-        let mut doomed: Vec<(usize, usize, usize)> = self
+        // Copies at the dead site are torn down too. `copies` is a BTreeMap,
+        // so iteration is already in key order and no compensating sort is
+        // needed before the order-dependent teardown effects.
+        let doomed: Vec<(usize, usize, usize)> = self
             .copies
             .iter()
             .filter(|(_, c)| c.site == site)
             .map(|(&k, _)| k)
             .collect();
-        doomed.sort_unstable();
         for (j, s, t) in doomed {
             self.cancel_copy(j, s, t);
         }
@@ -685,6 +705,9 @@ impl Engine {
         } else {
             (0, 0)
         };
+        // Scheduler wall-latency telemetry: feeds `sched_wall_secs`, which
+        // is excluded from deterministic figure/obs output (DESIGN.md §7).
+        // lint:allow(L3) -- telemetry timing only, never in sim output
         let started = Instant::now();
         let plans = self.scheduler.schedule(&snapshot);
         let wall_secs = started.elapsed().as_secs_f64();
@@ -922,7 +945,7 @@ impl Engine {
                 if st.status != StageStatus::Runnable {
                     continue;
                 }
-                let cap = ((st.tasks.len() as f64 * spec.max_copies_frac).ceil() as usize).max(1);
+                let cap = copy_cap(st.tasks.len(), spec.max_copies_frac);
                 let live = (0..st.tasks.len())
                     .filter(|&t| self.copies.contains_key(&(j, si, t)))
                     .count();
@@ -1317,6 +1340,116 @@ impl Engine {
             trace: self.trace,
             obs: self.obs.finish(),
         }
+    }
+}
+
+/// Runtime invariant auditing (feature `audit`, DESIGN.md §10): after every
+/// processed event the engine re-derives its conservation invariants from
+/// scratch and compares them with the incrementally maintained state,
+/// panicking with the event context on the first divergence. The auditor is
+/// read-only — it never influences the simulation, so an audit build
+/// produces byte-identical output to a normal build (just slower).
+#[cfg(feature = "audit")]
+impl Engine {
+    fn audit_check(&mut self, ctx: &str) {
+        // 1. Event-time monotonicity, and the engine/flow clocks agree
+        //    bitwise (every event path funnels through `advance_to`).
+        self.auditor.check_time(self.now, ctx);
+        assert!(
+            self.flows.now().to_bits() == self.now.to_bits(),
+            "audit[{ctx}]: engine clock {} != flow clock {}",
+            self.now,
+            self.flows.now()
+        );
+        // 2. No pending heap event sits in the past.
+        if let Some(t) = self.events.peek_time() {
+            assert!(
+                t >= self.now,
+                "audit[{ctx}]: event heap holds a past event at t={t} (now {})",
+                self.now
+            );
+        }
+
+        // 3. Slot-occupancy conservation: the per-site occupancy counters
+        //    must equal the number of running attempts (original tasks
+        //    holding a slot while fetching/computing, plus live speculative
+        //    copies) recounted from scratch.
+        let n = self.cluster.len();
+        let mut running = vec![0usize; n];
+        for job in &self.jobs {
+            for st in &job.stages {
+                for task in &st.tasks {
+                    if matches!(
+                        task.state,
+                        TaskState::Fetching { .. } | TaskState::Computing { .. }
+                    ) {
+                        let site = task.run_site.expect("running task has a site");
+                        running[site.index()] += 1;
+                    }
+                }
+            }
+        }
+        for copy in self.copies.values() {
+            running[copy.site.index()] += 1;
+        }
+        for s in 0..n {
+            assert!(
+                self.occupied[s] == running[s],
+                "audit[{ctx}]: site {s} occupancy {} != running attempts {} \
+                 (occupied={:?}, recount={:?}) at t={}",
+                self.occupied[s],
+                running[s],
+                self.occupied,
+                running,
+                self.now
+            );
+        }
+
+        // 4. Retry-budget monotonicity per task.
+        for (j, job) in self.jobs.iter().enumerate() {
+            for (s, st) in job.stages.iter().enumerate() {
+                for (t, task) in st.tasks.iter().enumerate() {
+                    self.auditor.check_retry(
+                        (j, s, t),
+                        task.retries,
+                        self.cfg.max_task_retries,
+                        ctx,
+                    );
+                }
+            }
+        }
+
+        // 5. WAN-ledger conservation: per-job charges (made in full at
+        //    launch) must equal the flow simulator's ledger plus the queued
+        //    fetches that have not opened a flow yet. Every refund for a
+        //    torn-down attempt must have been given back exactly once for
+        //    this to hold mid-run.
+        let per_job: f64 = self.jobs.iter().map(|j| j.wan_gb).sum();
+        let mut queued_gb = 0.0f64;
+        for job in &self.jobs {
+            for st in &job.stages {
+                for task in &st.tasks {
+                    if let TaskState::Fetching { queued, .. } = &task.state {
+                        queued_gb += queued.iter().map(|&(_, gb)| gb).sum::<f64>();
+                    }
+                }
+            }
+        }
+        for copy in self.copies.values() {
+            queued_gb += copy.queued.iter().map(|&(_, gb)| gb).sum::<f64>();
+        }
+        let flowsim_gb = self.flows.total_wan_gb();
+        let expect = flowsim_gb + queued_gb;
+        assert!(
+            (per_job - expect).abs() <= 1e-6 * (1.0 + expect.abs()),
+            "audit[{ctx}]: WAN ledger diverged: per-job charges {per_job} != \
+             flowsim {flowsim_gb} + queued {queued_gb} at t={}",
+            self.now
+        );
+
+        // 6. Flow-level invariants (bit-exact waterfill, link conservation,
+        //    per-flow byte conservation).
+        self.flows.audit(ctx);
     }
 }
 

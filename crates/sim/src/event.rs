@@ -47,8 +47,7 @@ impl Ord for Entry {
         // Reverse order: BinaryHeap is a max-heap, we want earliest first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }

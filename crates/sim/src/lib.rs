@@ -23,12 +23,21 @@
 //! The engine records per-job response times, WAN usage and scheduler
 //! decision latency, which the harness turns into every figure of §6.
 
+#[cfg(feature = "audit")]
+mod audit;
 mod config;
 mod engine;
 mod event;
 mod report;
 mod sched;
 mod state;
+
+/// Whether this build carries the runtime invariant auditor (feature
+/// `audit`). Perf tooling asserts this is `false` before measuring, so the
+/// gate never times auditor overhead.
+pub fn audit_enabled() -> bool {
+    cfg!(feature = "audit")
+}
 
 pub use config::{BatchPolicy, EngineConfig, SpeculationConfig};
 pub use engine::{Engine, SimError};

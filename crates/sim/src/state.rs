@@ -240,7 +240,7 @@ pub fn build_tasks(
             let mut vols: Vec<f64> = (0..n_sites).map(|s| input.at(SiteId(s))).collect();
             if let Some(target) = (0..n_sites)
                 .filter(|&s| counts[s] > 0)
-                .max_by(|&a, &b| vols[a].partial_cmp(&vols[b]).unwrap())
+                .max_by(|&a, &b| vols[a].total_cmp(&vols[b]))
             {
                 for s in 0..n_sites {
                     if counts[s] == 0 && vols[s] > 0.0 {
@@ -291,8 +291,7 @@ fn partition_counts(input: &DataDistribution, num_tasks: usize) -> Vec<usize> {
         order.sort_by(|&a, &b| {
             input
                 .at(SiteId(b))
-                .partial_cmp(&input.at(SiteId(a)))
-                .unwrap()
+                .total_cmp(&input.at(SiteId(a)))
                 .then(a.cmp(&b))
         });
         let mut counts = vec![0usize; n_sites];
@@ -316,12 +315,7 @@ fn partition_counts(input: &DataDistribution, num_tasks: usize) -> Vec<usize> {
             // guard anyway: move stray counts to the largest data site.
             let target = *with_data
                 .iter()
-                .max_by(|&&a, &&b| {
-                    input
-                        .at(SiteId(a))
-                        .partial_cmp(&input.at(SiteId(b)))
-                        .unwrap()
-                })
+                .max_by(|&&a, &&b| input.at(SiteId(a)).total_cmp(&input.at(SiteId(b))))
                 .expect("some site has data");
             counts[target] += counts[s];
             counts[s] = 0;

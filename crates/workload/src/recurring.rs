@@ -137,7 +137,7 @@ mod tests {
         let heaviest = |j: &Job| -> usize {
             let d = j.stages[0].input.as_ref().unwrap();
             (0..6)
-                .max_by(|&a, &b| d.at(SiteId(a)).partial_cmp(&d.at(SiteId(b))).unwrap())
+                .max_by(|&a, &b| d.at(SiteId(a)).total_cmp(&d.at(SiteId(b))))
                 .unwrap()
         };
         let firsts = heaviest(&jobs[0]);
