@@ -1,11 +1,12 @@
 //! Records the performance baseline consumed by future PRs: engine
 //! throughput (tasks simulated per second on the 30-site trace workload —
 //! the same one `benches/engine_throughput.rs` times), the WAN flow
-//! simulator's churn micro-benchmark (`benches/flowsim_churn.rs`), and,
-//! when a prior `all_figures` run left
-//! `target/experiments/harness_wallclock.json` behind, the harness
-//! wall-clock. Writes `benchmarks/perf_baseline.json` (committed to the
-//! repo).
+//! simulator's churn micro-benchmark (`benches/flowsim_churn.rs`), the
+//! scheduling-instance latency of the recurring dashboard stream with the
+//! template plan cache off vs on (DESIGN.md §11), and, when a prior
+//! `all_figures` run left `target/experiments/harness_wallclock.json`
+//! behind, the harness wall-clock. Writes `benchmarks/perf_baseline.json`
+//! (committed to the repo).
 //!
 //! Usage: `cargo run --release --bin perf_snapshot` (run `all_figures`
 //! first to include the harness wall-clock).
@@ -20,10 +21,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use tetrium::cluster::ec2_thirty_instances;
+use tetrium::core::{PlanCacheMode, TetriumConfig};
 use tetrium::{run_workload, SchedulerKind};
 use tetrium_bench::churn::run_flowsim_churn;
 use tetrium_sim::EngineConfig;
-use tetrium_workload::{trace_like_jobs, TraceParams};
+use tetrium_workload::{recurring_dashboard_jobs, trace_like_jobs, RecurringParams, TraceParams};
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
@@ -78,8 +80,16 @@ fn main() {
     let resilience_median = resilience_sweep_median();
     println!("resilience_sweep: 6 clean/degraded runs in {resilience_median:.3} s");
 
+    let (sched_cold, sched_cached) = sched_latency_medians();
+    let sched_speedup = sched_cold / sched_cached.max(1e-12);
+    println!(
+        "sched_latency: cold {:.1} us vs cached {:.1} us per planning instance -> {sched_speedup:.1}x",
+        sched_cold * 1e6,
+        sched_cached * 1e6
+    );
+
     if check {
-        check_against_baseline(median, churn_median, resilience_median);
+        check_against_baseline(median, churn_median, resilience_median, sched_speedup);
         return;
     }
 
@@ -101,6 +111,13 @@ fn main() {
             "workload": "drop-30-sites",
             "runs": 6,
             "median_run_secs": resilience_median,
+        },
+        "sched_latency": {
+            "workload": "recurring-dashboard-30-sites",
+            "instances": 40,
+            "cold_median_secs": sched_cold,
+            "cached_median_secs": sched_cached,
+            "speedup": sched_speedup,
         },
     });
     match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
@@ -168,11 +185,77 @@ fn resilience_sweep_median() -> f64 {
     secs[secs.len() / 2]
 }
 
+/// Median wall-clock seconds of one *solving* scheduling instance on the
+/// recurring dashboard stream, with the template plan cache off vs on
+/// (`--plan-cache full`). A solving instance is one whose `PlannerRecord`
+/// shows template-cache activity (any of the `tmpl_*` counters — the
+/// scheduler counts cold solves symmetrically in every mode); instances
+/// that plan nothing or merely replay a per-stage cached plan are the same
+/// cheap bookkeeping in both modes and would drown the signal. Returns
+/// `(cold, cached)` — each the median of three runs' per-instance medians.
+/// The ratio guards the tentpole of DESIGN.md §11: recurring instances
+/// should hit the template cache and skip the LP solve entirely.
+fn sched_latency_medians() -> (f64, f64) {
+    let cluster = ec2_thirty_instances();
+    let one_run = |mode: PlanCacheMode| -> f64 {
+        // Same seed for both modes: identical job stream, so the two
+        // medians time the same planning work modulo the cache. The phase
+        // step matches the stream's own period (120 s of an 86400 s day);
+        // the default 0.02 would mean half-hour gaps between instances.
+        let params = RecurringParams {
+            phase_step: 1.0 / 720.0,
+            ..RecurringParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let jobs = recurring_dashboard_jobs(&cluster, 40, &params, &mut rng);
+        let cfg = TetriumConfig {
+            plan_cache: mode,
+            ..TetriumConfig::default()
+        };
+        let report = run_workload(
+            cluster.clone(),
+            jobs,
+            SchedulerKind::TetriumWith(cfg),
+            EngineConfig {
+                record_obs: true,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("completes");
+        let obs = report.obs.expect("record_obs captures a report");
+        // The Tetrium scheduler emits exactly one PlannerRecord per
+        // scheduling instance, so the two streams are index-aligned.
+        assert_eq!(obs.sched.len(), obs.planner.len(), "records misaligned");
+        let mut w: Vec<f64> = obs
+            .sched
+            .iter()
+            .zip(&obs.planner)
+            .inspect(|(s, p)| assert_eq!(s.at, p.at, "records misaligned"))
+            .filter(|(_, p)| p.tmpl_exact + p.tmpl_patched + p.tmpl_warm + p.tmpl_miss > 0)
+            .map(|(s, _)| s.wall_secs)
+            .collect();
+        assert!(!w.is_empty(), "no planning instances recorded");
+        w.sort_by(|a, b| a.total_cmp(b));
+        w[w.len() / 2]
+    };
+    let median3 = |mode: PlanCacheMode| -> f64 {
+        let mut m: Vec<f64> = (0..3).map(|_| one_run(mode)).collect();
+        m.sort_by(|a, b| a.total_cmp(b));
+        m[1]
+    };
+    (median3(PlanCacheMode::Off), median3(PlanCacheMode::Full))
+}
+
 /// Compares measured medians against the committed baseline without
 /// rewriting it. Fails (exit 1) when any measured time exceeds its baseline
 /// by more than the tolerance — 2% by default, overridable through
 /// `TETRIUM_PERF_TOLERANCE` (a ratio, e.g. `0.10`) for noisy CI machines.
-fn check_against_baseline(median: f64, churn_median: f64, resilience_median: f64) {
+fn check_against_baseline(
+    median: f64,
+    churn_median: f64,
+    resilience_median: f64,
+    sched_speedup: f64,
+) {
     let path = "benchmarks/perf_baseline.json";
     let body =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check requires {path}: {e}"));
@@ -201,6 +284,16 @@ fn check_against_baseline(median: f64, churn_median: f64, resilience_median: f64
             eprintln!("FAIL: {name} regressed beyond tolerance");
             failed = true;
         }
+    }
+    // The plan-cache speedup is a ratio of two medians measured back to
+    // back on the same machine, so it resists absolute-speed noise; the
+    // floor sits below the recorded baseline ratio to absorb what little
+    // noise remains.
+    let floor = 8.0;
+    println!("perf check [sched_latency]: cached speedup {sched_speedup:.1}x (floor {floor:.0}x)");
+    if sched_speedup < floor {
+        eprintln!("FAIL: plan-cache scheduling speedup fell below {floor:.0}x");
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -4,7 +4,7 @@ use crate::args::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tetrium::cluster::Cluster;
-use tetrium::core::{TetriumConfig, WanKnob};
+use tetrium::core::{PlanCacheMode, TetriumConfig, WanKnob};
 use tetrium::sim::EngineConfig;
 use tetrium::workload::{
     bigdata_like_jobs, tpcds_like_jobs, trace_like_jobs, Scenario, TraceParams,
@@ -20,6 +20,7 @@ usage:
   tetrium-cli run      --scenario scenario.json
                        [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
                        [--rho R] [--epsilon E] [--seed S] [--json out.json]
+                       [--plan-cache off|exact|full]
                        [--trace chrome_trace.json] [--obs obs.json]
                        [--dynamics timeline.json]
   tetrium-cli compare  --scenario scenario.json [--seed S]";
@@ -53,13 +54,30 @@ fn cluster_preset(name: &str, seed: u64) -> Result<Cluster, String> {
     }
 }
 
-fn scheduler_kind(name: &str, rho: f64, epsilon: f64) -> Result<SchedulerKind, String> {
-    let custom = rho < 1.0 || epsilon < 1.0;
+fn plan_cache_mode(name: &str) -> Result<PlanCacheMode, String> {
+    match name {
+        "off" => Ok(PlanCacheMode::Off),
+        "exact" => Ok(PlanCacheMode::Exact),
+        "full" => Ok(PlanCacheMode::Full),
+        other => Err(format!(
+            "unknown plan-cache mode '{other}' (off, exact, full)"
+        )),
+    }
+}
+
+fn scheduler_kind(
+    name: &str,
+    rho: f64,
+    epsilon: f64,
+    plan_cache: PlanCacheMode,
+) -> Result<SchedulerKind, String> {
+    let custom = rho < 1.0 || epsilon < 1.0 || plan_cache != PlanCacheMode::Off;
     match name {
         "tetrium" if !custom => Ok(SchedulerKind::Tetrium),
         "tetrium" => Ok(SchedulerKind::TetriumWith(TetriumConfig {
             wan: WanKnob::new(rho),
             epsilon,
+            plan_cache,
             ..TetriumConfig::default()
         })),
         "in-place" => Ok(SchedulerKind::InPlace),
@@ -126,6 +144,7 @@ fn run(args: &Args) -> Result<(), String> {
         "epsilon",
         "seed",
         "json",
+        "plan-cache",
         "trace",
         "obs",
         "dynamics",
@@ -134,7 +153,13 @@ fn run(args: &Args) -> Result<(), String> {
     let rho: f64 = args.get_or("rho", 1.0)?;
     let epsilon: f64 = args.get_or("epsilon", 1.0)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let kind = scheduler_kind(args.get("scheduler").unwrap_or("tetrium"), rho, epsilon)?;
+    let plan_cache = plan_cache_mode(args.get("plan-cache").unwrap_or("off"))?;
+    let kind = scheduler_kind(
+        args.get("scheduler").unwrap_or("tetrium"),
+        rho,
+        epsilon,
+        plan_cache,
+    )?;
     let dynamics = args
         .get("dynamics")
         .map(|path| load_dynamics(path, &scenario.cluster))
@@ -393,15 +418,22 @@ mod tests {
         assert!(dispatch(&sv(&["frobnicate"])).is_err());
         assert!(dispatch(&sv(&["generate", "--kind", "nope"])).is_err());
         assert!(dispatch(&sv(&["run", "--scenario", "/nonexistent.json"])).is_err());
-        assert!(scheduler_kind("alien", 1.0, 1.0).is_err());
+        assert!(scheduler_kind("alien", 1.0, 1.0, PlanCacheMode::Off).is_err());
         assert!(cluster_preset("mars", 0).is_err());
+        assert!(plan_cache_mode("sometimes").is_err());
     }
 
     #[test]
     fn custom_knobs_build_custom_scheduler() {
-        let k = scheduler_kind("tetrium", 0.5, 1.0).unwrap();
+        let k = scheduler_kind("tetrium", 0.5, 1.0, PlanCacheMode::Off).unwrap();
         assert!(matches!(k, SchedulerKind::TetriumWith(_)));
-        let k = scheduler_kind("tetrium", 1.0, 1.0).unwrap();
+        let k = scheduler_kind("tetrium", 1.0, 1.0, PlanCacheMode::Off).unwrap();
         assert!(matches!(k, SchedulerKind::Tetrium));
+        // A non-default plan-cache mode forces the custom config path.
+        let k = scheduler_kind("tetrium", 1.0, 1.0, PlanCacheMode::Full).unwrap();
+        let SchedulerKind::TetriumWith(cfg) = k else {
+            panic!("expected custom config");
+        };
+        assert_eq!(cfg.plan_cache, PlanCacheMode::Full);
     }
 }

@@ -23,9 +23,18 @@
 
 use crate::analytic::{evaluate_map_counts, evaluate_reduce_counts};
 use crate::dynamics::limited_update;
-use crate::map_placement::{solve_map_placement, MapProblem};
+use crate::map_placement::{
+    solve_map_placement, solve_map_placement_canonical, solve_map_placement_warm, MapPlacement,
+    MapProblem,
+};
 use crate::ordering::{order_map_tasks, order_reduce_tasks, MapOrdering, ReduceOrdering};
-use crate::reduce_placement::{solve_reduce_placement, ReduceProblem};
+use crate::plan_cache::{
+    map_sigs, reduce_sigs, MapLookup, PlanCacheMode, ReduceLookup, TemplateCache,
+};
+use crate::reduce_placement::{
+    solve_reduce_placement, solve_reduce_placement_canonical, solve_reduce_placement_warm,
+    ReducePlacement, ReduceProblem,
+};
 use crate::reverse::{plan_best, ReduceStageSpec};
 use crate::wan::{reduce_min_wan, wan_budget, WanKnob};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -95,6 +104,11 @@ pub struct TetriumConfig {
     /// forward planner's blind spot this mitigates). On by default; turn
     /// off to reproduce the strictly myopic stage-by-stage formulation.
     pub lookahead: bool,
+    /// Template-keyed plan caching and LP warm-starting across scheduling
+    /// instances (see [`crate::plan_cache`]). Off by default; `Exact` only
+    /// short-circuits field-identical solves (placements are bit-identical
+    /// to `Off`), `Full` adds rescaled near-hits and warm starts.
+    pub plan_cache: PlanCacheMode,
 }
 
 impl Default for TetriumConfig {
@@ -110,6 +124,7 @@ impl Default for TetriumConfig {
             dynamics_k: None,
             lp_job_limit: 64,
             lookahead: true,
+            plan_cache: PlanCacheMode::default(),
         }
     }
 }
@@ -132,6 +147,14 @@ pub struct TetriumScheduler {
     /// again this instant, §4.2).
     restricted: bool,
     instance: u64,
+    /// Cross-instance template cache (see [`crate::plan_cache`]): solved
+    /// placements keyed by structural + quantized-numeric fingerprints,
+    /// independent of job identity so recurring submissions hit entries
+    /// planted by their predecessors.
+    tmpl: TemplateCache,
+    /// Template-cache counters drained at the end of the last instance
+    /// (kept for the observability record and test inspection).
+    last_tmpl_stats: crate::plan_cache::CacheStats,
     /// Observability sink handed over by the engine; emits a per-instance
     /// planner breakdown (LP-planned vs cache-reused vs local-planned).
     obs: Obs,
@@ -176,6 +199,8 @@ impl TetriumScheduler {
             (JobPolicy::Fair, PlacementPolicy::IridiumNet) => "tetrium+fs+i-task".to_string(),
         };
         Self {
+            tmpl: TemplateCache::new(cfg.plan_cache),
+            last_tmpl_stats: crate::plan_cache::CacheStats::default(),
             cfg,
             name,
             prev_caps: None,
@@ -273,7 +298,10 @@ impl TetriumScheduler {
                 let solved = match self.cfg.placement {
                     PlacementPolicy::IridiumNet => None, // Local placement below.
                     PlacementPolicy::TetriumLp => match self.cfg.planning {
-                        StagePlanning::Forward => solve_map_placement(&problem).ok(),
+                        // Only the forward planner goes through the template
+                        // cache: reverse planning couples two LPs whose
+                        // interaction the fingerprint does not capture.
+                        StagePlanning::Forward => self.solve_map_cached(st.stage_index, &problem),
                         StagePlanning::BestOfForwardReverse => {
                             match reduce_successor(job, st.stage_index) {
                                 Some(spec) => plan_best(&problem, &spec).ok().map(|p| p.map),
@@ -389,9 +417,16 @@ impl TetriumScheduler {
                     next_stage_out_gb: (self.cfg.lookahead && has_consumer(job, st.stage_index))
                         .then(|| total * stage_ratio(job, st.stage_index)),
                 };
-                let (mut tasks_at, est) = match solve_reduce_placement(&problem) {
-                    Ok(p) => (p.tasks_at, p.times.total()),
-                    Err(_) => {
+                let solved = if matches!(self.cfg.placement, PlacementPolicy::TetriumLp)
+                    && matches!(self.cfg.planning, StagePlanning::Forward)
+                {
+                    self.solve_reduce_cached(st.stage_index, &problem)
+                } else {
+                    solve_reduce_placement(&problem).ok()
+                };
+                let (mut tasks_at, est) = match solved {
+                    Some(p) => (p.tasks_at, p.times.total()),
+                    None => {
                         // Data-proportional fallback.
                         let tasks_at = largest_remainder_round(&shuffle_gb, unl.len());
                         let frac: Vec<f64> = if total > 0.0 {
@@ -448,6 +483,183 @@ impl TetriumScheduler {
                 }
             }
         }
+    }
+
+    /// Template-cache-aware map solve: exact/patched hits skip the solver,
+    /// template near-misses warm-start it, misses solve cold. Every solved
+    /// placement (cold or warm) is inserted for future instances. Under the
+    /// `audit` feature each warm-started solve is re-run cold and the two
+    /// placements must agree bit for bit.
+    fn solve_map_cached(
+        &mut self,
+        stage_index: usize,
+        problem: &MapProblem,
+    ) -> Option<MapPlacement> {
+        if self.tmpl.mode() == PlanCacheMode::Off {
+            // Count the cold solve anyway: symmetric counters let the
+            // latency benchmark select the same instances in every mode.
+            self.tmpl.stats.miss += 1;
+            return solve_map_placement(problem).ok();
+        }
+        let (tsig, bsig) = map_sigs(stage_index, problem);
+        let warm = match self.tmpl.lookup_map(&tsig, &bsig, problem) {
+            MapLookup::Exact(p) | MapLookup::Patched(p) => return Some(p),
+            MapLookup::Warm(b) => Some(b),
+            MapLookup::Miss => None,
+        };
+        let (placement, meta) = solve_map_placement_warm(problem, warm.as_ref()).ok()?;
+        if meta.warm_started {
+            self.tmpl.stats.warm += 1;
+            self.tmpl.stats.warm_pivots += meta.pivots;
+            if tetrium_sim::audit_enabled() {
+                let (cold, cold_meta) = solve_map_placement_canonical(problem)
+                    .expect("audit: cold solve must succeed where the warm solve did");
+                assert!(
+                    placement == cold,
+                    "plan-cache audit: warm-started map solve diverged from cold \
+                     (warm {:?} vs cold {:?}) warm basis {:?} cold basis {:?} problem {:?}",
+                    placement.times,
+                    cold.times,
+                    meta.basis,
+                    cold_meta.basis,
+                    problem
+                );
+            }
+        } else {
+            self.tmpl.stats.miss += 1;
+        }
+        if let Some(basis) = meta.basis {
+            self.tmpl
+                .insert_map(tsig, bsig, problem.clone(), placement.clone(), basis);
+        }
+        Some(placement)
+    }
+
+    /// Reduce-stage analog of [`TetriumScheduler::solve_map_cached`].
+    fn solve_reduce_cached(
+        &mut self,
+        stage_index: usize,
+        problem: &ReduceProblem,
+    ) -> Option<ReducePlacement> {
+        if self.tmpl.mode() == PlanCacheMode::Off {
+            self.tmpl.stats.miss += 1;
+            return solve_reduce_placement(problem).ok();
+        }
+        let (tsig, bsig) = reduce_sigs(stage_index, problem);
+        let warm = match self.tmpl.lookup_reduce(&tsig, &bsig, problem) {
+            ReduceLookup::Exact(p) | ReduceLookup::Patched(p) => return Some(p),
+            ReduceLookup::Warm(b) => Some(b),
+            ReduceLookup::Miss => None,
+        };
+        let (placement, meta) = solve_reduce_placement_warm(problem, warm.as_ref()).ok()?;
+        if meta.warm_started {
+            self.tmpl.stats.warm += 1;
+            self.tmpl.stats.warm_pivots += meta.pivots;
+            if tetrium_sim::audit_enabled() {
+                let (cold, _) = solve_reduce_placement_canonical(problem)
+                    .expect("audit: cold solve must succeed where the warm solve did");
+                assert!(
+                    placement == cold,
+                    "plan-cache audit: warm-started reduce solve diverged from cold \
+                     (warm {placement:?} vs cold {cold:?}) problem {problem:?}"
+                );
+            }
+        } else {
+            self.tmpl.stats.miss += 1;
+        }
+        if let Some(basis) = meta.basis {
+            self.tmpl
+                .insert_reduce(tsig, bsig, problem.clone(), placement.clone(), basis);
+        }
+        Some(placement)
+    }
+
+    /// Whether a cached full-capacity stage plan still fits the stage's
+    /// remaining WAN budget. Between the instance that produced the plan and
+    /// this one, launched tasks may have consumed budget the plan assumed
+    /// was still available — replaying it then overspends `ρ`. Compares the
+    /// plan's still-unlaunched cross-site bytes plus everything already
+    /// moved against the whole-stage budget (floored, for reduce stages, at
+    /// the minimum feasible shuffle volume exactly like fresh planning).
+    fn cached_plan_fits_wan(&self, st: &StageSnapshot, c: &CachedPlan) -> bool {
+        if self.cfg.wan.is_unbounded() {
+            return true;
+        }
+        const EPS: f64 = 1e-9;
+        match st.kind {
+            StageKind::Map => {
+                let full_total: f64 = st.tasks.iter().map(|t| t.input_gb).sum();
+                let moved: f64 = st
+                    .tasks
+                    .iter()
+                    .filter(|t| {
+                        t.phase != TaskPhase::Unlaunched
+                            && t.running_site.is_some()
+                            && t.running_site != t.input_site
+                    })
+                    .map(|t| t.input_gb)
+                    .sum();
+                let w = wan_budget(self.cfg.wan, 0.0, full_total);
+                let pending_remote: f64 = c
+                    .ordered
+                    .iter()
+                    .filter_map(|&(i, site)| st.tasks.get(i).map(|t| (t, site)))
+                    .filter(|(t, site)| {
+                        t.phase == TaskPhase::Unlaunched && t.input_site != Some(*site)
+                    })
+                    .map(|(t, _)| t.input_gb)
+                    .sum();
+                pending_remote <= (w - moved).max(0.0) + EPS
+            }
+            StageKind::Reduce => {
+                let full_total: f64 = st.input_gb.iter().sum();
+                let full_min = reduce_min_wan(&st.input_gb);
+                let moved: f64 = st
+                    .tasks
+                    .iter()
+                    .filter(|t| t.phase != TaskPhase::Unlaunched)
+                    .filter_map(|t| {
+                        t.running_site
+                            .map(|site| t.share * (full_total - st.input_gb[site.index()]))
+                    })
+                    .sum();
+                let w = wan_budget(self.cfg.wan, full_min, full_total);
+                let share_rem: f64 = st
+                    .tasks
+                    .iter()
+                    .filter(|t| t.phase == TaskPhase::Unlaunched)
+                    .map(|t| t.share)
+                    .sum();
+                let shuffle_rem: Vec<f64> = st.input_gb.iter().map(|v| v * share_rem).collect();
+                let pending: f64 = c
+                    .ordered
+                    .iter()
+                    .filter_map(|&(i, site)| st.tasks.get(i).map(|t| (t, site)))
+                    .filter(|(t, _)| t.phase == TaskPhase::Unlaunched)
+                    .map(|(t, site)| t.share * (full_total - st.input_gb[site.index()]))
+                    .sum();
+                pending <= (w - moved).max(reduce_min_wan(&shuffle_rem)) + EPS
+            }
+        }
+    }
+
+    /// Number of cached full-capacity stage plans (test hook for the
+    /// memory-bound regression).
+    #[doc(hidden)]
+    pub fn stage_plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Number of template-cache entries (test hook).
+    #[doc(hidden)]
+    pub fn template_cache_len(&self) -> usize {
+        self.tmpl.len()
+    }
+
+    /// Template-cache counters of the last scheduling instance (test hook).
+    #[doc(hidden)]
+    pub fn last_template_stats(&self) -> crate::plan_cache::CacheStats {
+        self.last_tmpl_stats
     }
 }
 
@@ -582,12 +794,6 @@ impl Scheduler for TetriumScheduler {
         self.instance += 1;
         // Per-instance planner breakdown for the observability record.
         let (mut lp_planned, mut cache_reused, mut local_planned) = (0usize, 0usize, 0usize);
-        // Evict cached state for jobs absent from the snapshot (finished or
-        // not yet arrived): both maps are keyed by (job, stage) and would
-        // otherwise grow without bound over a long workload.
-        let live: HashSet<JobId> = snap.jobs.iter().map(|j| j.id).collect();
-        self.plan_cache.retain(|(id, _), _| live.contains(id));
-        self.prev_dest.retain(|(id, _), _| live.contains(id));
         // Per-site capacity vectors, computed once per instance and shared by
         // every stage planned below.
         let up = snap.up_vec();
@@ -599,6 +805,11 @@ impl Scheduler for TetriumScheduler {
         let caps_changed = self.prev_caps.as_ref().is_some_and(|p| *p != caps);
         if caps_changed {
             self.restricted = true;
+            // Cluster dynamics invalidate every template: the slot
+            // quantizations embedded in the fingerprints no longer describe
+            // the cluster, and a stale basis would only waste a failed warm
+            // attempt.
+            self.tmpl.clear();
         }
 
         // Cheap pre-ranking bounds LP work to the likely winners.
@@ -628,7 +839,11 @@ impl Scheduler for TetriumScheduler {
                 let cached = (!caps_changed)
                     .then(|| self.plan_cache.get(&key))
                     .flatten()
-                    .filter(|c| unl > 0 && unl * 2 >= c.planned_unlaunched);
+                    .filter(|c| unl > 0 && unl * 2 >= c.planned_unlaunched)
+                    // A plan computed when the stage's WAN budget was still
+                    // intact can overspend `ρ` once intervening instances
+                    // have moved data; re-plan instead of replaying it.
+                    .filter(|c| self.cached_plan_fits_wan(st, c));
                 let (ordered, dest_counts, est) = match cached {
                     Some(c) => {
                         cache_reused += 1;
@@ -804,11 +1019,31 @@ impl Scheduler for TetriumScheduler {
             }
         }
         self.prev_caps = Some(caps);
+        // Eager eviction at instance end: a stage plan is only ever looked
+        // up for stages that are runnable in the current snapshot, so
+        // anything else — finished stages of live jobs as much as whole
+        // finished jobs — is dead weight. Evicting here (rather than lazily
+        // on lookup) keeps both maps bounded by the number of concurrently
+        // runnable stages across a long recurring workload.
+        let runnable: HashSet<(JobId, usize)> = snap
+            .jobs
+            .iter()
+            .flat_map(|j| j.runnable.iter().map(move |st| (j.id, st.stage_index)))
+            .collect();
+        self.plan_cache.retain(|k, _| runnable.contains(k));
+        self.prev_dest.retain(|k, _| runnable.contains(k));
+        let tmpl = self.tmpl.stats.take();
+        self.last_tmpl_stats = tmpl;
         self.obs.planner_record(PlannerRecord {
             at: snap.now,
             lp_planned,
             cache_reused,
             local_planned,
+            tmpl_exact: tmpl.exact,
+            tmpl_patched: tmpl.patched,
+            tmpl_warm: tmpl.warm,
+            tmpl_miss: tmpl.miss,
+            warm_pivots: tmpl.warm_pivots,
         });
         plans
     }
@@ -1119,5 +1354,209 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_ne!(all[0].1, all[1].1, "fair policy must interleave jobs");
+    }
+
+    /// Remote GB assigned to still-unlaunched tasks in a set of plans.
+    fn remote_gb(plans: &[StagePlan], st: &StageSnapshot) -> f64 {
+        plans
+            .iter()
+            .flat_map(|p| p.assignments.iter())
+            .filter(|a| {
+                let t = &st.tasks[a.task];
+                t.phase == TaskPhase::Unlaunched && t.input_site != Some(a.site)
+            })
+            .map(|a| st.tasks[a.task].input_gb)
+            .sum()
+    }
+
+    /// Satellite regression: a cached stage plan must be invalidated once
+    /// intervening instances consume WAN budget it assumed was available.
+    /// Before the fix, the reuse guard only checked the unlaunched count, so
+    /// the stale plan replayed its remote assignments and overspent `ρ`.
+    #[test]
+    fn stale_cached_plan_is_invalidated_when_wan_budget_is_consumed() {
+        let cfg = TetriumConfig {
+            wan: WanKnob::new(0.3), // 30 GB budget over the 100 GB stage.
+            ..TetriumConfig::default()
+        };
+        let mut sched = TetriumScheduler::new(cfg);
+        let s1 = snap(vec![map_job(0, [20, 30, 50])]);
+        let plans1 = sched.schedule(&s1);
+        assert!(remote_gb(&plans1, &s1.jobs[0].runnable[0]) <= 30.0 + 1e-6);
+
+        // Second instance: 30 tasks have launched — 20 of them remotely,
+        // consuming 20 GB of the 30 GB stage budget — while 70 remain
+        // unlaunched (enough that the count-based guard alone would reuse
+        // the cached plan).
+        let mut s2 = s1.clone();
+        {
+            let st = &mut s2.jobs[0].runnable[0].tasks;
+            for t in st.iter_mut().take(20) {
+                // Site-0 tasks running remotely at site 2.
+                t.phase = TaskPhase::Running;
+                t.running_site = Some(SiteId(2));
+            }
+            for t in st.iter_mut().skip(20).take(10) {
+                // Ten site-1 tasks running at home (no WAN cost).
+                t.phase = TaskPhase::Running;
+                t.running_site = t.input_site;
+            }
+        }
+        let plans2 = sched.schedule(&s2);
+        // Only 10 GB of budget remains; the re-planned assignments for the
+        // 70 unlaunched tasks must fit inside it.
+        let moved2 = remote_gb(&plans2, &s2.jobs[0].runnable[0]);
+        assert!(
+            moved2 <= 10.0 + 1e-6,
+            "stale plan replayed: {moved2} GB remote against 10 GB remaining budget"
+        );
+    }
+
+    /// The WAN check itself must not invalidate plans that still fit: an
+    /// identical snapshot reuses the cached plan (no LP re-solve).
+    #[test]
+    fn cached_plan_still_reused_when_budget_intact() {
+        let cfg = TetriumConfig {
+            wan: WanKnob::new(0.3),
+            ..TetriumConfig::default()
+        };
+        let mut sched = TetriumScheduler::new(cfg);
+        let s1 = snap(vec![map_job(0, [20, 30, 50])]);
+        let plans1 = sched.schedule(&s1);
+        let plans2 = sched.schedule(&s1);
+        assert_eq!(dest_counts(&plans1, 3), dest_counts(&plans2, 3));
+    }
+
+    /// Satellite regression: stage-plan cache entries are evicted eagerly at
+    /// instance end, so a long stream of recurring jobs cannot grow the maps
+    /// without bound (before the fix, entries of finished stages lingered
+    /// until their job finished, and entries of finished jobs until the next
+    /// instance's lazy sweep).
+    #[test]
+    fn plan_cache_stays_bounded_over_many_recurring_instances() {
+        let cfg = TetriumConfig {
+            plan_cache: PlanCacheMode::Full,
+            ..TetriumConfig::default()
+        };
+        let mut sched = TetriumScheduler::new(cfg);
+        for i in 0..520 {
+            // Each instance carries a fresh job (the previous one finished).
+            let s = snap(vec![map_job(i, [2, 3, 5])]);
+            sched.schedule(&s);
+            assert!(
+                sched.stage_plan_cache_len() <= 1,
+                "instance {i}: {} cached stage plans",
+                sched.stage_plan_cache_len()
+            );
+            assert!(sched.template_cache_len() <= 256);
+        }
+        // The template cache *should* be carrying cross-job entries.
+        assert!(sched.template_cache_len() >= 1);
+    }
+
+    /// A finished stage of a still-live job is evicted as soon as it leaves
+    /// the runnable set.
+    #[test]
+    fn finished_stage_entries_are_evicted_while_job_lives() {
+        let mut sched = TetriumScheduler::standard();
+        let s1 = snap(vec![map_job(0, [20, 30, 50])]);
+        sched.schedule(&s1);
+        assert_eq!(sched.stage_plan_cache_len(), 1);
+        // Same job, but stage 0 finished and a reduce stage took its place.
+        let mut job = map_job(0, [20, 30, 50]);
+        job.total_stages = 2;
+        job.stages[0].done = true;
+        job.stages.push(StageMeta {
+            kind: StageKind::Reduce,
+            deps: vec![0],
+            num_tasks: 10,
+            task_secs: 1.0,
+            output_ratio: 0.1,
+            done: false,
+        });
+        job.runnable = vec![StageSnapshot {
+            stage_index: 1,
+            kind: StageKind::Reduce,
+            est_task_secs: 1.0,
+            num_tasks: 10,
+            input_gb: vec![10.0, 15.0, 25.0],
+            tasks: (0..10).map(|i| reduce_task(i, 0.1, 5.0)).collect(),
+        }];
+        sched.schedule(&snap(vec![job]));
+        assert_eq!(
+            sched.stage_plan_cache_len(),
+            1,
+            "finished stage 0 must be evicted, leaving only stage 1"
+        );
+    }
+
+    /// `Exact` caching must not change a single assignment relative to an
+    /// uncached scheduler fed the same snapshots.
+    #[test]
+    fn exact_cache_mode_is_plan_identical_to_off() {
+        let mut off = TetriumScheduler::standard();
+        let cfg = TetriumConfig {
+            plan_cache: PlanCacheMode::Exact,
+            ..TetriumConfig::default()
+        };
+        let mut exact = TetriumScheduler::new(cfg);
+        for i in 0..5 {
+            // Alternate two recurring shapes so the second submission of
+            // each hits the cache.
+            let shape = if i % 2 == 0 {
+                [20, 30, 50]
+            } else {
+                [10, 10, 10]
+            };
+            let s = snap(vec![map_job(i, shape)]);
+            let a = off.schedule(&s);
+            let b = exact.schedule(&s);
+            for (pa, pb) in a.iter().zip(b.iter()) {
+                assert_eq!(pa.job, pb.job);
+                assert_eq!(pa.stage, pb.stage);
+                assert_eq!(pa.assignments, pb.assignments, "instance {i}");
+            }
+        }
+    }
+
+    /// Full mode serves repeat instances from the template cache (exact
+    /// tier) and drifted instances without a cold solve.
+    #[test]
+    fn full_cache_mode_reuses_templates_across_jobs() {
+        let cfg = TetriumConfig {
+            plan_cache: PlanCacheMode::Full,
+            ..TetriumConfig::default()
+        };
+        let mut sched = TetriumScheduler::new(cfg);
+        sched.schedule(&snap(vec![map_job(0, [20, 30, 50])]));
+        let first = sched.last_template_stats();
+        assert_eq!(first.miss, 1);
+        // A different job with the same stage shape: exact template hit.
+        sched.schedule(&snap(vec![map_job(1, [20, 30, 50])]));
+        let second = sched.last_template_stats();
+        assert_eq!(second.exact, 1, "{second:?}");
+        assert_eq!(second.miss, 0);
+    }
+
+    /// Dynamics events (slot-capacity changes) clear the template cache.
+    #[test]
+    fn capacity_change_clears_template_cache() {
+        let cfg = TetriumConfig {
+            plan_cache: PlanCacheMode::Full,
+            ..TetriumConfig::default()
+        };
+        let mut sched = TetriumScheduler::new(cfg);
+        let s1 = snap(vec![map_job(0, [20, 30, 50])]);
+        sched.schedule(&s1);
+        assert!(sched.template_cache_len() > 0);
+        let mut s2 = s1.clone();
+        s2.sites[1].slots = 5;
+        s2.sites[1].free_slots = 5;
+        sched.schedule(&s2);
+        // Cleared on entry, then repopulated by this instance's solves
+        // against the *new* slot vector only.
+        assert!(sched.template_cache_len() >= 1);
+        let stats = sched.last_template_stats();
+        assert_eq!(stats.exact + stats.patched + stats.warm, 0, "{stats:?}");
     }
 }

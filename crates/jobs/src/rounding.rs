@@ -7,8 +7,12 @@
 /// turned into integral task counts per site (§3.1: "the number of tasks at
 /// each site needs to be integral; hence, we round the solution").
 ///
-/// Fractions that do not sum to 1 are normalized first; an all-zero input
-/// yields all counts at index 0.
+/// Fractions that do not sum to 1 are normalized first. Degenerate inputs
+/// are sanitized rather than rejected — the plan cache's rescale path feeds
+/// this function distributions that have drifted arbitrarily far from the
+/// ones the LP solved: negative, NaN and infinite entries are treated as
+/// zero weight, and an input with no positive weight at all (including
+/// all-NaN) yields all counts at index 0.
 ///
 /// # Examples
 ///
@@ -17,29 +21,28 @@
 /// let counts = largest_remainder_round(&[0.5, 0.3, 0.2], 10);
 /// assert_eq!(counts, vec![5, 3, 2]);
 /// assert_eq!(largest_remainder_round(&[0.34, 0.33, 0.33], 10), vec![4, 3, 3]);
+/// // Degenerate entries carry zero weight instead of panicking.
+/// assert_eq!(largest_remainder_round(&[f64::NAN, 1.0, -3.0], 4), vec![0, 4, 0]);
 /// ```
-///
-/// # Panics
-///
-/// Panics if any fraction is negative or non-finite.
 pub fn largest_remainder_round(fractions: &[f64], total: usize) -> Vec<usize> {
-    assert!(
-        fractions.iter().all(|f| f.is_finite() && *f >= -1e-9),
-        "fractions must be finite and non-negative"
-    );
     let n = fractions.len();
     if n == 0 {
         return Vec::new();
     }
-    let sum: f64 = fractions.iter().map(|f| f.max(0.0)).sum();
-    if sum <= 0.0 {
+    // Sanitize: non-finite and negative entries contribute nothing. An
+    // infinite entry cannot be honored proportionally, so it is dropped
+    // rather than letting it absorb the whole allocation and poison the
+    // scaling of every other site.
+    let clean = |f: &f64| if f.is_finite() { f.max(0.0) } else { 0.0 };
+    let sum: f64 = fractions.iter().map(clean).sum();
+    if sum <= 0.0 || !sum.is_finite() {
         let mut out = vec![0usize; n];
         out[0] = total;
         return out;
     }
     let scaled: Vec<f64> = fractions
         .iter()
-        .map(|f| f.max(0.0) / sum * total as f64)
+        .map(|f| clean(f) / sum * total as f64)
         .collect();
     let mut counts: Vec<usize> = scaled.iter().map(|s| s.floor() as usize).collect();
     let assigned: usize = counts.iter().sum();
@@ -86,5 +89,56 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(largest_remainder_round(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn nan_entries_carry_zero_weight() {
+        assert_eq!(
+            largest_remainder_round(&[f64::NAN, 0.5, 0.5], 4),
+            vec![0, 2, 2]
+        );
+    }
+
+    #[test]
+    fn infinite_entries_carry_zero_weight() {
+        assert_eq!(
+            largest_remainder_round(&[f64::INFINITY, 1.0, 1.0], 4),
+            vec![0, 2, 2]
+        );
+        assert_eq!(
+            largest_remainder_round(&[f64::NEG_INFINITY, 1.0], 2),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn negative_entries_carry_zero_weight() {
+        assert_eq!(largest_remainder_round(&[-2.0, 1.0, 1.0], 6), vec![0, 3, 3]);
+    }
+
+    #[test]
+    fn all_degenerate_dumps_on_first() {
+        assert_eq!(
+            largest_remainder_round(&[f64::NAN, f64::NAN], 3),
+            vec![3, 0]
+        );
+        assert_eq!(
+            largest_remainder_round(&[-1.0, f64::INFINITY], 3),
+            vec![3, 0]
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_preserve_totals() {
+        for total in [0usize, 1, 17, 500] {
+            for fr in [
+                vec![f64::NAN, 0.3, f64::INFINITY, 0.7],
+                vec![0.0, -0.5, f64::NAN],
+                vec![f64::NEG_INFINITY; 4],
+            ] {
+                let counts = largest_remainder_round(&fr, total);
+                assert_eq!(counts.iter().sum::<usize>(), total, "input {fr:?}");
+            }
+        }
     }
 }

@@ -36,7 +36,7 @@ mod problem;
 mod simplex;
 
 pub use problem::{Constraint, Problem, Relation, Sense};
-pub use simplex::{LpError, Solution};
+pub use simplex::{Basis, LpError, Solution};
 
 #[cfg(test)]
 mod tests;

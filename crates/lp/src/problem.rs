@@ -1,6 +1,6 @@
 //! Problem-construction API: variables, objective, constraints.
 
-use crate::simplex::{solve_standard, LpError, Solution};
+use crate::simplex::{solve_canonical, solve_from_basis, solve_standard, Basis, LpError, Solution};
 
 /// Direction of the objective function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +125,39 @@ impl Problem {
     /// constraints and [`LpError::Unbounded`] when the objective can improve
     /// without limit.
     pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_inner(None, false)
+    }
+
+    /// Like [`Problem::solve`], but warm-starts from the optimal basis of a
+    /// previous, structurally identical solve (same variable count and
+    /// relation sequence; coefficients and right-hand sides may differ).
+    ///
+    /// When the supplied basis is still primal-feasible for this problem's
+    /// data the solver skips phase 1 and re-optimizes directly from it — a
+    /// handful of pivots when the data has only drifted. Any incompatibility
+    /// (shape mismatch, singular basis, infeasible vertex) silently falls
+    /// back to a cold [`Problem::solve`], so the result is always the true
+    /// optimum; check [`Solution::warm_started`] to see which path ran.
+    pub fn solve_from_basis(&self, basis: &Basis) -> Result<Solution, LpError> {
+        self.solve_inner(Some(basis), true)
+    }
+
+    /// Cold solve with canonical extraction: pivots exactly like
+    /// [`Problem::solve`], but re-derives the reported values and duals
+    /// from the optimal vertex by the same deterministic refinement
+    /// [`Problem::solve_from_basis`] uses. This is the bit-for-bit
+    /// reference a warm-started solve is audited against; a plain
+    /// [`Problem::solve`] of the same problem returns the same optimum but
+    /// possibly different last-ulp floating-point representations of it.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Problem::solve`].
+    pub fn solve_canonical(&self) -> Result<Solution, LpError> {
+        self.solve_inner(None, true)
+    }
+
+    fn solve_inner(&self, basis: Option<&Basis>, canonical: bool) -> Result<Solution, LpError> {
         // Normalize to a minimization problem; flip the objective back at the
         // end for maximization.
         let flip = matches!(self.sense, Sense::Max);
@@ -133,7 +166,11 @@ impl Problem {
         } else {
             self.objective.clone()
         };
-        let mut sol = solve_standard(self.num_vars, &objective, &self.constraints)?;
+        let mut sol = match (basis, canonical) {
+            (Some(b), _) => solve_from_basis(self.num_vars, &objective, &self.constraints, b)?,
+            (None, true) => solve_canonical(self.num_vars, &objective, &self.constraints)?,
+            (None, false) => solve_standard(self.num_vars, &objective, &self.constraints)?,
+        };
         if flip {
             sol.objective = -sol.objective;
             // Duals computed against the negated objective flip with it.

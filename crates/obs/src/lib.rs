@@ -142,12 +142,23 @@ pub struct SchedRecord {
 pub struct PlannerRecord {
     /// Simulation time of the instance.
     pub at: f64,
-    /// Stages planned with the placement LPs.
+    /// Stages planned with the placement LPs (including template-cache
+    /// hits, which replace the solve inside the LP path).
     pub lp_planned: usize,
     /// Stages that reused a cached plan.
     pub cache_reused: usize,
     /// Stages planned with the site-local fallback.
     pub local_planned: usize,
+    /// Template-cache exact hits (solver skipped, placement verbatim).
+    pub tmpl_exact: usize,
+    /// Template-cache patched hits (cached split rescaled).
+    pub tmpl_patched: usize,
+    /// Solves warm-started from a cached optimal basis.
+    pub tmpl_warm: usize,
+    /// Cold solves through the template-cache path.
+    pub tmpl_miss: usize,
+    /// Simplex pivots spent across the instance's warm-started solves.
+    pub warm_pivots: usize,
 }
 
 /// One sample of every link's allocated rate, taken when the flow set or a
@@ -382,6 +393,11 @@ impl ObsReport {
                     "lp_planned": p.lp_planned,
                     "cache_reused": p.cache_reused,
                     "local_planned": p.local_planned,
+                    "tmpl_exact": p.tmpl_exact,
+                    "tmpl_patched": p.tmpl_patched,
+                    "tmpl_warm": p.tmpl_warm,
+                    "tmpl_miss": p.tmpl_miss,
+                    "warm_pivots": p.warm_pivots,
                 }))
                 .collect::<Vec<_>>(),
             "task_events": self.task_events
