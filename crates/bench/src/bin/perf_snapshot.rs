@@ -88,8 +88,20 @@ fn main() {
         sched_cached * 1e6
     );
 
+    let (serve_jobs, serve_median) = serve_throughput_median();
+    let serve_jobs_per_sec = serve_jobs as f64 / serve_median;
+    println!(
+        "serve_throughput: {serve_jobs} jobs in {serve_median:.3} s -> {serve_jobs_per_sec:.1} jobs/s"
+    );
+
     if check {
-        check_against_baseline(median, churn_median, resilience_median, sched_speedup);
+        check_against_baseline(
+            median,
+            churn_median,
+            resilience_median,
+            serve_median,
+            sched_speedup,
+        );
         return;
     }
 
@@ -118,6 +130,13 @@ fn main() {
             "cold_median_secs": sched_cold,
             "cached_median_secs": sched_cached,
             "speedup": sched_speedup,
+        },
+        "serve_throughput": {
+            "workload": "serve-trace-30-sites",
+            "shards": 2,
+            "jobs": serve_jobs,
+            "median_run_secs": serve_median,
+            "jobs_per_sec": serve_jobs_per_sec,
         },
     });
     match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
@@ -246,6 +265,56 @@ fn sched_latency_medians() -> (f64, f64) {
     (median3(PlanCacheMode::Off), median3(PlanCacheMode::Full))
 }
 
+/// Median wall time of a full service run through the `tetrium-serve`
+/// front end: build a runtime, start a 2-shard service, stream the 30-site
+/// trace workload through `submit`, and `join` (which drains the backlog).
+/// Times the whole submit→simulate→merge path, so it guards both the
+/// vendored async machinery and the engine's resumable driving mode.
+/// Returns `(jobs, median_secs)`.
+fn serve_throughput_median() -> (usize, f64) {
+    let cluster = ec2_thirty_instances();
+    let params = TraceParams {
+        median_input_gb: 10.0,
+        mean_interarrival_secs: 30.0,
+        mean_task_secs: 5.0,
+        tasks_per_gb: 4.0,
+        max_tasks: 150,
+        ..TraceParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(33);
+    let jobs = trace_like_jobs(&cluster, 8, &params, &mut rng);
+    let n_jobs = jobs.len();
+    let cfg = tetrium_serve::ServeConfig {
+        shards: 2,
+        engine: EngineConfig::trace_like(33),
+        ..tetrium_serve::ServeConfig::default()
+    };
+    let mut secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let rt = tokio::runtime::Builder::new_multi_thread()
+                .worker_threads(4)
+                .enable_all()
+                .build()
+                .expect("build runtime");
+            let jobs = jobs.clone();
+            let cluster = cluster.clone();
+            let cfg = cfg.clone();
+            let t0 = Instant::now();
+            rt.block_on(async move {
+                let svc = tetrium_serve::TetriumService::start(&cluster, &cfg);
+                for job in jobs {
+                    svc.submit(job).await.expect("submit accepted");
+                }
+                let report = svc.join().await.expect("service run completes");
+                assert_eq!(report.total_jobs(), n_jobs, "service dropped jobs");
+            });
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.total_cmp(b));
+    (n_jobs, secs[secs.len() / 2])
+}
+
 /// Compares measured medians against the committed baseline without
 /// rewriting it. Fails (exit 1) when any measured time exceeds its baseline
 /// by more than the tolerance — 2% by default, overridable through
@@ -254,6 +323,7 @@ fn check_against_baseline(
     median: f64,
     churn_median: f64,
     resilience_median: f64,
+    serve_median: f64,
     sched_speedup: f64,
 ) {
     let path = "benchmarks/perf_baseline.json";
@@ -269,6 +339,7 @@ fn check_against_baseline(
         ("engine_throughput", median),
         ("flowsim_churn", churn_median),
         ("resilience_sweep", resilience_median),
+        ("serve_throughput", serve_median),
     ] {
         let Some(base) = baseline[name]["median_run_secs"].as_f64() else {
             println!("perf check: no {name}.median_run_secs in baseline, skipping");

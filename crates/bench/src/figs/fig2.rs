@@ -21,12 +21,12 @@ pub fn run() {
         println!("\n(normalized {name} capacity, CDF) — target spread {spread}x");
         let mut points = Vec::new();
         for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let v = cdf.quantile(q);
+            let v = cdf.quantile(q).expect("300-site sample is non-empty");
             println!("  p{:>4}: {:8.1}x", (q * 100.0) as u32, v);
             points.push(serde_json::json!({"q": q, "value": v}));
         }
-        let max = cdf.quantile(1.0);
-        let min = cdf.quantile(0.0);
+        let max = cdf.quantile(1.0).expect("300-site sample is non-empty");
+        let min = cdf.quantile(0.0).expect("300-site sample is non-empty");
         println!("  spread (max/min): {:.1}x", max / min);
         record[name] = serde_json::json!({"points": points, "spread": max / min});
     }

@@ -139,8 +139,8 @@ pub fn run_fig() {
     );
     let mut cdf_rows = Vec::new();
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
-        let a = cdf_ip.quantile(q);
-        let b = cdf_ce.quantile(q);
+        let a = cdf_ip.quantile(q).expect("workload has at least one job");
+        let b = cdf_ce.quantile(q).expect("workload has at least one job");
         println!("  p{:>2}: {a:>6.0}% / {b:>6.0}%", (q * 100.0) as u32);
         cdf_rows.push(serde_json::json!({"q": q, "vs_inplace_pct": a, "vs_centralized_pct": b}));
     }

@@ -32,7 +32,9 @@ pub fn run_fig() {
             .map(|(_, v)| v)
             .collect(),
     );
-    let p90 = per_job.quantile(0.9);
+    let p90 = per_job
+        .quantile(0.9)
+        .expect("trace workload has at least one job");
     println!("  average reduction  {avg:>6.0}%   (paper: 33%)");
     println!("  p90 reduction      {p90:>6.0}%   (paper: 47%)");
     write_record(

@@ -1,4 +1,4 @@
-//! Subcommand implementations: generate / run / compare.
+//! Subcommand implementations: generate / run / compare / serve.
 
 use crate::args::Args;
 use rand::rngs::StdRng;
@@ -23,7 +23,10 @@ usage:
                        [--plan-cache off|exact|full]
                        [--trace chrome_trace.json] [--obs obs.json]
                        [--dynamics timeline.json]
-  tetrium-cli compare  --scenario scenario.json [--seed S]";
+  tetrium-cli compare  --scenario scenario.json [--seed S]
+  tetrium-cli serve    --scenario scenario.json [--shards N]
+                       [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
+                       [--rho R] [--epsilon E] [--seed S] [--json out.json]";
 
 /// Routes a command line to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -32,6 +35,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&Args::parse(rest)?),
         "run" => run(&Args::parse(rest)?),
         "compare" => compare(&Args::parse(rest)?),
+        "serve" => serve(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -292,6 +296,105 @@ fn print_obs_summary(obs: &tetrium::obs::ObsReport, makespan: f64) {
     }
 }
 
+/// Runs a scenario through the `tetrium-serve` front end: jobs are
+/// submitted over the async submission channel, sharded by job id, and
+/// the merged shard reports are printed. The service is started held and
+/// opened only after every submission so each shard sees exactly one
+/// epoch — that pins the epoch partition and makes the output
+/// reproducible (see the `tetrium-serve` determinism contract).
+fn serve(args: &Args) -> Result<(), String> {
+    args.allow_only(&[
+        "scenario",
+        "shards",
+        "scheduler",
+        "rho",
+        "epsilon",
+        "seed",
+        "json",
+        "plan-cache",
+    ])?;
+    let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
+    let shards: usize = args.get_or("shards", 2)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let rho: f64 = args.get_or("rho", 1.0)?;
+    let epsilon: f64 = args.get_or("epsilon", 1.0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let plan_cache = plan_cache_mode(args.get("plan-cache").unwrap_or("off"))?;
+    let kind = scheduler_kind(
+        args.get("scheduler").unwrap_or("tetrium"),
+        rho,
+        epsilon,
+        plan_cache,
+    )?;
+    let cfg = tetrium_serve::ServeConfig {
+        shards,
+        scheduler: kind,
+        engine: EngineConfig::trace_like(seed),
+        ..tetrium_serve::ServeConfig::default()
+    };
+    let n_jobs = scenario.jobs.len();
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| format!("cannot build runtime: {e}"))?;
+    let (report, observed_finished) = rt.block_on(async {
+        let svc = tetrium_serve::TetriumService::start_held(&scenario.cluster, &cfg);
+        let mut events = svc.subscribe();
+        let counter = tokio::spawn(async move {
+            let mut finished = 0usize;
+            loop {
+                use tokio::sync::broadcast::error::RecvError;
+                match events.recv().await {
+                    Ok(tetrium_serve::JobEvent::Finished { .. }) => finished += 1,
+                    Ok(_) => {}
+                    Err(RecvError::Lagged(_)) => {}
+                    Err(RecvError::Closed) => break,
+                }
+            }
+            finished
+        });
+        for job in scenario.jobs {
+            svc.submit(job).await.map_err(|e| e.to_string())?;
+        }
+        svc.open();
+        let report = svc.join().await.map_err(|e| e.to_string())?;
+        let finished = counter
+            .await
+            .map_err(|_| "event counter lost".to_string())?;
+        Ok::<_, String>((report, finished))
+    })?;
+    println!(
+        "serve: {shards} shard(s), {n_jobs} job(s) submitted, {observed_finished} Finished event(s) observed"
+    );
+    for s in &report.shards {
+        println!(
+            "  shard {}: {:>3} jobs, makespan {:>8.1} s, WAN {:>7.1} GB",
+            s.shard,
+            s.report.jobs.len(),
+            s.report.makespan,
+            s.report.total_wan_gb
+        );
+    }
+    println!(
+        "total: {} jobs, avg response {:.1} s, max makespan {:.1} s, WAN {:.1} GB",
+        report.total_jobs(),
+        report.avg_response(),
+        report.makespan(),
+        report.total_wan_gb()
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report.to_json()).unwrap(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn compare(args: &Args) -> Result<(), String> {
     args.allow_only(&["scenario", "seed"])?;
     let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
@@ -410,6 +513,36 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("out of range"), "err: {err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn serve_runs_scenario_through_the_async_front_end() {
+        let dir = std::env::temp_dir().join("tetrium_cli_serve_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("scenario.json");
+        let out = path.to_str().unwrap();
+        dispatch(&sv(&[
+            "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "4", "--seed", "5",
+            "--scale", "2.0", "--out", out,
+        ]))
+        .unwrap();
+        let json_out = dir.join("serve.json");
+        dispatch(&sv(&[
+            "serve",
+            "--scenario",
+            out,
+            "--shards",
+            "2",
+            "--json",
+            json_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&json_out).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["total_jobs"], 4);
+        assert_eq!(v["shards"].as_array().unwrap().len(), 2);
+        assert!(dispatch(&sv(&["serve", "--scenario", out, "--shards", "0"])).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

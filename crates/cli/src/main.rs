@@ -5,6 +5,7 @@
 //! tetrium-cli generate --kind trace --sites trace-50 --jobs 16 --seed 7 --out scenario.json
 //! tetrium-cli run      --scenario scenario.json --scheduler tetrium --rho 0.75
 //! tetrium-cli compare  --scenario scenario.json
+//! tetrium-cli serve    --scenario scenario.json --shards 2
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs) to keep the

@@ -252,9 +252,15 @@ impl TetriumScheduler {
             StageKind::Map => {
                 let mut tasks_from = vec![0usize; n];
                 let mut input_gb = vec![0.0f64; n];
+                // Map tasks without a home site (e.g. snapshots of
+                // generated or replayed work whose input is ephemeral) are
+                // placeable anywhere at zero fetch cost: they are excluded
+                // from the per-source LP accounting and assigned after the
+                // homed tasks below.
                 for &i in &unl {
                     let t = &st.tasks[i];
-                    let x = t.input_site.expect("map task has a home site").index();
+                    let Some(src) = t.input_site else { continue };
+                    let x = src.index();
                     tasks_from[x] += 1;
                     input_gb[x] += t.input_gb;
                 }
@@ -349,8 +355,12 @@ impl TetriumScheduler {
                 }
                 // Pair concrete tasks with destinations, grouped by source.
                 let mut by_src: Vec<Vec<usize>> = vec![Vec::new(); n];
+                let mut homeless: Vec<usize> = Vec::new();
                 for &i in &unl {
-                    by_src[st.tasks[i].input_site.unwrap().index()].push(i);
+                    match st.tasks[i].input_site {
+                        Some(src) => by_src[src.index()].push(i),
+                        None => homeless.push(i),
+                    }
                 }
                 let mut triples: Vec<(usize, SiteId, f64, SiteId)> = Vec::with_capacity(unl.len());
                 let mut site_of: HashMap<usize, SiteId> = HashMap::with_capacity(unl.len());
@@ -372,6 +382,21 @@ impl TetriumScheduler {
                         triples.push((t, SiteId(x), st.tasks[t].input_gb, SiteId(x)));
                         site_of.insert(t, SiteId(x));
                     }
+                }
+                // Homeless tasks fetch nothing, so spread them over the
+                // emptiest destinations (fewest assigned tasks per slot;
+                // ties break on the lower site index — deterministic).
+                for &t in &homeless {
+                    let y = (0..n)
+                        .min_by(|&a, &b| {
+                            (dest[a] * slots[b])
+                                .cmp(&(dest[b] * slots[a]))
+                                .then(a.cmp(&b))
+                        })
+                        .expect("cluster has at least one site");
+                    dest[y] += 1;
+                    triples.push((t, SiteId(y), st.tasks[t].input_gb, SiteId(y)));
+                    site_of.insert(t, SiteId(y));
                 }
                 let order = order_map_tasks(self.cfg.map_ordering, &triples, up);
                 let ordered = order.into_iter().map(|t| (t, site_of[&t])).collect();
@@ -674,13 +699,19 @@ fn plan_stage_local(st: &StageSnapshot, n: usize) -> Outcome {
         .collect();
     match st.kind {
         StageKind::Map => {
-            let ordered: Vec<(usize, SiteId)> = unl
-                .iter()
-                .map(|&i| (i, st.tasks[i].input_site.expect("map task site")))
-                .collect();
+            // Homed tasks stay local; homeless ones (no input site, nothing
+            // to fetch) go to the least-loaded site so far, ties on index.
             let mut dest = vec![0usize; n];
-            for &(_, s) in &ordered {
-                dest[s.index()] += 1;
+            let mut ordered: Vec<(usize, SiteId)> = Vec::with_capacity(unl.len());
+            for &i in &unl {
+                let site = st.tasks[i].input_site.unwrap_or_else(|| {
+                    let y = (0..n)
+                        .min_by_key(|&y| (dest[y], y))
+                        .expect("cluster has at least one site");
+                    SiteId(y)
+                });
+                dest[site.index()] += 1;
+                ordered.push((i, site));
             }
             Outcome {
                 dest_counts: dest,
@@ -718,12 +749,30 @@ fn has_consumer(job: &JobSnapshot, stage_index: usize) -> bool {
         .any(|m| !m.done && m.deps.contains(&stage_index))
 }
 
-/// Output/input ratio of the given stage (0 when unknown).
+/// Output/input ratio of the given stage.
+///
+/// Every caller passes an index taken from the same snapshot, so an
+/// out-of-range index is a scheduler bug, not a data condition: debug and
+/// audit-enabled builds fail loudly instead of silently disabling
+/// lookahead. Release builds degrade to 0.0 (ratio unknown → no
+/// lookahead), which is safe but conservative.
 fn stage_ratio(job: &JobSnapshot, stage_index: usize) -> f64 {
-    job.stages
-        .get(stage_index)
-        .map(|m| m.output_ratio)
-        .unwrap_or(0.0)
+    match job.stages.get(stage_index) {
+        Some(m) => m.output_ratio,
+        None => {
+            debug_assert!(
+                false,
+                "stage_ratio: stage index {stage_index} out of range ({} stages)",
+                job.stages.len()
+            );
+            assert!(
+                !tetrium_sim::audit_enabled(),
+                "stage_ratio: stage index {stage_index} out of range ({} stages)",
+                job.stages.len()
+            );
+            0.0
+        }
+    }
 }
 
 /// Finds the reduce stage fed (solely) by map stage `stage_index`, for
@@ -1154,6 +1203,80 @@ mod tests {
         let mut seen: Vec<usize> = plans[0].assignments.iter().map(|a| a.task).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn homeless_map_tasks_are_placed_not_panicked_on() {
+        // Regression: snapshots with map tasks lacking a home site (e.g.
+        // generated work with ephemeral input) used to hit an `unwrap` in
+        // the source-grouping pass. They must instead be placeable
+        // anywhere, deterministically, alongside normally homed tasks.
+        let mut sched = TetriumScheduler::standard();
+        let mut job = map_job(0, [4, 3, 3]);
+        for t in &mut job.runnable[0].tasks {
+            if t.index >= 6 {
+                t.input_site = None;
+                t.input_gb = 0.0;
+            }
+        }
+        let plans = sched.schedule(&snap(vec![job]));
+        assert_eq!(plans.len(), 1);
+        let mut seen: Vec<usize> = plans[0].assignments.iter().map(|a| a.task).collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..10).collect::<Vec<_>>(),
+            "every task assigned once"
+        );
+        for a in &plans[0].assignments {
+            assert!(a.site.index() < 3);
+        }
+        // Determinism: the same snapshot schedules identically.
+        let mut job2 = map_job(0, [4, 3, 3]);
+        for t in &mut job2.runnable[0].tasks {
+            if t.index >= 6 {
+                t.input_site = None;
+                t.input_gb = 0.0;
+            }
+        }
+        let plans2 = TetriumScheduler::standard().schedule(&snap(vec![job2]));
+        let key = |p: &Vec<StagePlan>| {
+            let mut v: Vec<(usize, usize)> = p[0]
+                .assignments
+                .iter()
+                .map(|a| (a.task, a.site.index()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&plans), key(&plans2));
+    }
+
+    #[test]
+    fn all_homeless_stage_spreads_over_sites() {
+        let mut sched = TetriumScheduler::standard();
+        let mut job = map_job(0, [10, 0, 0]);
+        for t in &mut job.runnable[0].tasks {
+            t.input_site = None;
+            t.input_gb = 0.0;
+        }
+        job.runnable[0].input_gb = vec![0.0, 0.0, 0.0];
+        let plans = sched.schedule(&snap(vec![job]));
+        assert_eq!(plans[0].assignments.len(), 10);
+    }
+
+    #[test]
+    fn stage_ratio_reads_known_stage() {
+        let job = map_job(0, [1, 1, 1]);
+        assert_eq!(stage_ratio(&job, 0), 0.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stage_ratio: stage index 7 out of range")]
+    fn stage_ratio_out_of_range_fails_loudly_in_debug() {
+        let job = map_job(0, [1, 1, 1]);
+        let _ = stage_ratio(&job, 7);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 /// ```
 /// use tetrium_metrics::Cdf;
 /// let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
-/// assert_eq!(c.quantile(0.5), 3.0);
+/// assert_eq!(c.quantile(0.5), Some(3.0));
 /// assert_eq!(c.fraction_leq(2.5), 0.5);
+/// assert_eq!(Cdf::new(vec![]).quantile(0.5), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cdf {
@@ -33,16 +34,21 @@ impl Cdf {
         self.sorted.is_empty()
     }
 
-    /// The `q`-quantile (0..=1) by nearest rank.
+    /// The `q`-quantile (0..=1) by nearest rank, or `None` for an empty
+    /// sample. An empty CDF is a legitimate state (e.g. a figure slice
+    /// over a scheduler that admitted no jobs), so it is a value, not a
+    /// panic — callers decide how to render the absence.
     ///
     /// # Panics
     ///
-    /// Panics if the CDF is empty or `q` is out of range.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// Panics if `q` is out of range (that one is caller error).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        assert!(!self.sorted.is_empty(), "empty CDF");
+        if self.sorted.is_empty() {
+            return None;
+        }
         let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
-        self.sorted[idx]
+        Some(self.sorted[idx])
     }
 
     /// Fraction of samples `<= x`.
@@ -84,11 +90,26 @@ mod tests {
     fn quantiles_and_fractions() {
         let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
         assert_eq!(c.len(), 4);
-        assert_eq!(c.quantile(0.0), 1.0);
-        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
         assert_eq!(c.fraction_leq(2.5), 0.5);
         assert_eq!(c.fraction_leq(0.0), 0.0);
         assert_eq!(c.fraction_leq(10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_quantile_is_none_not_panic() {
+        // Regression: this used to assert and take the whole figure run
+        // down when a slice came back with zero samples.
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.0), None);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.quantile(1.0), None);
+        assert_eq!(c.fraction_leq(1.0), 0.0);
+        assert!(c.points(10).is_empty());
+        // Dropping every non-finite sample leaves an empty CDF too.
+        assert_eq!(Cdf::new(vec![f64::NAN]).quantile(0.5), None);
     }
 
     #[test]

@@ -17,13 +17,14 @@
 //! records can stay byte-identical across worker-thread counts (DESIGN.md
 //! §7/§8).
 //!
-//! A handle is an `Rc`, not an `Arc`: an engine and everything it feeds
-//! live on one thread (the bench runner parallelizes across *cells*, each
-//! owning its engine), and the extracted [`ObsReport`] is plain `Send`
-//! data.
+//! A handle is an `Arc<Mutex<…>>` so an engine (and its `Obs` clones) can
+//! move across threads — the serve front end runs engines on a worker pool
+//! and drains task events from subscriber threads. Within one engine all
+//! emissions still happen from a single thread at a time, so the mutex is
+//! uncontended on the hot path; the disabled handle skips it entirely at
+//! an `Option` branch.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tetrium_cluster::SiteId;
 
 /// Why a scheduling instance fired (§5 batching: the first requester of a
@@ -421,7 +422,7 @@ impl ObsReport {
 /// collects into a shared [`ObsReport`].
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
-    inner: Option<Rc<RefCell<ObsReport>>>,
+    inner: Option<Arc<Mutex<ObsReport>>>,
 }
 
 impl Obs {
@@ -433,7 +434,7 @@ impl Obs {
     /// A recording sink over a cluster with the given per-site slot counts.
     pub fn recording(slots: Vec<usize>) -> Self {
         Self {
-            inner: Some(Rc::new(RefCell::new(ObsReport::recording(slots)))),
+            inner: Some(Arc::new(Mutex::new(ObsReport::recording(slots)))),
         }
     }
 
@@ -446,7 +447,7 @@ impl Obs {
 
     fn with(&self, f: impl FnOnce(&mut ObsReport)) {
         if let Some(core) = &self.inner {
-            f(&mut core.borrow_mut());
+            f(&mut core.lock().expect("obs lock poisoned"));
         }
     }
 
@@ -569,8 +570,19 @@ impl Obs {
     /// after the run ends). Returns `None` for a disabled sink.
     pub fn finish(&self) -> Option<ObsReport> {
         self.inner.as_ref().map(|core| {
-            let mut borrowed = core.borrow_mut();
-            std::mem::take(&mut *borrowed)
+            let mut locked = core.lock().expect("obs lock poisoned");
+            std::mem::take(&mut *locked)
+        })
+    }
+
+    /// Drains the task events recorded since the last drain, leaving the
+    /// rest of the report intact. The serve front end uses this to fan
+    /// lifecycle events out to subscribers mid-run without consuming the
+    /// report. Returns an empty vec for a disabled sink.
+    pub fn drain_task_events(&self) -> Vec<TaskEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |core| {
+            let mut locked = core.lock().expect("obs lock poisoned");
+            std::mem::take(&mut locked.task_events)
         })
     }
 }
@@ -578,6 +590,32 @@ impl Obs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn obs_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+    }
+
+    #[test]
+    fn drain_task_events_takes_only_task_events() {
+        let obs = Obs::recording(vec![1]);
+        obs.task_event(1.0, 0, 0, 0, false, TaskPhaseEvent::Queued, SiteId(0));
+        obs.copy_launched();
+        let drained = obs.drain_task_events();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].t, 1.0);
+        // A second drain sees nothing new; the rest of the report survives.
+        assert!(obs.drain_task_events().is_empty());
+        let r = obs.finish().unwrap();
+        assert!(r.task_events.is_empty());
+        assert_eq!(r.counters.copies_launched, 1);
+    }
+
+    #[test]
+    fn drain_task_events_on_disabled_sink_is_empty() {
+        assert!(Obs::disabled().drain_task_events().is_empty());
+    }
 
     #[test]
     fn disabled_sink_records_nothing() {

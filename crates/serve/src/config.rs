@@ -1,0 +1,76 @@
+//! Service configuration and the deterministic shard map.
+
+use tetrium::jobs::JobId;
+use tetrium::sim::EngineConfig;
+use tetrium::SchedulerKind;
+
+/// Configuration of a [`crate::TetriumService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of independent engine shards (≥ 1).
+    pub shards: usize,
+    /// Scheduler every shard runs.
+    pub scheduler: SchedulerKind,
+    /// Engine configuration shared by every shard (seed, noise, obs).
+    pub engine: EngineConfig,
+    /// Bound of each shard's submission queue; submissions beyond it
+    /// apply backpressure to `submit`.
+    pub queue_depth: usize,
+    /// Ring capacity of the lifecycle-event broadcast channel; slow
+    /// subscribers past it observe a `Lagged` gap, they never block the
+    /// service.
+    pub event_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            scheduler: SchedulerKind::Tetrium,
+            engine: EngineConfig::default(),
+            queue_depth: 64,
+            event_capacity: 1024,
+        }
+    }
+}
+
+/// Routes a job id to a shard with a fixed avalanche hash (splitmix64).
+/// Deliberately not `RandomState`: the shard map must be identical across
+/// processes and runs for the determinism contract to hold.
+pub fn shard_of(id: JobId, shards: usize) -> usize {
+    assert!(shards > 0, "service needs at least one shard");
+    let mut z = (id.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    usize::try_from(z % (shards as u64)).expect("shard index fits usize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_is_stable_and_in_range() {
+        for shards in [1, 2, 3, 8] {
+            for i in 0..100 {
+                let s = shard_of(JobId(i), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(JobId(i), shards), "same id, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_spreads_consecutive_ids() {
+        let shards = 4;
+        let mut hit = vec![0usize; shards];
+        for i in 0..64 {
+            hit[shard_of(JobId(i), shards)] += 1;
+        }
+        assert!(
+            hit.iter().all(|&h| h > 0),
+            "64 consecutive ids must touch every one of 4 shards: {hit:?}"
+        );
+    }
+}

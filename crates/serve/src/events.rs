@@ -1,0 +1,76 @@
+//! Lifecycle events fanned out to service subscribers.
+
+use tetrium::jobs::JobId;
+use tetrium::obs::TaskPhaseEvent;
+
+/// One service lifecycle event. Times are virtual (engine) seconds of the
+/// owning shard — shards advance independently, so times are comparable
+/// only within a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// A job was admitted into a shard's engine.
+    Admitted {
+        /// Owning shard.
+        shard: usize,
+        /// The job.
+        job: JobId,
+        /// Arrival time after clamping to the shard's virtual clock.
+        arrival: f64,
+    },
+    /// A job ran to completion.
+    Finished {
+        /// Owning shard.
+        shard: usize,
+        /// The job.
+        job: JobId,
+        /// Virtual completion time.
+        finished: f64,
+        /// `finished - arrival`.
+        response: f64,
+        /// WAN gigabytes the job moved.
+        wan_gb: f64,
+    },
+    /// A task lifecycle transition (only when the engine records obs).
+    Task {
+        /// Owning shard.
+        shard: usize,
+        /// Job the task belongs to (dense engine index, not [`JobId`]).
+        job_index: usize,
+        /// Stage index within the job.
+        stage: usize,
+        /// Task index within the stage.
+        task: usize,
+        /// Transition kind.
+        phase: TaskPhaseEvent,
+        /// Virtual time of the transition.
+        at: f64,
+    },
+    /// A shard drained its queue and its engine went idle.
+    Idle {
+        /// The shard.
+        shard: usize,
+        /// Virtual time at idle.
+        now: f64,
+    },
+    /// A shard worker exited (graceful shutdown or queue closed); its
+    /// report is final. Always the shard's last event.
+    ShardDone {
+        /// The shard.
+        shard: usize,
+        /// Jobs the shard completed over its lifetime.
+        jobs: usize,
+    },
+}
+
+impl JobEvent {
+    /// The shard that emitted the event.
+    pub fn shard(&self) -> usize {
+        match *self {
+            JobEvent::Admitted { shard, .. }
+            | JobEvent::Finished { shard, .. }
+            | JobEvent::Task { shard, .. }
+            | JobEvent::Idle { shard, .. }
+            | JobEvent::ShardDone { shard, .. } => shard,
+        }
+    }
+}

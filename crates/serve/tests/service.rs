@@ -1,0 +1,204 @@
+//! End-to-end service tests: submission-order determinism under one epoch
+//! partition, merged multi-shard reports, and graceful shutdown.
+
+use tetrium_serve::{shard_of, Job, JobEvent, JobId, ServeConfig, SubmitError, TetriumService};
+
+use tetrium::cluster::{Cluster, DataDistribution, Site};
+use tetrium::jobs::Stage;
+
+fn two_sites() -> Cluster {
+    Cluster::new(vec![
+        Site::new("a", 2, 1.0, 1.0),
+        Site::new("b", 2, 1.0, 1.0),
+    ])
+}
+
+fn job(id: usize) -> Job {
+    Job::new(
+        JobId(id),
+        format!("serve-{id}"),
+        0.0,
+        vec![Stage::root_map(
+            DataDistribution::new(vec![1.0 + 0.1 * id as f64, 1.2]),
+            4,
+            1.0,
+            0.2,
+        )],
+    )
+}
+
+fn runtime() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("build runtime")
+}
+
+/// Submits `ids` (in the given order) to a held service, opens it and
+/// joins, returning the canonical JSON string of the merged report.
+fn run_held(shards: usize, ids: &[usize]) -> String {
+    let rt = runtime();
+    rt.block_on(async {
+        let cfg = ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        };
+        let svc = TetriumService::start_held(&two_sites(), &cfg);
+        for &id in ids {
+            let receipt = svc.submit(job(id)).await.expect("submit accepted");
+            assert_eq!(receipt.shard, shard_of(JobId(id), shards));
+        }
+        svc.open();
+        let report = svc.join().await.expect("service run succeeds");
+        serde_json::to_string(&report.to_json()).expect("serialize report")
+    })
+}
+
+#[test]
+fn submission_order_determinism() {
+    // Same job set, three different submission interleavings, all queued
+    // before the workers admit anything → one epoch per shard → the
+    // canonical reports must be byte-identical.
+    let forward: Vec<usize> = (0..8).collect();
+    let reverse: Vec<usize> = (0..8).rev().collect();
+    let shuffled = vec![3, 7, 0, 5, 1, 6, 2, 4];
+    for shards in [1, 3] {
+        let a = run_held(shards, &forward);
+        let b = run_held(shards, &reverse);
+        let c = run_held(shards, &shuffled);
+        assert_eq!(a, b, "reverse submission changed the {shards}-shard report");
+        assert_eq!(
+            a, c,
+            "shuffled submission changed the {shards}-shard report"
+        );
+    }
+}
+
+#[test]
+fn concurrent_submitters_are_deterministic() {
+    // Two tasks race to submit disjoint halves of the set; the epoch
+    // partition is still "everything" because the service is held.
+    let serial = run_held(2, &(0..8).collect::<Vec<_>>());
+    let rt = runtime();
+    let racy = rt.block_on(async {
+        let cfg = ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        };
+        let svc = std::sync::Arc::new(TetriumService::start_held(&two_sites(), &cfg));
+        let mut submitters = Vec::new();
+        for half in 0..2usize {
+            let svc = std::sync::Arc::clone(&svc);
+            submitters.push(tokio::spawn(async move {
+                for id in (half * 4)..(half * 4 + 4) {
+                    svc.submit(job(id)).await.expect("submit accepted");
+                }
+            }));
+        }
+        for s in submitters {
+            s.await.expect("submitter ran");
+        }
+        svc.open();
+        let svc = std::sync::Arc::into_inner(svc).expect("sole owner after submitters");
+        let report = svc.join().await.expect("service run succeeds");
+        serde_json::to_string(&report.to_json()).expect("serialize report")
+    });
+    assert_eq!(serial, racy, "concurrent submission changed the report");
+}
+
+#[test]
+fn multi_shard_report_routes_every_job() {
+    let rt = runtime();
+    rt.block_on(async {
+        let shards = 3;
+        let cfg = ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        };
+        let svc = TetriumService::start_held(&two_sites(), &cfg);
+        for id in 0..12 {
+            svc.submit(job(id)).await.expect("submit accepted");
+        }
+        svc.open();
+        let report = svc.join().await.expect("service run succeeds");
+        assert_eq!(report.total_jobs(), 12);
+        assert_eq!(report.shards.len(), shards);
+        for s in &report.shards {
+            for j in &s.report.jobs {
+                assert_eq!(
+                    s.shard,
+                    shard_of(j.id, shards),
+                    "job {:?} landed on the wrong shard",
+                    j.id
+                );
+            }
+        }
+        assert!(report.makespan() > 0.0);
+        assert!(report.avg_response() > 0.0);
+    });
+}
+
+#[test]
+fn graceful_shutdown_completes_accepted_jobs_and_flushes_events() {
+    let rt = runtime();
+    rt.block_on(async {
+        let cfg = ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        };
+        let svc = TetriumService::start(&two_sites(), &cfg);
+        let mut events = svc.subscribe();
+        for id in 0..3 {
+            svc.submit(job(id)).await.expect("submit accepted");
+        }
+        // Cancel mid-run: whatever was accepted must still complete.
+        svc.shutdown();
+        let late = svc.submit(job(99)).await;
+        match late {
+            Err(SubmitError::ShuttingDown(j)) => assert_eq!(j.id, JobId(99)),
+            other => panic!("post-shutdown submit must be rejected, got {other:?}"),
+        }
+        let report = svc.join().await.expect("service run succeeds");
+        assert_eq!(report.total_jobs(), 3, "accepted jobs leaked on shutdown");
+
+        // The event stream is closed after join; drain it fully.
+        let mut log = Vec::new();
+        loop {
+            match events.recv().await {
+                Ok(ev) => log.push(ev),
+                Err(tokio::sync::broadcast::error::RecvError::Lagged(_)) => continue,
+                Err(tokio::sync::broadcast::error::RecvError::Closed) => break,
+            }
+        }
+        let admitted = log
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Admitted { .. }))
+            .count();
+        let finished = log
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Finished { .. }))
+            .count();
+        assert_eq!(admitted, 3, "events: {log:?}");
+        assert_eq!(finished, 3, "events: {log:?}");
+        match log.last() {
+            Some(JobEvent::ShardDone { shard: 0, jobs: 3 }) => {}
+            other => panic!("final event must be ShardDone for 3 jobs, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn join_without_shutdown_drains_backlog() {
+    let rt = runtime();
+    rt.block_on(async {
+        let svc = TetriumService::start(&two_sites(), &ServeConfig::default());
+        for id in 0..4 {
+            svc.submit(job(id)).await.expect("submit accepted");
+        }
+        // No explicit shutdown: join drops the submission handles, the
+        // worker drains the backlog and exits on the closed queue.
+        let report = svc.join().await.expect("service run succeeds");
+        assert_eq!(report.total_jobs(), 4);
+    });
+}

@@ -126,6 +126,8 @@ pub struct Engine {
     task_failures: usize,
     trace: Vec<TaskTrace>,
     obs: Obs,
+    /// Per-job flag: outcome already handed out by [`Engine::drain_finished`].
+    reported_finished: Vec<bool>,
     // Scratch buffers reused across scheduler invocations so the steady
     // state of the event loop allocates nothing per invocation.
     snapshot_scratch: Snapshot,
@@ -183,6 +185,7 @@ impl Engine {
             jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
         assert_eq!(job_index.len(), jobs.len(), "job ids must be unique");
         let seed = cfg.seed;
+        let n_jobs = jobs.len();
         Self {
             cluster,
             cur_slots,
@@ -213,6 +216,7 @@ impl Engine {
             task_failures: 0,
             trace: Vec::new(),
             obs,
+            reported_finished: vec![false; n_jobs],
             snapshot_scratch: Snapshot::default(),
             dispatch_scratch: Vec::new(),
             launch_scratch: Vec::new(),
@@ -255,6 +259,16 @@ impl Engine {
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> Result<RunReport, SimError> {
+        self.seed_initial_events();
+        self.step_until_idle()?;
+        Ok(self.into_report())
+    }
+
+    /// Pushes the arrival events for every job configured at construction
+    /// plus the dynamics timeline. [`Engine::run`] calls this once; a
+    /// front end driving the engine incrementally calls it once before the
+    /// first [`Engine::step_until_idle`].
+    pub fn seed_initial_events(&mut self) {
         for i in 0..self.jobs.len() {
             self.events
                 .push(self.jobs[i].job.arrival, Event::JobArrival(i));
@@ -263,7 +277,47 @@ impl Engine {
             let at = self.dynamics.events()[i].at_time;
             self.events.push(at, Event::Dynamics(i));
         }
+    }
 
+    /// Admits `job` into a (possibly already stepped) engine, clamping its
+    /// arrival to the current virtual time — a job submitted to a service
+    /// cannot arrive in the engine's past. Call
+    /// [`Engine::step_until_idle`] afterwards to process it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's root inputs do not match the cluster or its id
+    /// collides with an already admitted job, mirroring [`Engine::new`].
+    pub fn submit_job(&mut self, mut job: Job) -> JobId {
+        assert!(
+            job.matches_cluster(&self.cluster),
+            "job {} input does not match cluster",
+            job.id
+        );
+        job.arrival = job.arrival.max(self.now);
+        let id = job.id;
+        let i = self.jobs.len();
+        let prev = self.job_index.insert(id, i);
+        assert!(prev.is_none(), "job ids must be unique (duplicate {id})");
+        let n = self.cluster.len();
+        self.events.push(job.arrival, Event::JobArrival(i));
+        self.jobs.push(JobRt::new(job, n));
+        self.reported_finished.push(false);
+        id
+    }
+
+    /// Processes events until the engine is idle: every admitted job has
+    /// finished and no event remains. Identical to the [`Engine::run`]
+    /// event loop — `run` is exactly seed + one `step_until_idle` — so
+    /// incremental driving preserves byte-determinism for the same
+    /// submission history.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] when unfinished jobs remain but the scheduler
+    /// launches nothing, and whatever fatal error an event handler arms
+    /// (e.g. [`SimError::RetriesExhausted`]).
+    pub fn step_until_idle(&mut self) -> Result<(), SimError> {
         loop {
             let t_heap = self.events.peek_time();
             let t_net = self.flows.next_completion().map(|(_, t)| t);
@@ -308,7 +362,44 @@ impl Engine {
                 return Err(e);
             }
         }
-        Ok(self.into_report())
+        Ok(())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// A clone of the engine's observability handle. A front end holds
+    /// this to drain task events between steps (e.g. fanning them out to
+    /// subscribers) while the engine keeps recording; disabled unless
+    /// [`crate::EngineConfig::record_obs`] is set.
+    pub fn obs_handle(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// Total WAN gigabytes charged so far.
+    pub fn total_wan_gb(&self) -> f64 {
+        self.flows.total_wan_gb()
+    }
+
+    /// Number of admitted jobs (finished or not).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Outcomes of jobs that finished since the last drain, in admission
+    /// order. A front end polls this between [`Engine::step_until_idle`]
+    /// calls to report completions without consuming the engine.
+    pub fn drain_finished(&mut self) -> Vec<JobOutcome> {
+        let mut out = Vec::new();
+        for i in 0..self.jobs.len() {
+            if !self.reported_finished[i] && self.jobs[i].finished_at.is_some() {
+                self.reported_finished[i] = true;
+                out.push(Self::job_outcome(&self.jobs[i]));
+            }
+        }
+        out
     }
 
     fn unfinished(&self) -> usize {
@@ -892,9 +983,12 @@ impl Engine {
         let task = &self.jobs[j].stages[s].tasks[t];
         match kind {
             StageKind::Map => {
-                let src = task.input_site.expect("map task has a home partition");
-                if src != site && task.input_gb > 1e-12 {
-                    fetches.push((src, task.input_gb));
+                // A map task without a home partition (placeable-anywhere
+                // snapshot) has nothing to pull over the WAN.
+                if let Some(src) = task.input_site {
+                    if src != site && task.input_gb > 1e-12 {
+                        fetches.push((src, task.input_gb));
+                    }
                 }
             }
             StageKind::Reduce => {
@@ -1273,57 +1367,74 @@ impl Engine {
         }
     }
 
-    fn into_report(self) -> RunReport {
-        let mut jobs = Vec::with_capacity(self.jobs.len());
-        for j in &self.jobs {
-            let finished = j.finished_at.expect("run() verified completion");
-            let input_skew = j
-                .job
+    /// Builds the outcome record for a finished job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job has not finished.
+    fn job_outcome(j: &JobRt) -> JobOutcome {
+        let finished = j.finished_at.expect("job outcome requires completion");
+        let input_skew = j
+            .job
+            .stages
+            .iter()
+            .filter_map(|s| s.input.as_ref())
+            .map(|d| d.skew_cv())
+            .fold(0.0f64, f64::max);
+        let est_error = {
+            let errs: Vec<f64> = j
                 .stages
                 .iter()
-                .filter_map(|s| s.input.as_ref())
-                .map(|d| d.skew_cv())
-                .fold(0.0f64, f64::max);
-            let est_error = {
-                let errs: Vec<f64> = j
-                    .stages
-                    .iter()
-                    .zip(&j.job.stages)
-                    .filter(|(_, spec)| spec.task_secs > 0.0)
-                    .map(|(rt, spec)| ((rt.est_task_secs - spec.task_secs) / spec.task_secs).abs())
-                    .collect();
-                if errs.is_empty() {
-                    0.0
-                } else {
-                    errs.iter().sum::<f64>() / errs.len() as f64
-                }
-            };
-            let outcome = JobOutcome {
-                id: j.job.id,
-                name: j.job.name.clone(),
-                arrival: j.job.arrival,
-                finished,
-                response: finished - j.job.arrival,
-                wan_gb: j.wan_gb,
-                num_stages: j.job.num_stages(),
-                total_tasks: j.job.total_tasks(),
-                input_gb: j.job.input_gb(),
-                intermediate_gb: j.job.expected_intermediate_gb(),
-                input_skew_cv: input_skew,
-                est_error,
-                stage_spans: j
-                    .stages
-                    .iter()
-                    .map(|st| {
-                        (
-                            st.activated_at.unwrap_or(f64::NAN),
-                            st.finished_at.unwrap_or(f64::NAN),
-                        )
-                    })
-                    .collect(),
-            };
-            outcome.debug_assert_finite();
-            jobs.push(outcome);
+                .zip(&j.job.stages)
+                .filter(|(_, spec)| spec.task_secs > 0.0)
+                .map(|(rt, spec)| ((rt.est_task_secs - spec.task_secs) / spec.task_secs).abs())
+                .collect();
+            if errs.is_empty() {
+                0.0
+            } else {
+                errs.iter().sum::<f64>() / errs.len() as f64
+            }
+        };
+        let outcome = JobOutcome {
+            id: j.job.id,
+            name: j.job.name.clone(),
+            arrival: j.job.arrival,
+            finished,
+            response: finished - j.job.arrival,
+            wan_gb: j.wan_gb,
+            num_stages: j.job.num_stages(),
+            total_tasks: j.job.total_tasks(),
+            input_gb: j.job.input_gb(),
+            intermediate_gb: j.job.expected_intermediate_gb(),
+            input_skew_cv: input_skew,
+            est_error,
+            stage_spans: j
+                .stages
+                .iter()
+                .map(|st| {
+                    (
+                        st.activated_at.unwrap_or(f64::NAN),
+                        st.finished_at.unwrap_or(f64::NAN),
+                    )
+                })
+                .collect(),
+        };
+        outcome.debug_assert_finite();
+        outcome
+    }
+
+    /// Finalizes the run into a [`RunReport`]. Called by [`Engine::run`];
+    /// also the terminal step for a front end that drove the engine through
+    /// [`Engine::step_until_idle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any admitted job is unfinished — only call after
+    /// `step_until_idle` returned `Ok`.
+    pub fn into_report(self) -> RunReport {
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for j in &self.jobs {
+            jobs.push(Self::job_outcome(j));
         }
         let makespan = jobs.iter().map(|j| j.finished).fold(0.0f64, f64::max);
         RunReport {
@@ -1459,6 +1570,14 @@ mod tests {
     use crate::sched::{StagePlan, TaskAssignment};
     use tetrium_cluster::{DataDistribution, Site};
     use tetrium_jobs::JobId;
+
+    /// The serve front end moves engines onto pool threads; this fails to
+    /// compile if anything engine-reachable regresses to `Rc`/`RefCell`.
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Engine>();
+    }
 
     /// A minimal site-locality scheduler used to exercise the engine: map
     /// tasks run where their partition lives, reduce tasks run proportional
@@ -1634,6 +1753,106 @@ mod tests {
             .unwrap();
         assert_eq!(r1.jobs[0].response, r2.jobs[0].response);
         assert_eq!(r1.total_wan_gb, r2.total_wan_gb);
+    }
+
+    #[test]
+    fn incremental_driving_matches_batch_run_bitwise() {
+        // `run()` is seed + one `step_until_idle`; driving the same jobs
+        // through `submit_job` between idle points must produce bitwise
+        // identical outcomes when every submission lands at its arrival
+        // time (job 1 arrives at t=4.0, after job 0's 4 s makespan, so
+        // submitting it post-idle does not clamp its arrival).
+        let input = DataDistribution::new(vec![3.0, 2.0]);
+        let mk = |id: usize, arrival: f64| {
+            Job::map_reduce(
+                JobId(id),
+                format!("j{id}"),
+                arrival,
+                input.clone(),
+                5,
+                1.0,
+                0.5,
+                3,
+                1.0,
+            )
+        };
+        let cfg = EngineConfig {
+            duration_cv: 0.3,
+            straggler_prob: 0.2,
+            seed: 9,
+            ..EngineConfig::default()
+        };
+
+        let batch = Engine::new(
+            cluster2(),
+            vec![mk(0, 0.0)],
+            Box::new(LocalScheduler),
+            cfg.clone(),
+        )
+        .run()
+        .unwrap();
+
+        let mut eng = Engine::new(cluster2(), vec![], Box::new(LocalScheduler), cfg);
+        eng.seed_initial_events();
+        assert_eq!(eng.num_jobs(), 0);
+        assert!(eng.drain_finished().is_empty());
+        eng.submit_job(mk(0, 0.0));
+        eng.step_until_idle().unwrap();
+        let drained = eng.drain_finished();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(
+            drained[0].response.to_bits(),
+            batch.jobs[0].response.to_bits()
+        );
+        assert!(eng.drain_finished().is_empty(), "drain is once-only");
+
+        // A second job admitted after idle runs on the same engine; its
+        // outcome must match a fresh single-job run whose arrival equals
+        // the admission time (an idle engine carries no residual state
+        // other than the clock and RNG consumption — the latter only
+        // matters under nonzero duration_cv, so pin a fresh-RNG config).
+        let t_resume = eng.now();
+        eng.submit_job(mk(1, t_resume));
+        eng.step_until_idle().unwrap();
+        let second = eng.drain_finished();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].id, JobId(1));
+        assert!(second[0].finished > t_resume);
+        let report = eng.into_report();
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(
+            report.jobs[0].response.to_bits(),
+            batch.jobs[0].response.to_bits()
+        );
+    }
+
+    #[test]
+    fn submit_job_clamps_past_arrivals_to_now() {
+        let input = DataDistribution::new(vec![2.0, 0.0]);
+        let mk = |id: usize, arrival: f64| {
+            Job::new(
+                JobId(id),
+                format!("j{id}"),
+                arrival,
+                vec![tetrium_jobs::Stage::root_map(input.clone(), 2, 1.0, 0.5)],
+            )
+        };
+        let mut eng = Engine::new(
+            cluster2(),
+            vec![mk(0, 0.0)],
+            Box::new(LocalScheduler),
+            EngineConfig::default(),
+        );
+        eng.seed_initial_events();
+        eng.step_until_idle().unwrap();
+        let t = eng.now();
+        assert!(t > 0.0);
+        // Nominal arrival 0.0 is in the engine's past; admission clamps it.
+        eng.submit_job(mk(1, 0.0));
+        eng.step_until_idle().unwrap();
+        let report = eng.into_report();
+        assert_eq!(report.jobs[1].arrival.to_bits(), t.to_bits());
+        assert!(report.jobs[1].finished >= t);
     }
 
     #[test]

@@ -202,7 +202,11 @@ pub struct StagePlan {
 /// assignments of still-unlaunched tasks, which is what lets schedulers
 /// re-plan queued work as conditions change (the paper's per-instance
 /// re-evaluation).
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so a boxed scheduler (and the engine holding it)
+/// can move to a worker thread; schedulers are still driven from one
+/// thread at a time and need no internal synchronization.
+pub trait Scheduler: Send {
     /// Human-readable name used in reports.
     fn name(&self) -> &str;
 

@@ -139,7 +139,7 @@ fn capacity_drop_is_visible_in_snapshots() {
 
     struct DropWatcher {
         inner: TetriumScheduler,
-        saw_degraded: std::rc::Rc<std::cell::Cell<bool>>,
+        saw_degraded: std::sync::Arc<std::sync::atomic::AtomicBool>,
     }
     impl Scheduler for DropWatcher {
         fn name(&self) -> &str {
@@ -147,12 +147,13 @@ fn capacity_drop_is_visible_in_snapshots() {
         }
         fn schedule(&mut self, snap: &Snapshot) -> Vec<StagePlan> {
             if snap.sites[0].slots <= 15 {
-                self.saw_degraded.set(true);
+                self.saw_degraded
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
             }
             self.inner.schedule(snap)
         }
     }
-    let saw = std::rc::Rc::new(std::cell::Cell::new(false));
+    let saw = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let watcher = DropWatcher {
         inner: TetriumScheduler::standard(),
         saw_degraded: saw.clone(),
@@ -166,5 +167,8 @@ fn capacity_drop_is_visible_in_snapshots() {
     .with_drops(vec![CapacityDrop::new(SiteId(0), 2.0, 0.5)])
     .run()
     .unwrap();
-    assert!(saw.get(), "scheduler never observed the degraded capacity");
+    assert!(
+        saw.load(std::sync::atomic::Ordering::Relaxed),
+        "scheduler never observed the degraded capacity"
+    );
 }

@@ -1,0 +1,298 @@
+//! Thread-pool executor: [`Builder`], [`Runtime`], `block_on`.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Per-task run state. Transitions:
+///
+/// ```text
+/// Idle --wake--> Queued --worker pops--> Running --Pending--> Idle
+///                                        Running --wake--> Notified --Pending--> Queued
+///                                        Running --Ready--> Done
+/// ```
+///
+/// A wake during `Running` marks `Notified`; the worker re-queues the task
+/// after the poll instead of dropping the notification on the floor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RunState {
+    Idle,
+    Queued,
+    Running,
+    Notified,
+    Done,
+}
+
+/// One spawned task: the future plus its run state.
+pub(crate) struct TaskCell {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    state: Mutex<RunState>,
+    shared: Weak<Shared>,
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        let Some(shared) = self.shared.upgrade() else {
+            return; // Runtime already shut down.
+        };
+        let requeue = {
+            let mut st = self.state.lock().unwrap();
+            match *st {
+                RunState::Idle => {
+                    *st = RunState::Queued;
+                    true
+                }
+                RunState::Running => {
+                    *st = RunState::Notified;
+                    false
+                }
+                RunState::Queued | RunState::Notified | RunState::Done => false,
+            }
+        };
+        if requeue {
+            shared.push(self.clone());
+        }
+    }
+}
+
+/// State shared between the runtime handle and its worker threads.
+pub(crate) struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    ready: VecDeque<Arc<TaskCell>>,
+    shutdown: bool,
+}
+
+impl Shared {
+    fn push(&self, task: Arc<TaskCell>) {
+        let mut q = self.queue.lock().unwrap();
+        if q.shutdown {
+            return; // Dropped: the runtime is going away.
+        }
+        q.ready.push_back(task);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    /// Pops the next ready task, blocking until one arrives or shutdown.
+    fn pop(&self) -> Option<Arc<TaskCell>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(t) = q.ready.pop_front() {
+                return Some(t);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    pub(crate) fn spawn_dyn(self: &Arc<Self>, fut: Pin<Box<dyn Future<Output = ()> + Send>>) {
+        let task = Arc::new(TaskCell {
+            future: Mutex::new(Some(fut)),
+            state: Mutex::new(RunState::Queued),
+            shared: Arc::downgrade(self),
+        });
+        self.push(task);
+    }
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<Shared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `shared` installed as the thread's current runtime.
+fn with_current<R>(shared: &Arc<Shared>, f: impl FnOnce() -> R) -> R {
+    struct Reset(Option<Arc<Shared>>);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(shared.clone()));
+    let _reset = Reset(prev);
+    f()
+}
+
+/// The current thread's runtime, for [`crate::task::spawn`].
+pub(crate) fn current() -> Option<Arc<Shared>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    with_current(&shared.clone(), || {
+        while let Some(task) = shared.pop() {
+            // Take the future out of its slot for the poll; the state
+            // machine (not this slot) guards against concurrent polls.
+            let Some(mut fut) = task.future.lock().unwrap().take() else {
+                continue;
+            };
+            *task.state.lock().unwrap() = RunState::Running;
+            let waker = Waker::from(task.clone());
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    *task.state.lock().unwrap() = RunState::Done;
+                }
+                Poll::Pending => {
+                    *task.future.lock().unwrap() = Some(fut);
+                    let requeue = {
+                        let mut st = task.state.lock().unwrap();
+                        if *st == RunState::Notified {
+                            *st = RunState::Queued;
+                            true
+                        } else {
+                            *st = RunState::Idle;
+                            false
+                        }
+                    };
+                    if requeue {
+                        shared.push(task);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Builds a [`Runtime`], mirroring tokio's builder surface.
+pub struct Builder {
+    workers: usize,
+}
+
+impl Builder {
+    /// A thread-pool runtime (defaults to the machine's parallelism).
+    pub fn new_multi_thread() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        Self { workers }
+    }
+
+    /// A minimal runtime: one worker thread services every spawned task.
+    /// (Real tokio polls spawned tasks inside `block_on` on the caller
+    /// thread; a dedicated worker has the same observable behavior for
+    /// reactor-free futures.)
+    pub fn new_current_thread() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_threads(&mut self, n: usize) -> &mut Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; there is no IO/timer reactor to
+    /// enable in the stand-in.
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Builds the runtime, starting its worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors tokio's signature.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                ready: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("tokio-worker-{i}"))
+                    .spawn(move || worker_loop(sh))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Ok(Runtime { shared, workers })
+    }
+}
+
+/// Wakes the `block_on` caller thread.
+struct Parker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        *self.ready.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+/// A handle to the executor; dropping it shuts the workers down (pending
+/// spawned tasks are dropped, as in tokio).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Polls `fut` on the caller thread until completion, parking between
+    /// polls. Tasks spawned from inside run on the pool.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        with_current(&self.shared, || {
+            let mut fut = std::pin::pin!(fut);
+            let parker = Arc::new(Parker {
+                ready: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let waker = Waker::from(parker.clone());
+            let mut cx = Context::from_waker(&waker);
+            loop {
+                if let Poll::Ready(out) = fut.as_mut().poll(&mut cx) {
+                    return out;
+                }
+                let mut ready = parker.ready.lock().unwrap();
+                while !*ready {
+                    ready = parker.cv.wait(ready).unwrap();
+                }
+                *ready = false;
+            }
+        })
+    }
+
+    /// Spawns a future onto the pool from outside async context.
+    pub fn spawn<F>(&self, fut: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn_on(&self.shared, fut)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+            q.ready.clear(); // Drop pending tasks (their futures with them).
+        }
+        self.cv_notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Runtime {
+    fn cv_notify_all(&self) {
+        self.shared.cv.notify_all();
+    }
+}

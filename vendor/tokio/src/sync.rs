@@ -1,0 +1,4 @@
+//! Synchronization primitives: async [`mpsc`] and [`broadcast`] channels.
+
+pub mod broadcast;
+pub mod mpsc;

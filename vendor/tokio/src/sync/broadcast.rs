@@ -1,0 +1,236 @@
+//! Multi-producer multi-consumer fan-out channel with a bounded ring
+//! buffer. Every receiver sees every value sent after it subscribed; a
+//! receiver that falls more than `cap` values behind observes
+//! [`error::RecvError::Lagged`] and is fast-forwarded, like real tokio.
+
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub mod error {
+    /// Error returned by [`super::Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvError {
+        /// Every sender was dropped and the backlog is drained.
+        Closed,
+        /// The receiver fell behind; `n` values were skipped.
+        Lagged(u64),
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Closed => write!(f, "channel closed"),
+                Self::Lagged(n) => write!(f, "channel lagged by {n}"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`super::Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No new value is available yet.
+        Empty,
+        /// Every sender was dropped and the backlog is drained.
+        Closed,
+        /// The receiver fell behind; `n` values were skipped.
+        Lagged(u64),
+    }
+
+    /// Error returned by [`super::Sender::send`] when no receiver exists;
+    /// carries the value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+}
+
+use error::{RecvError, SendError, TryRecvError};
+
+struct RingState<T> {
+    /// Retained values; the front has sequence number `head_seq`.
+    buf: VecDeque<T>,
+    /// Sequence number of `buf.front()`.
+    head_seq: u64,
+    /// Sequence number the next `send` will assign (`head_seq + buf.len()`).
+    next_seq: u64,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+    rx_wakers: Vec<Waker>,
+}
+
+struct Ring<T> {
+    state: Mutex<RingState<T>>,
+}
+
+/// Sending half; cloneable.
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.ring.state.lock().unwrap().senders += 1;
+        Self {
+            ring: self.ring.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let wakers = {
+            let mut st = self.ring.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                std::mem::take(&mut st.rx_wakers)
+            } else {
+                Vec::new()
+            }
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+}
+
+impl<T: Clone> Sender<T> {
+    /// Broadcasts a value to all current receivers, returning how many
+    /// there are.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when no receiver exists.
+    pub fn send(&self, value: T) -> Result<usize, SendError<T>> {
+        let (n, wakers) = {
+            let mut st = self.ring.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.buf.len() == st.cap {
+                st.buf.pop_front();
+                st.head_seq += 1;
+            }
+            st.buf.push_back(value);
+            st.next_seq += 1;
+            (st.receivers, std::mem::take(&mut st.rx_wakers))
+        };
+        for w in wakers {
+            w.wake();
+        }
+        Ok(n)
+    }
+}
+
+impl<T> Sender<T> {
+    /// Creates a new receiver that sees values sent from now on.
+    pub fn subscribe(&self) -> Receiver<T> {
+        let mut st = self.ring.state.lock().unwrap();
+        st.receivers += 1;
+        let next = st.next_seq;
+        drop(st);
+        Receiver {
+            ring: self.ring.clone(),
+            next,
+        }
+    }
+
+    /// Number of active receivers.
+    pub fn receiver_count(&self) -> usize {
+        self.ring.state.lock().unwrap().receivers
+    }
+}
+
+/// Receiving half; each receiver independently sees every broadcast value.
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+    /// Sequence number of the next value this receiver will observe.
+    next: u64,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.state.lock().unwrap().receivers -= 1;
+    }
+}
+
+impl<T: Clone> Receiver<T> {
+    /// Receives the next broadcast value.
+    ///
+    /// # Errors
+    ///
+    /// `Closed` once every sender is dropped and the backlog is drained;
+    /// `Lagged(n)` when this receiver fell behind by `n` values (its cursor
+    /// is fast-forwarded to the oldest retained value).
+    pub async fn recv(&mut self) -> Result<T, RecvError> {
+        poll_fn(|cx| self.poll_step(Some(cx))).await
+    }
+
+    /// Receives without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Self::recv`], plus `Empty` when no new value is available.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        match self.poll_step(None) {
+            Poll::Ready(Ok(v)) => Ok(v),
+            Poll::Ready(Err(RecvError::Closed)) => Err(TryRecvError::Closed),
+            Poll::Ready(Err(RecvError::Lagged(n))) => Err(TryRecvError::Lagged(n)),
+            Poll::Pending => Err(TryRecvError::Empty),
+        }
+    }
+
+    fn poll_step(&mut self, cx: Option<&mut Context<'_>>) -> Poll<Result<T, RecvError>> {
+        let mut st = self.ring.state.lock().unwrap();
+        if self.next < st.head_seq {
+            let missed = st.head_seq - self.next;
+            self.next = st.head_seq;
+            return Poll::Ready(Err(RecvError::Lagged(missed)));
+        }
+        if self.next < st.next_seq {
+            let idx = usize::try_from(self.next - st.head_seq).expect("ring index fits usize");
+            let v = st.buf[idx].clone();
+            self.next += 1;
+            return Poll::Ready(Ok(v));
+        }
+        if st.senders == 0 {
+            return Poll::Ready(Err(RecvError::Closed));
+        }
+        if let Some(cx) = cx {
+            st.rx_wakers.push(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Creates a broadcast channel retaining at most `cap` undelivered values
+/// per receiver.
+///
+/// # Panics
+///
+/// Panics when `cap` is 0, like tokio.
+pub fn channel<T: Clone>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "broadcast channel requires capacity > 0");
+    let ring = Arc::new(Ring {
+        state: Mutex::new(RingState {
+            buf: VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            cap,
+            senders: 1,
+            receivers: 1,
+            rx_wakers: Vec::new(),
+        }),
+    });
+    (Sender { ring: ring.clone() }, Receiver { ring, next: 0 })
+}

@@ -1,0 +1,312 @@
+//! Bounded and unbounded multi-producer single-consumer async channels.
+
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by `send` when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by `try_send`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// The receiver was dropped.
+    Closed(T),
+}
+
+/// Error returned by `try_recv`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    rx_alive: bool,
+    rx_waker: Option<Waker>,
+    tx_wakers: Vec<Waker>,
+}
+
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+}
+
+impl<T> Chan<T> {
+    fn wake_rx(state: &mut ChanState<T>) -> Option<Waker> {
+        state.rx_waker.take()
+    }
+}
+
+/// Sending half; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Self {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                Chan::wake_rx(&mut st)
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value, waiting for capacity on a bounded channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when the receiver has been dropped.
+    pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut slot = Some(value);
+        poll_fn(|cx| self.poll_send(cx, &mut slot)).await
+    }
+
+    fn poll_send(
+        &self,
+        cx: &mut Context<'_>,
+        slot: &mut Option<T>,
+    ) -> Poll<Result<(), SendError<T>>> {
+        let waker = {
+            let mut st = self.chan.state.lock().unwrap();
+            if !st.rx_alive {
+                let v = slot.take().expect("send polled after completion");
+                return Poll::Ready(Err(SendError(v)));
+            }
+            if st.queue.len() < st.cap {
+                let v = slot.take().expect("send polled after completion");
+                st.queue.push_back(v);
+                Chan::wake_rx(&mut st)
+            } else {
+                st.tx_wakers.push(cx.waker().clone());
+                return Poll::Pending;
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+
+    /// Sends without waiting.
+    ///
+    /// # Errors
+    ///
+    /// `Full` when the bounded queue is at capacity, `Closed` when the
+    /// receiver is gone; both return the value.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let waker = {
+            let mut st = self.chan.state.lock().unwrap();
+            if !st.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if st.queue.len() >= st.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            Chan::wake_rx(&mut st)
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.chan.state.lock().unwrap().rx_alive
+    }
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let wakers = {
+            let mut st = self.chan.state.lock().unwrap();
+            st.rx_alive = false;
+            std::mem::take(&mut st.tx_wakers)
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value; `None` once every sender is dropped and the
+    /// queue is drained.
+    pub async fn recv(&mut self) -> Option<T> {
+        poll_fn(|cx| self.poll_recv(cx)).await
+    }
+
+    /// Poll-level receive (what `recv` awaits).
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let (out, wakers) = {
+            let mut st = self.chan.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => (Some(v), std::mem::take(&mut st.tx_wakers)),
+                None if st.senders == 0 => return Poll::Ready(None),
+                None => {
+                    st.rx_waker = Some(cx.waker().clone());
+                    return Poll::Pending;
+                }
+            }
+        };
+        for w in wakers {
+            w.wake();
+        }
+        Poll::Ready(out)
+    }
+
+    /// Receives without waiting.
+    ///
+    /// # Errors
+    ///
+    /// `Empty` when nothing is queued, `Disconnected` when additionally no
+    /// sender remains.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        let (out, wakers) = {
+            let mut st = self.chan.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => (v, std::mem::take(&mut st.tx_wakers)),
+                None if st.senders == 0 => return Err(TryRecvError::Disconnected),
+                None => return Err(TryRecvError::Empty),
+            }
+        };
+        for w in wakers {
+            w.wake();
+        }
+        Ok(out)
+    }
+
+    /// Closes the channel: subsequent sends fail, queued values can still
+    /// be received.
+    pub fn close(&mut self) {
+        let wakers = {
+            let mut st = self.chan.state.lock().unwrap();
+            st.rx_alive = false;
+            std::mem::take(&mut st.tx_wakers)
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+}
+
+/// Creates a bounded channel.
+///
+/// # Panics
+///
+/// Panics when `cap` is 0, like tokio.
+pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "mpsc bounded channel requires capacity > 0");
+    let chan = Arc::new(Chan {
+        state: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            rx_alive: true,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+        }),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Unbounded sending half; cloneable, sends never wait.
+pub struct UnboundedSender<T>(Sender<T>);
+
+impl<T> Clone for UnboundedSender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> UnboundedSender<T> {
+    /// Sends a value immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.try_send(value).map_err(|e| match e {
+            TrySendError::Closed(v) => SendError(v),
+            TrySendError::Full(_) => unreachable!("unbounded channel is never full"),
+        })
+    }
+}
+
+/// Unbounded receiving half.
+pub struct UnboundedReceiver<T>(Receiver<T>);
+
+impl<T> UnboundedReceiver<T> {
+    /// See [`Receiver::recv`].
+    pub async fn recv(&mut self) -> Option<T> {
+        self.0.recv().await
+    }
+
+    /// See [`Receiver::try_recv`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Receiver::try_recv`].
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            cap: usize::MAX,
+            senders: 1,
+            rx_alive: true,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+        }),
+    });
+    (
+        UnboundedSender(Sender { chan: chan.clone() }),
+        UnboundedReceiver(Receiver { chan }),
+    )
+}

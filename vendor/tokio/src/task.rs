@@ -1,0 +1,162 @@
+//! Task spawning and [`JoinHandle`].
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Why a join failed. The stand-in only produces cancellation (the task was
+/// dropped at runtime shutdown before completing); panics in spawned tasks
+/// propagate to the worker thread instead of being caught.
+#[derive(Debug)]
+pub struct JoinError {
+    _private: (),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task was cancelled")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl JoinError {
+    /// Whether the task was cancelled (always true for stand-in errors).
+    pub fn is_cancelled(&self) -> bool {
+        true
+    }
+}
+
+enum JoinState<T> {
+    Pending(Option<Waker>),
+    Ready(T),
+    Cancelled,
+    Taken,
+}
+
+struct JoinShared<T> {
+    state: Mutex<JoinState<T>>,
+}
+
+impl<T> JoinShared<T> {
+    fn complete(&self, value: T) {
+        let mut st = self.state.lock().unwrap();
+        let prev = std::mem::replace(&mut *st, JoinState::Ready(value));
+        drop(st);
+        if let JoinState::Pending(Some(w)) = prev {
+            w.wake();
+        }
+    }
+
+    fn cancel(&self) {
+        let mut st = self.state.lock().unwrap();
+        if let JoinState::Pending(w) = &mut *st {
+            let w = w.take();
+            *st = JoinState::Cancelled;
+            drop(st);
+            if let Some(w) = w {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Marks the handle cancelled if the task's future is dropped before
+/// completing (e.g. at runtime shutdown), so joiners observe an error
+/// instead of hanging.
+struct CancelOnDrop<T>(Arc<JoinShared<T>>);
+
+impl<T> Drop for CancelOnDrop<T> {
+    fn drop(&mut self) {
+        self.0.cancel();
+    }
+}
+
+/// Awaits a spawned task's output, yielding `Result<T, JoinError>`.
+pub struct JoinHandle<T> {
+    shared: Arc<JoinShared<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has completed (or been cancelled).
+    pub fn is_finished(&self) -> bool {
+        !matches!(*self.shared.state.lock().unwrap(), JoinState::Pending(_))
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.shared.state.lock().unwrap();
+        match &mut *st {
+            JoinState::Pending(w) => {
+                *w = Some(cx.waker().clone());
+                Poll::Pending
+            }
+            JoinState::Ready(_) => {
+                let JoinState::Ready(v) = std::mem::replace(&mut *st, JoinState::Taken) else {
+                    unreachable!()
+                };
+                Poll::Ready(Ok(v))
+            }
+            JoinState::Cancelled => Poll::Ready(Err(JoinError { _private: () })),
+            JoinState::Taken => panic!("JoinHandle polled after completion"),
+        }
+    }
+}
+
+pub(crate) fn spawn_on<F>(shared: &Arc<crate::runtime::Shared>, fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let join = Arc::new(JoinShared {
+        state: Mutex::new(JoinState::Pending(None)),
+    });
+    let join2 = join.clone();
+    let wrapped: Pin<Box<dyn Future<Output = ()> + Send>> = Box::pin(async move {
+        let guard = CancelOnDrop(join2);
+        let out = fut.await;
+        guard.0.complete(out);
+        // `complete` replaced Pending, so the guard's `cancel` is a no-op.
+        drop(guard);
+    });
+    shared.spawn_dyn(wrapped);
+    JoinHandle { shared: join }
+}
+
+/// Spawns `fut` onto the current runtime's pool.
+///
+/// # Panics
+///
+/// Panics when called outside a runtime context (inside
+/// [`crate::runtime::Runtime::block_on`] or a spawned task), like tokio.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared =
+        crate::runtime::current().expect("tokio::spawn called from outside of a runtime context");
+    spawn_on(&shared, fut)
+}
+
+/// Cooperatively yields back to the executor once.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false).await;
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for [tokio-util](https://docs.rs/tokio-util)
+//! implementing the API subset the workspace uses (no crates.io access in
+//! this build environment; see the workspace `Cargo.toml`).
+//!
+//! Provides [`sync::CancellationToken`] with `cancel`, `cancelled`,
+//! `child_token`, and `run_until_cancelled` — the structured-shutdown
+//! surface the serve crate relies on in place of `tokio::select!`.
+
+pub mod sync;
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::CancellationToken;
+
+    fn rt() -> tokio::runtime::Runtime {
+        tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .build()
+            .expect("build runtime")
+    }
+
+    #[test]
+    fn cancel_wakes_waiters() {
+        let rt = rt();
+        rt.block_on(async {
+            let token = CancellationToken::new();
+            let t2 = token.clone();
+            let waiter = tokio::spawn(async move {
+                t2.cancelled().await;
+                "woke"
+            });
+            assert!(!token.is_cancelled());
+            token.cancel();
+            assert!(token.is_cancelled());
+            assert_eq!(waiter.await.expect("waiter finished"), "woke");
+        });
+    }
+
+    #[test]
+    fn child_cancelled_by_parent_not_vice_versa() {
+        let parent = CancellationToken::new();
+        let child = parent.child_token();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+
+        let parent = CancellationToken::new();
+        let child = parent.child_token();
+        parent.cancel();
+        assert!(child.is_cancelled());
+
+        // Child minted after the parent cancelled starts cancelled.
+        assert!(parent.child_token().is_cancelled());
+    }
+
+    #[test]
+    fn run_until_cancelled_prefers_completion() {
+        let rt = rt();
+        rt.block_on(async {
+            let token = CancellationToken::new();
+            assert_eq!(token.run_until_cancelled(async { 7 }).await, Some(7));
+            token.cancel();
+            let out = token
+                .run_until_cancelled(std::future::pending::<u32>())
+                .await;
+            assert_eq!(out, None);
+        });
+    }
+
+    #[test]
+    fn run_until_cancelled_interrupts_blocked_recv() {
+        let rt = rt();
+        rt.block_on(async {
+            let token = CancellationToken::new();
+            let (tx, mut rx) = tokio::sync::mpsc::channel::<u32>(1);
+            let t2 = token.clone();
+            let worker = tokio::spawn(async move {
+                let mut seen = Vec::new();
+                while let Some(Some(v)) = t2.run_until_cancelled(rx.recv()).await {
+                    seen.push(v);
+                }
+                seen
+            });
+            tx.send(5).await.expect("receiver alive");
+            // Worker is (or will be) parked in recv; cancellation must
+            // unblock it without another send.
+            token.cancel();
+            let seen = worker.await.expect("worker finished");
+            assert!(seen.len() <= 1, "at most the one queued value: {seen:?}");
+            drop(tx);
+        });
+    }
+}

@@ -1,0 +1,105 @@
+//! [`CancellationToken`]: cooperative, hierarchical cancellation.
+
+use std::future::{poll_fn, Future};
+use std::pin::pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+#[derive(Default)]
+struct TokenState {
+    cancelled: bool,
+    wakers: Vec<Waker>,
+    children: Vec<Arc<Mutex<TokenState>>>,
+}
+
+fn cancel_state(state: &Arc<Mutex<TokenState>>) {
+    let (wakers, children) = {
+        let mut st = state.lock().unwrap();
+        if st.cancelled {
+            return;
+        }
+        st.cancelled = true;
+        (
+            std::mem::take(&mut st.wakers),
+            std::mem::take(&mut st.children),
+        )
+    };
+    for w in wakers {
+        w.wake();
+    }
+    for child in children {
+        cancel_state(&child);
+    }
+}
+
+/// A token for signalling cancellation to any number of holders.
+/// Cloning shares the same state; [`Self::child_token`] creates a token
+/// cancelled with (but not cancelling) its parent.
+#[derive(Clone, Default)]
+pub struct CancellationToken {
+    state: Arc<Mutex<TokenState>>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancels this token, every clone, and every child token.
+    pub fn cancel(&self) {
+        cancel_state(&self.state);
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.lock().unwrap().cancelled
+    }
+
+    /// A token that is cancelled when `self` is, but whose own `cancel`
+    /// does not affect `self`.
+    pub fn child_token(&self) -> Self {
+        let child = Self::new();
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.cancelled {
+                child.state.lock().unwrap().cancelled = true;
+            } else {
+                st.children.push(child.state.clone());
+            }
+        }
+        child
+    }
+
+    /// Resolves once the token is cancelled.
+    pub async fn cancelled(&self) {
+        poll_fn(|cx| self.poll_cancelled(cx)).await;
+    }
+
+    fn poll_cancelled(&self, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.state.lock().unwrap();
+        if st.cancelled {
+            Poll::Ready(())
+        } else {
+            st.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    /// Runs `fut` until it completes or the token is cancelled, whichever
+    /// comes first; `None` means cancellation won. This is the stand-in's
+    /// replacement for `tokio::select!` over `token.cancelled()`.
+    pub async fn run_until_cancelled<F: Future>(&self, fut: F) -> Option<F::Output> {
+        let mut fut = pin!(fut);
+        poll_fn(|cx| {
+            if let Poll::Ready(out) = fut.as_mut().poll(cx) {
+                return Poll::Ready(Some(out));
+            }
+            match self.poll_cancelled(cx) {
+                Poll::Ready(()) => Poll::Ready(None),
+                Poll::Pending => Poll::Pending,
+            }
+        })
+        .await
+    }
+}
