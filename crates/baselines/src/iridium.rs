@@ -82,9 +82,14 @@ mod tests {
             counts[a.site.index()] += 1;
         }
         assert_eq!(counts.iter().sum::<usize>(), 500);
-        // The shuffle-optimal placement loads site 2 (the 25 GB site)
-        // heavily despite its modest slot count.
-        assert!(counts[2] > 250, "counts {counts:?}");
+        // The shuffle makespan is governed by site 1's 1 Gbps links: its
+        // optimal fraction balances upload against download at r1 = 0.3,
+        // so the compute-blind placement parks 30% of the tasks on the
+        // 10-slot site — a compute-aware scheduler would cap it near its
+        // 1/7 slot share. The r0/r2 split is a free direction of the
+        // optimal face, so only site 1's forced share is asserted.
+        assert!(counts[1] >= 140, "counts {counts:?}");
+        assert!(counts[2] > 0, "counts {counts:?}");
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Criterion bench pinning per-instance LP solve latency: the sparse
+//! revised simplex (`Problem::solve`) against the retained dense tableau
+//! (`Problem::solve_dense`) on the same 100-site map-placement-shaped
+//! instance. The `perf_snapshot` binary times this instance too and gates
+//! the sparse/dense speedup at ≥5x.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tetrium_bench::map_like_lp;
+
+fn bench_solver(c: &mut Criterion) {
+    let lp = map_like_lp(100);
+    c.bench_function("solver_sparse_100_sites", |b| {
+        b.iter(|| lp.solve().unwrap())
+    });
+    let mut dense = c.benchmark_group("dense_oracle");
+    dense.sample_size(10);
+    dense.bench_function("solver_dense_100_sites", |b| {
+        b.iter(|| lp.solve_dense().unwrap())
+    });
+    dense.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -94,6 +94,14 @@ fn main() {
         "serve_throughput: {serve_jobs} jobs in {serve_median:.3} s -> {serve_jobs_per_sec:.1} jobs/s"
     );
 
+    let (solver_sparse, solver_dense) = solver_time_medians();
+    let solver_speedup = solver_dense / solver_sparse.max(1e-12);
+    println!(
+        "solver_time: sparse {:.2} ms vs dense {:.2} ms per 100-site map LP -> {solver_speedup:.1}x",
+        solver_sparse * 1e3,
+        solver_dense * 1e3
+    );
+
     if check {
         check_against_baseline(
             median,
@@ -101,6 +109,7 @@ fn main() {
             resilience_median,
             serve_median,
             sched_speedup,
+            solver_speedup,
         );
         return;
     }
@@ -137,6 +146,12 @@ fn main() {
             "jobs": serve_jobs,
             "median_run_secs": serve_median,
             "jobs_per_sec": serve_jobs_per_sec,
+        },
+        "solver_time": {
+            "workload": "map-lp-100-sites",
+            "sparse_median_secs": solver_sparse,
+            "dense_median_secs": solver_dense,
+            "speedup": solver_speedup,
         },
     });
     match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
@@ -319,12 +334,40 @@ fn serve_throughput_median() -> (usize, f64) {
 /// rewriting it. Fails (exit 1) when any measured time exceeds its baseline
 /// by more than the tolerance — 2% by default, overridable through
 /// `TETRIUM_PERF_TOLERANCE` (a ratio, e.g. `0.10`) for noisy CI machines.
+/// Median per-instance solve latency of the sparse revised simplex vs the
+/// dense tableau oracle on the shared 100-site map-placement LP
+/// (`benches/solver_time.rs` times the same instance). Guards the
+/// tentpole of DESIGN.md §13: the sparse substrate must hold a ≥5x
+/// per-instance advantage at 100 sites and beyond.
+fn solver_time_medians() -> (f64, f64) {
+    let lp = tetrium_bench::map_like_lp(100);
+    let time = |runs: usize, f: &dyn Fn()| -> f64 {
+        let mut secs: Vec<f64> = (0..runs)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        secs[secs.len() / 2]
+    };
+    let sparse = time(9, &|| {
+        lp.solve().expect("sparse solve succeeds");
+    });
+    let dense = time(3, &|| {
+        lp.solve_dense().expect("dense solve succeeds");
+    });
+    (sparse, dense)
+}
+
 fn check_against_baseline(
     median: f64,
     churn_median: f64,
     resilience_median: f64,
     serve_median: f64,
     sched_speedup: f64,
+    solver_speedup: f64,
 ) {
     let path = "benchmarks/perf_baseline.json";
     let body =
@@ -364,6 +407,18 @@ fn check_against_baseline(
     println!("perf check [sched_latency]: cached speedup {sched_speedup:.1}x (floor {floor:.0}x)");
     if sched_speedup < floor {
         eprintln!("FAIL: plan-cache scheduling speedup fell below {floor:.0}x");
+        failed = true;
+    }
+    // Same reasoning: the sparse/dense ratio is measured back to back, so
+    // the floor guards the ISSUE 8 acceptance bar (≥5x at 100 sites)
+    // directly rather than an absolute latency.
+    let solver_floor = 5.0;
+    println!(
+        "perf check [solver_time]: sparse/dense speedup {solver_speedup:.1}x \
+         (floor {solver_floor:.0}x)"
+    );
+    if solver_speedup < solver_floor {
+        eprintln!("FAIL: sparse solver speedup over dense fell below {solver_floor:.0}x");
         failed = true;
     }
     if failed {

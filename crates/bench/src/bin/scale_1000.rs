@@ -1,0 +1,6 @@
+//! 1000-site substrate sweep (override with `--sites N`); see
+//! `tetrium_bench::figs::scale`.
+fn main() {
+    let sites = tetrium_workload::sites_from_args(1000);
+    tetrium_bench::figs::scale::run(sites);
+}

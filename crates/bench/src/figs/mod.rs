@@ -11,5 +11,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod fwd_rev;
 pub mod resilience;
+pub mod scale;
 pub mod skew_sweep;
 pub mod vs_tetris;

@@ -184,21 +184,29 @@ fn solve_map_impl(
         }
     };
     // Variable layout: one column per admissible (x, y) pair (y == x is
-    // always admissible), then T_aggr, T_map, T_next.
-    let mut var_of = vec![usize::MAX; n * n];
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    // always admissible), then T_aggr, T_map, T_next. The pair list is a
+    // sorted sparse index — lexicographic (x, y) order, binary-searched —
+    // so no n²-sized lookup table is allocated; with destination pruning
+    // the admissible set is O(n · dest_limit).
+    let dests: Vec<usize> = (0..n).filter(|&y| dest_ok[y]).collect();
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n * (dests.len() + 1));
     for x in 0..n {
-        for y in 0..n {
-            if y == x || dest_ok[y] {
-                var_of[x * n + y] = pairs.len();
-                pairs.push((x, y));
+        let mut inserted = dest_ok[x];
+        for &y in &dests {
+            if !inserted && x < y {
+                pairs.push((x, x));
+                inserted = true;
             }
+            pairs.push((x, y));
+        }
+        if !inserted {
+            pairs.push((x, x));
         }
     }
     let var = |x: usize, y: usize| {
-        let v = var_of[x * n + y];
-        debug_assert!(v != usize::MAX);
-        v
+        pairs
+            .binary_search(&(x, y))
+            .expect("variable lookup for inadmissible pair")
     };
     let nv = pairs.len();
     let t_aggr = nv;
@@ -298,18 +306,15 @@ fn solve_map_impl(
     // face, and which vertex the solver reports would be an arbitrary
     // pivot-path artifact — a warm-started and a cold solve could then
     // legitimately disagree. Pin such sources in place (a[x][x] = 1, via
-    // sum_{y != x} a[x][y] <= 0 plus the row sum) so the optimum stays
-    // unique; semantically nothing moves. The pin rows go last so their
-    // slack columns take the highest indices and every other row keeps
-    // the column layout it would have without them.
+    // a[x][y] <= 0 bounds plus the row sum) so the optimum stays unique;
+    // semantically nothing moves. The pins are native box constraints —
+    // the revised simplex holds a ub = 0 column at its bound instead of
+    // carrying a pin row, so the row space and every slack index stay
+    // exactly as they would be without the pins.
     for x in 0..n {
         if p.input_gb[x] <= 1e-12 && p.tasks_from[x] == 0 {
-            let terms: Vec<(usize, f64)> = (0..n)
-                .filter(|&y| y != x && dest_ok[y])
-                .map(|y| (var(x, y), 1.0))
-                .collect();
-            if !terms.is_empty() {
-                lp.add_constraint(&terms, Relation::Le, 0.0);
+            for &y in dests.iter().filter(|&&y| y != x) {
+                lp.set_upper(var(x, y), 0.0);
             }
         }
     }

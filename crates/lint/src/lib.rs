@@ -20,6 +20,12 @@
 //! * **L4** — lossy `as` casts fed by float arithmetic on the ledger hot
 //!   paths (`engine.rs`, `flowsim.rs`, `maxmin.rs`). Bytes, slots and rates
 //!   must round through a named, documented helper, not an inline `as`.
+//! * **L5** — dense matrix types (`Vec<Vec<f64>>` / `Vec<Vec<f32>>`) in the
+//!   sparse-substrate crates (`crates/lp`, `crates/net`). The revised
+//!   simplex and the waterfiller were rebuilt around CSC columns and sorted
+//!   pair indices precisely to kill O(n²) storage at 1000 sites; a nested
+//!   float `Vec` there is dense-matrix creep. Use `tetrium-lp::sparsela`
+//!   structures or a sorted `(row, col)` index.
 //!
 //! Escape hatch: `// lint:allow(L3) -- reason` suppresses a rule on the
 //! marker's line and the line below it; `// lint:allow-file(L3) -- reason`
@@ -44,6 +50,8 @@ pub enum Rule {
     L3,
     /// Lossy `as` cast on a ledger quantity.
     L4,
+    /// Dense matrix type in a sparse-substrate crate.
+    L5,
 }
 
 impl Rule {
@@ -53,6 +61,7 @@ impl Rule {
             Rule::L2 => "L2",
             Rule::L3 => "L3",
             Rule::L4 => "L4",
+            Rule::L5 => "L5",
         }
     }
 }
@@ -106,6 +115,9 @@ pub fn lint_source(virtual_path: &str, source: &str) -> Vec<Finding> {
     }
     if rules::l4_applies(virtual_path) {
         rules::check_l4(&lexed, &mut findings);
+    }
+    if rules::l5_applies(virtual_path) {
+        rules::check_l5(&lexed, &mut findings);
     }
     let findings = apply_allows(&lexed, findings);
     finalize(virtual_path, &lexed, findings)

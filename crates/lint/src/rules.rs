@@ -1,4 +1,4 @@
-//! The four lint rules, implemented over token sequences.
+//! The five lint rules, implemented over token sequences.
 
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::Rule;
@@ -47,6 +47,12 @@ pub fn l4_applies(path: &str) -> bool {
         || path == "engine.rs"
         || path == "flowsim.rs"
         || path == "maxmin.rs"
+}
+
+/// L5 applies to the sparse-substrate crates: the LP solver and the network
+/// model must not regrow dense O(n²) matrices.
+pub fn l5_applies(path: &str) -> bool {
+    path.starts_with("crates/lp/") || path.starts_with("crates/net/")
 }
 
 /// Iteration methods on `HashMap`/`HashSet` that expose `RandomState`
@@ -358,6 +364,52 @@ fn cast_source_is_float(toks: &[Tok], as_pos: usize) -> bool {
     false
 }
 
+/// L5: dense-matrix creep. A `Vec<Vec<f64>>` (or `f32`) in `crates/lp` or
+/// `crates/net` reintroduces the O(n²) storage the sparse revised simplex
+/// and the sharded waterfiller were built to avoid; flag the nested type
+/// wherever it appears (field, binding, signature, or turbofish).
+pub fn check_l5(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("Vec")
+            && toks.get(i + 1).map(|t| t.is_punct("<")).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.is_ident("Vec")).unwrap_or(false)
+            && toks.get(i + 3).map(|t| t.is_punct("<")).unwrap_or(false)
+            && toks
+                .get(i + 4)
+                .map(|t| t.is_ident("f64") || t.is_ident("f32"))
+                .unwrap_or(false))
+        {
+            continue;
+        }
+        // Underline through the closing `>>` when the type sits on one line.
+        let mut end = i + 4;
+        for j in [i + 5, i + 6] {
+            if toks.get(j).map(|t| t.is_punct(">")).unwrap_or(false) {
+                end = j;
+            } else {
+                break;
+            }
+        }
+        let len = if toks[end].line == toks[i].line {
+            toks[end].col + toks[end].text.len() as u32 - toks[i].col
+        } else {
+            3
+        };
+        let elem = toks[i + 4].text.clone();
+        out.push(finding(
+            Rule::L5,
+            &toks[i],
+            len,
+            format!(
+                "dense matrix type `Vec<Vec<{elem}>>` in a sparse-substrate \
+                 crate; use a CSC matrix (`tetrium-lp::sparsela`) or a sorted \
+                 (row, col) pair index instead"
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::lint_source;
@@ -400,6 +452,23 @@ mod tests {
         assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
         let sig = "fn f(deadline: Instant) {}";
         assert!(lint_source("crates/sim/src/x.rs", sig).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_nested_float_vec_only_in_sparse_crates() {
+        let src = "struct M { rows: Vec<Vec<f64>> }";
+        let f = lint_source("crates/lp/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::L5);
+        assert_eq!(lint_source("crates/net/src/x.rs", src).len(), 1);
+        // Same type outside the sparse substrate is someone else's problem.
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+        // Sparse shapes don't fire: flat data + index vectors.
+        let good = "struct Csc { data: Vec<f64>, rows: Vec<u32>, col_ptr: Vec<usize> }";
+        assert!(lint_source("crates/lp/src/x.rs", good).is_empty());
+        // Nested integer vecs (e.g. adjacency lists) are fine.
+        let adj = "struct G { groups: Vec<Vec<u32>> }";
+        assert!(lint_source("crates/net/src/x.rs", adj).is_empty());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+// Deliberately bad: a dense row-major matrix inside the LP crate. L5 must
+// flag the nested float Vec; the flat `Vec<f64>` objective below must not.
+pub struct DenseTableau {
+    pub rows: Vec<Vec<f64>>,
+    pub objective: Vec<f64>,
+}

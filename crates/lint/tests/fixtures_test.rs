@@ -66,6 +66,19 @@ fn l4_fixture_fires_on_the_cast() {
 }
 
 #[test]
+fn l5_fixture_fires_on_the_nested_vec_not_the_flat_one() {
+    let all = fixture_findings();
+    let f = for_file(&all, "bad_l5.rs");
+    assert_eq!(f.len(), 1, "exactly one finding: {f:?}");
+    assert_eq!(f[0].rule, Rule::L5);
+    assert_eq!(
+        (f[0].line, f[0].col, f[0].len),
+        (4, 15, 13),
+        "span of `Vec<Vec<f64>>`"
+    );
+}
+
+#[test]
 fn good_fixture_with_allowlist_escapes_is_clean() {
     let all = fixture_findings();
     let f = for_file(&all, "good_allowed.rs");

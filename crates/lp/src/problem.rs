@@ -1,6 +1,8 @@
-//! Problem-construction API: variables, objective, constraints.
+//! Problem-construction API: variables, objective, constraints, bounds.
 
-use crate::simplex::{solve_canonical, solve_from_basis, solve_standard, Basis, LpError, Solution};
+use crate::revised::solve_sparse;
+use crate::simplex::solve_dense;
+use crate::types::{Basis, LpError, Solution};
 
 /// Direction of the objective function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,13 +39,20 @@ pub struct Constraint {
 ///
 /// Variables are indexed `0..num_vars` and implicitly constrained to be
 /// non-negative, which matches every model in Tetrium (task fractions,
-/// stage durations and WAN volumes are all non-negative quantities).
+/// stage durations and WAN volumes are all non-negative quantities). A
+/// variable may additionally carry an upper bound ([`Problem::set_upper`]);
+/// bounds are handled natively by the solver's bounded ratio test instead
+/// of materializing as constraint rows, so pinning a variable to zero or
+/// boxing it costs nothing per row. The placement models use `ub = 0` pins
+/// for dead sources, which previously required one explicit row per pinned
+/// site.
 #[derive(Debug, Clone)]
 pub struct Problem {
     num_vars: usize,
     sense: Sense,
     objective: Vec<f64>,
     constraints: Vec<Constraint>,
+    upper: Vec<f64>,
 }
 
 impl Problem {
@@ -64,6 +73,7 @@ impl Problem {
             sense,
             objective: vec![0.0; num_vars],
             constraints: Vec::new(),
+            upper: vec![f64::INFINITY; num_vars],
         }
     }
 
@@ -101,6 +111,24 @@ impl Problem {
         self.objective[var] += coefficient;
     }
 
+    /// Sets the upper bound of variable `var` (default `+∞`). `0.0` pins the
+    /// variable to zero — the sparse-friendly replacement for an explicit
+    /// `x ≤ 0` constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range, or `ub` is NaN or negative.
+    pub fn set_upper(&mut self, var: usize, ub: f64) {
+        assert!(var < self.num_vars, "bound index {var} out of range");
+        assert!(ub >= 0.0, "upper bound must be non-negative, got {ub}");
+        self.upper[var] = ub;
+    }
+
+    /// The upper bound of variable `var` (`+∞` if never set).
+    pub fn upper_bound(&self, var: usize) -> f64 {
+        self.upper[var]
+    }
+
     /// Adds a constraint from sparse `(index, coefficient)` pairs.
     ///
     /// # Panics
@@ -121,16 +149,22 @@ impl Problem {
 
     /// Solves the problem, returning variable values and objective value.
     ///
+    /// Runs the sparse revised simplex ([`crate::revised`]) and extracts the
+    /// answer canonically — values and duals are re-derived from the optimal
+    /// vertex by a deterministic refinement, so the reported bits are a
+    /// function of the problem, not of the pivot path.
+    ///
     /// Returns [`LpError::Infeasible`] when no assignment satisfies all
     /// constraints and [`LpError::Unbounded`] when the objective can improve
     /// without limit.
     pub fn solve(&self) -> Result<Solution, LpError> {
-        self.solve_inner(None, false)
+        self.solve_inner(None)
     }
 
     /// Like [`Problem::solve`], but warm-starts from the optimal basis of a
-    /// previous, structurally identical solve (same variable count and
-    /// relation sequence; coefficients and right-hand sides may differ).
+    /// previous, structurally identical solve (same variable count, relation
+    /// sequence and bound pattern; coefficients, right-hand sides and bound
+    /// values may differ).
     ///
     /// When the supplied basis is still primal-feasible for this problem's
     /// data the solver skips phase 1 and re-optimizes directly from it — a
@@ -139,46 +173,155 @@ impl Problem {
     /// back to a cold [`Problem::solve`], so the result is always the true
     /// optimum; check [`Solution::warm_started`] to see which path ran.
     pub fn solve_from_basis(&self, basis: &Basis) -> Result<Solution, LpError> {
-        self.solve_inner(Some(basis), true)
+        self.solve_inner(Some(basis))
     }
 
-    /// Cold solve with canonical extraction: pivots exactly like
-    /// [`Problem::solve`], but re-derives the reported values and duals
-    /// from the optimal vertex by the same deterministic refinement
-    /// [`Problem::solve_from_basis`] uses. This is the bit-for-bit
-    /// reference a warm-started solve is audited against; a plain
-    /// [`Problem::solve`] of the same problem returns the same optimum but
-    /// possibly different last-ulp floating-point representations of it.
+    /// Alias of [`Problem::solve`], kept for callers from the plan-cache
+    /// era: every solve is canonical now, so the cold reference a
+    /// warm-started solve is audited against bit for bit *is* the plain
+    /// solve.
     ///
     /// # Errors
     ///
     /// Exactly as [`Problem::solve`].
     pub fn solve_canonical(&self) -> Result<Solution, LpError> {
-        self.solve_inner(None, true)
+        self.solve_inner(None)
     }
 
-    fn solve_inner(&self, basis: Option<&Basis>, canonical: bool) -> Result<Solution, LpError> {
-        // Normalize to a minimization problem; flip the objective back at the
-        // end for maximization.
+    /// Solves through the retained dense tableau oracle instead of the
+    /// sparse revised simplex. For problems whose bounds are all `0`/`+∞`
+    /// the result is bit-identical to [`Problem::solve`] (same normalized
+    /// system, same canonical vertex, same refinement); positive finite
+    /// bounds are materialized as explicit rows here and are only
+    /// tolerance-comparable. Intended for audits, tests and benchmarks —
+    /// the dense tableau is O(m·n) *per pivot*.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Problem::solve`].
+    pub fn solve_dense(&self) -> Result<Solution, LpError> {
+        let (objective, flip) = self.min_objective();
+        let mut result = solve_dense(self.num_vars, &objective, &self.constraints, &self.upper);
+        if flip {
+            if let Ok(sol) = &mut result {
+                flip_sense(sol);
+            }
+        }
+        result
+    }
+
+    /// Minimization-sense objective plus whether the result must flip back.
+    fn min_objective(&self) -> (Vec<f64>, bool) {
         let flip = matches!(self.sense, Sense::Max);
-        let objective: Vec<f64> = if flip {
+        let objective = if flip {
             self.objective.iter().map(|c| -c).collect()
         } else {
             self.objective.clone()
         };
-        let mut sol = match (basis, canonical) {
-            (Some(b), _) => solve_from_basis(self.num_vars, &objective, &self.constraints, b)?,
-            (None, true) => solve_canonical(self.num_vars, &objective, &self.constraints)?,
-            (None, false) => solve_standard(self.num_vars, &objective, &self.constraints)?,
-        };
+        (objective, flip)
+    }
+
+    fn solve_inner(&self, basis: Option<&Basis>) -> Result<Solution, LpError> {
+        // Normalize to a minimization problem; flip the objective back at the
+        // end for maximization.
+        let (objective, flip) = self.min_objective();
+        let result = solve_sparse(
+            self.num_vars,
+            &objective,
+            &self.constraints,
+            &self.upper,
+            basis,
+        );
+        #[cfg(feature = "audit")]
+        self.audit_against_dense(&objective, &result);
+        let mut sol = result?;
         if flip {
-            sol.objective = -sol.objective;
-            // Duals computed against the negated objective flip with it.
-            for d in &mut sol.duals {
-                *d = -*d;
-            }
+            flip_sense(&mut sol);
         }
         Ok(sol)
+    }
+
+    /// Audit-mode oracle: re-solves (size-gated) instances through the dense
+    /// tableau and asserts agreement with the sparse result — bit-exact
+    /// values and objective when the bound pattern is pure `0`/`+∞` (the
+    /// only kind the schedulers emit), objective-tolerance otherwise
+    /// (finite bounds materialize as rows in the dense system, which indexes
+    /// columns differently and may canonicalize a different vertex of the
+    /// same optimum). Mirrors the plan cache's warm-vs-cold oracle.
+    /// Prints the full problem to stderr so an audit mismatch in a long
+    /// scheduler run can be replayed as a standalone LP instance.
+    #[cfg(feature = "audit")]
+    fn dump_for_repro(&self) {
+        eprintln!(
+            "lp audit repro: NUM_VARS {}\nSENSE {:?}\nOBJ {:?}\nUPPER {:?}",
+            self.num_vars, self.sense, self.objective, self.upper
+        );
+        for c in &self.constraints {
+            eprintln!("CON {:?} {:?} rhs={:?}", c.relation, c.terms, c.rhs);
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_against_dense(&self, objective: &[f64], sparse: &Result<Solution, LpError>) {
+        // The dense tableau is O(m·n) per pivot; keep audited instances to
+        // the scales the figure suite actually solves.
+        if self.constraints.len() > 400 || self.num_vars > 1600 {
+            return;
+        }
+        let dense = solve_dense(self.num_vars, objective, &self.constraints, &self.upper);
+        match (sparse, &dense) {
+            (Err(se), Err(de)) => assert_eq!(
+                se, de,
+                "lp audit: sparse and dense solver disagree on the error kind"
+            ),
+            (Ok(_), Err(de)) => {
+                self.dump_for_repro();
+                panic!("lp audit: dense oracle failed with {de} where sparse solved")
+            }
+            (Err(se), Ok(_)) => {
+                self.dump_for_repro();
+                panic!("lp audit: sparse solver failed with {se} where dense solved")
+            }
+            (Ok(s), Ok(d)) => {
+                let pure_bounds = self.upper.iter().all(|&u| u.is_infinite() || u == 0.0);
+                if pure_bounds {
+                    assert_eq!(
+                        s.objective.to_bits(),
+                        d.objective.to_bits(),
+                        "lp audit: objective mismatch (sparse {} vs dense {})",
+                        s.objective,
+                        d.objective
+                    );
+                    for (j, (sv, dv)) in s.values.iter().zip(&d.values).enumerate() {
+                        if sv.to_bits() != dv.to_bits() {
+                            self.dump_for_repro();
+                        }
+                        assert_eq!(
+                            sv.to_bits(),
+                            dv.to_bits(),
+                            "lp audit: value mismatch at var {j} (sparse {sv} vs dense {dv})"
+                        );
+                    }
+                } else {
+                    let scale = 1.0 + s.objective.abs().max(d.objective.abs());
+                    assert!(
+                        (s.objective - d.objective).abs() / scale < 1e-6,
+                        "lp audit: objective mismatch beyond tolerance (sparse {} vs dense {})",
+                        s.objective,
+                        d.objective
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Flips a minimization-sense solution back to maximization sense.
+fn flip_sense(sol: &mut Solution) {
+    sol.objective = -sol.objective;
+    // Duals computed against the negated objective flip with it.
+    for d in &mut sol.duals {
+        *d = -*d;
     }
 }
 
@@ -202,5 +345,12 @@ mod unit {
     fn rejects_bad_index() {
         let mut p = Problem::minimize(1);
         p.add_constraint(&[(3, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_bound() {
+        let mut p = Problem::minimize(1);
+        p.set_upper(0, -1.0);
     }
 }

@@ -1,154 +1,43 @@
-//! Two-phase primal simplex over a dense tableau, with basis export and
-//! warm-started re-solves.
+//! Dense two-phase tableau simplex — retained as the audit oracle.
 //!
-//! Phase 1 minimizes the sum of artificial variables to find a basic feasible
-//! solution (detecting infeasibility); phase 2 minimizes the user objective
-//! from that basis (detecting unboundedness). Entering-variable selection is
-//! Dantzig's rule for a warm-up period, then Bland's rule, which guarantees
-//! termination on degenerate instances.
+//! The default solver backend is the sparse revised simplex in
+//! [`crate::revised`]; this module keeps the original dense tableau
+//! implementation as an independent cross-check. Under `--features audit`,
+//! [`crate::Problem`] re-solves (size-gated) instances through this path and
+//! asserts agreement with the sparse result; the test suite and the
+//! `solver_time` benchmark also call it directly via
+//! [`crate::Problem::solve_dense`].
 //!
-//! Every solve exports its optimal [`Basis`] (the set of basic columns in
-//! the internal `[structural | slack | artificial]` layout). A later solve
-//! of a *structurally identical* problem — same variable count, same
-//! constraint count and relation sequence, only coefficients/RHS drifted —
-//! can pass that basis to [`solve_from_basis`]: the solver pivots the fresh
-//! tableau into the stored basis (Gauss–Jordan with partial pivoting), and
-//! when the basis is still primal-feasible for the new data it skips phase 1
-//! entirely and re-optimizes phase 2 from there (dual information carries
-//! over through the priced cost row). Any incompatibility — wrong shape, a
-//! singular basis matrix, infeasible RHS — falls back to the cold two-phase
-//! path, so warm starting never changes *whether* a problem solves.
+//! The oracle shares *data preparation* and *answer extraction* with the
+//! sparse backend — both build the same [`NormSystem`] and both finish
+//! through the canonical refinement in [`crate::norm`] — but shares none of
+//! the pivoting machinery: this file eliminates over a dense row-major
+//! tableau with explicit priced cost rows, the revised solver over an LU +
+//! eta-file basis inverse. Because the shared face cleanup drives both to
+//! the same canonical vertex and the shared refinement re-derives the
+//! answer from the original data, the two backends return bit-identical
+//! values and objectives whenever the problem's bounds are all `0`/`+∞`
+//! (the only kinds the schedulers emit). Positive finite bounds are
+//! materialized here as explicit `≤` rows — a *different* system from the
+//! sparse backend's native bound handling — so those solves are only
+//! tolerance-comparable.
 //!
-//! A plain [`crate::Problem::solve`] reports values and duals straight from
-//! the terminal tableau, exactly as it always has. Warm-started solves and
-//! [`crate::Problem::solve_canonical`] instead finish with a canonical
-//! refinement: once an optimal basis is known it is first replaced by a
-//! basis-independent canonical basis of the same vertex (degenerate
-//! vertices admit many bases and different pivot paths legitimately reach
-//! different ones), then values and duals are re-derived from the
-//! *original* constraint data by one deterministic LU solve (`B x_B = b`,
-//! `Bᵀ y = c_B`), erasing the floating-point history of whichever pivot
-//! sequence found the vertex. A warm-started solve and a cold
-//! `solve_canonical` of the same problem therefore return identical bits
-//! whenever they reach the same optimal vertex, which is what the
-//! scheduler's audit oracle checks.
+//! Variable bounds aside, one bounded-variable idea is used internally:
+//! phase 1 no longer pivots out or drops redundant rows. Artificials are
+//! instead treated as fixed to zero in phase 2 — barred from entering, and
+//! the ratio test blocks on rows whose basic artificial would *grow* — so
+//! the terminal basis always has full length `m` and refines through the
+//! same code path as the sparse backend.
 
+use crate::norm::{refine_canonical, refine_from_basis, ColDef, NormSystem};
 use crate::problem::{Constraint, Relation};
-
-/// Absolute tolerance used for all feasibility and pivoting comparisons.
-///
-/// Rows are rescaled to unit max-magnitude before solving, so an absolute
-/// tolerance behaves like a relative one.
-const EPS: f64 = 1e-9;
-
-/// Tolerance for membership of the primary-optimal face during the
-/// canonical-path secondary cleanup ([`Tableau::optimize_face`]): a column
-/// may enter only while its primary reduced cost is within this of zero.
-/// Looser than [`EPS`] so that float noise in the priced cost row cannot
-/// make two pivot paths disagree about which columns lie on the face.
-const FACE_EPS: f64 = 1e-7;
-
-/// Errors reported by the solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LpError {
-    /// No assignment satisfies all constraints.
-    Infeasible,
-    /// The objective can be improved without bound.
-    Unbounded,
-    /// The pivot-iteration limit was exceeded (numerical trouble).
-    IterationLimit,
-}
-
-impl std::fmt::Display for LpError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LpError::Infeasible => write!(f, "linear program is infeasible"),
-            LpError::Unbounded => write!(f, "linear program is unbounded"),
-            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
-        }
-    }
-}
-
-impl std::error::Error for LpError {}
-
-/// An optimal simplex basis, exportable from one solve and usable to
-/// warm-start another solve of a structurally identical problem.
-///
-/// Opaque on purpose: the column indices refer to the solver's internal
-/// `[structural | slack | artificial]` layout, which is only meaningful for
-/// a problem with the same variable count and relation sequence.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Basis {
-    /// Sorted basic column indices.
-    cols: Vec<usize>,
-    /// Structural variable count of the originating problem.
-    num_vars: usize,
-    /// Signature of the constraint-relation sequence (layout determinant).
-    sig: u64,
-}
-
-impl Basis {
-    /// Number of basic columns (equals the surviving row count of the
-    /// originating solve).
-    pub fn num_basic(&self) -> usize {
-        self.cols.len()
-    }
-
-    /// Whether this basis can even be *attempted* against a problem with
-    /// `num_vars` variables and the given constraints (shape check only;
-    /// feasibility is decided during the warm solve itself).
-    pub fn compatible_with(&self, num_vars: usize, constraints: &[Constraint]) -> bool {
-        self.num_vars == num_vars
-            && self.cols.len() == constraints.len()
-            && self.sig == relation_sig(constraints)
-    }
-}
-
-/// Signature of a constraint list's relation sequence; together with the
-/// variable count it fully determines the internal column layout.
-fn relation_sig(constraints: &[Constraint]) -> u64 {
-    let mut sig: u64 = 0xcbf29ce484222325;
-    for c in constraints {
-        let code = match c.relation {
-            Relation::Le => 1u64,
-            Relation::Ge => 2,
-            Relation::Eq => 3,
-        };
-        sig = sig.wrapping_mul(0x100000001b3).wrapping_add(code);
-    }
-    sig
-}
-
-/// An optimal solution to a linear program.
-#[derive(Debug, Clone)]
-pub struct Solution {
-    /// Value of each decision variable (non-negative).
-    pub values: Vec<f64>,
-    /// Objective value at the optimum (in the problem's original sense).
-    pub objective: f64,
-    /// Shadow price of each constraint, in input order: the marginal change
-    /// of the optimal objective per unit increase of that constraint's
-    /// right-hand side (in the problem's original sense). Zero for
-    /// non-binding constraints; one valid assignment when duals are
-    /// degenerate. In the placement models these read as "seconds saved per
-    /// extra GB/s on this link / per extra slot at this site".
-    pub duals: Vec<f64>,
-    /// Number of simplex pivots performed across both phases.
-    pub pivots: usize,
-    /// The optimal basis, for warm-starting a later structurally identical
-    /// solve via [`crate::Problem::solve_from_basis`].
-    pub basis: Basis,
-    /// Whether this solve actually started from a supplied basis (`false`
-    /// for cold solves and for warm attempts that fell back).
-    pub warm_started: bool,
-}
+use crate::types::{bounds_sig, Basis, LpError, Solution, EPS, FACE_EPS};
 
 /// Dense simplex tableau: `rows` constraint rows of `cols` entries each
 /// (the last entry of a row is the right-hand side), plus a reduced-cost row.
-#[derive(Clone)]
 struct Tableau {
     rows: usize,
-    /// Number of structural columns (variables), excluding the RHS column.
+    /// Number of internal columns, excluding the RHS column.
     vars: usize,
     /// Row-major data; each row has `vars + 1` entries.
     a: Vec<f64>,
@@ -224,11 +113,41 @@ impl Tableau {
         self.pivots += 1;
     }
 
+    /// Ratio test: smallest `rhs/a` over rows with positive `a`; ties are
+    /// broken toward the smallest basis index (Bland-compatible). When
+    /// `art_fixed` is set (phase 2), rows whose basic variable is an
+    /// artificial (`>= art_start`) also block on *negative* `a` at ratio
+    /// ~0 — a basic artificial sits at zero and must not grow again, which
+    /// is the tableau equivalent of the revised solver's `ub = 0`
+    /// artificial retirement.
+    fn ratio_row(&self, col: usize, art_fixed: Option<usize>) -> Option<usize> {
+        let mut pivot_row = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..self.rows {
+            let a = self.at(r, col);
+            let ratio = if a > EPS {
+                self.rhs(r) / a
+            } else if a < -EPS && art_fixed.is_some_and(|ab| self.basis[r] >= ab) {
+                (self.rhs(r) / a).max(0.0)
+            } else {
+                continue;
+            };
+            let better = ratio < best_ratio - EPS
+                || (ratio < best_ratio + EPS
+                    && pivot_row.is_some_and(|pr: usize| self.basis[r] < self.basis[pr]));
+            if better {
+                best_ratio = ratio;
+                pivot_row = Some(r);
+            }
+        }
+        pivot_row
+    }
+
     /// Runs simplex iterations to optimality for the current cost row.
-    ///
-    /// `allowed` limits the columns that may enter the basis (used to bar
-    /// artificial variables in phase 2).
-    fn optimize(&mut self, allowed: usize) -> Result<(), LpError> {
+    /// `barred` marks columns that may never enter (artificials in phase 2,
+    /// `ub = 0` pins always); `art_fixed` enables the artificial row block
+    /// in the ratio test.
+    fn optimize(&mut self, barred: &[bool], art_fixed: Option<usize>) -> Result<(), LpError> {
         let limit = 200 * (self.rows + self.vars) + 1000;
         let dantzig_until = 20 * (self.rows + self.vars) + 200;
         for iter in 0..limit {
@@ -236,8 +155,8 @@ impl Tableau {
                 // Dantzig: most negative reduced cost.
                 let mut best = None;
                 let mut best_v = -EPS;
-                for j in 0..allowed {
-                    if self.cost[j] < best_v {
+                for (j, &bar) in barred.iter().enumerate().take(self.vars) {
+                    if !bar && self.cost[j] < best_v {
                         best_v = self.cost[j];
                         best = Some(j);
                     }
@@ -245,29 +164,12 @@ impl Tableau {
                 best
             } else {
                 // Bland: smallest index with negative reduced cost.
-                (0..allowed).find(|&j| self.cost[j] < -EPS)
+                (0..self.vars).find(|&j| !barred[j] && self.cost[j] < -EPS)
             };
             let Some(col) = col else {
                 return Ok(());
             };
-            // Ratio test: smallest rhs/a over rows with positive a; ties are
-            // broken toward the smallest basis index (Bland-compatible).
-            let mut pivot_row = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..self.rows {
-                let a = self.at(r, col);
-                if a > EPS {
-                    let ratio = self.rhs(r) / a;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && pivot_row.is_some_and(|pr: usize| self.basis[r] < self.basis[pr]));
-                    if better {
-                        best_ratio = ratio;
-                        pivot_row = Some(r);
-                    }
-                }
-            }
-            let Some(row) = pivot_row else {
+            let Some(row) = self.ratio_row(col, art_fixed) else {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
@@ -282,12 +184,12 @@ impl Tableau {
     /// `sqrt(j + 2)`, pairwise irrational so its minimizer on any face is a
     /// single vertex — selects one deterministic vertex out of the face.
     /// Two solves that reach *any* vertex of the same optimal face
-    /// therefore leave this cleanup at the *same* vertex, which is what
-    /// makes warm-started and cold canonical solves comparable even on
-    /// problems with alternative optima. Entering is by Bland's rule
-    /// (smallest index), matching the Bland-compatible leaving tie-break in
-    /// the ratio test, so the cleanup cannot cycle.
-    fn optimize_face(&mut self, allowed: usize) -> Result<(), LpError> {
+    /// therefore leave this cleanup at the *same* vertex — including a
+    /// sparse revised-simplex solve, whose face cleanup applies the same
+    /// thresholds to the same secondary weights. Entering is by Bland's
+    /// rule (smallest index), matching the Bland-compatible leaving
+    /// tie-break in the ratio test, so the cleanup cannot cycle.
+    fn optimize_face(&mut self, barred: &[bool], art_fixed: Option<usize>) -> Result<(), LpError> {
         let w = self.vars + 1;
         let sec: Vec<f64> = (0..self.vars).map(|j| ((j + 2) as f64).sqrt()).collect();
         // Price the secondary row against the current basis.
@@ -304,29 +206,15 @@ impl Tableau {
         }
         let limit = 200 * (self.rows + self.vars) + 1000;
         for _ in 0..limit {
-            let col = (0..allowed).find(|&j| self.cost[j].abs() <= FACE_EPS && s[j] < -FACE_EPS);
+            let col = (0..self.vars)
+                .find(|&j| !barred[j] && self.cost[j].abs() <= FACE_EPS && s[j] < -FACE_EPS);
             let Some(col) = col else {
                 return Ok(());
             };
-            let mut pivot_row = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..self.rows {
-                let a = self.at(r, col);
-                if a > EPS {
-                    let ratio = self.rhs(r) / a;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && pivot_row.is_some_and(|pr: usize| self.basis[r] < self.basis[pr]));
-                    if better {
-                        best_ratio = ratio;
-                        pivot_row = Some(r);
-                    }
-                }
-            }
             // The secondary objective is non-negative on x >= 0, so it
             // cannot actually be unbounded on the face; a missing pivot row
             // means numerical trouble — report it as such.
-            let Some(row) = pivot_row else {
+            let Some(row) = self.ratio_row(col, art_fixed) else {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
@@ -344,403 +232,138 @@ impl Tableau {
     }
 }
 
-/// One normalized constraint row: non-negative RHS, unit max magnitude.
-struct Row {
-    coef: Vec<f64>,
-    rel: Relation,
-    rhs: f64,
-    scale: f64,
-    flipped: bool,
-}
-
-/// Densifies each constraint, normalizes to non-negative RHS and rescales
-/// the row to unit max magnitude so the absolute EPS behaves relatively.
-fn normalize_rows(num_vars: usize, constraints: &[Constraint]) -> Vec<Row> {
-    let mut rows: Vec<Row> = Vec::with_capacity(constraints.len());
-    for c in constraints {
-        let mut coef = vec![0.0; num_vars];
-        for &(i, v) in &c.terms {
-            coef[i] += v;
-        }
-        let mut rel = c.relation;
-        let mut rhs = c.rhs;
-        let mut flipped = false;
-        if rhs < 0.0 {
-            for v in &mut coef {
-                *v = -*v;
-            }
-            rhs = -rhs;
-            flipped = true;
-            rel = match rel {
-                Relation::Le => Relation::Ge,
-                Relation::Ge => Relation::Le,
-                Relation::Eq => Relation::Eq,
-            };
-        }
-        let scale = coef
-            .iter()
-            .map(|v| v.abs())
-            .fold(rhs.abs(), f64::max)
-            .max(1e-300);
-        if scale > 0.0 {
-            for v in &mut coef {
-                *v /= scale;
-            }
-            rhs /= scale;
-        }
-        rows.push(Row {
-            coef,
-            rel,
-            rhs,
-            scale,
-            flipped,
-        });
-    }
-    rows
-}
-
-/// What each internal column is: a structural variable, or a ±1 unit column
-/// (slack, surplus or artificial) attached to one row.
-#[derive(Clone, Copy)]
-enum ColDef {
-    Structural(usize),
-    RowUnit { row: usize, sign: f64 },
-}
-
-/// The assembled initial tableau plus the layout metadata needed for dual
-/// extraction and canonical refinement.
-struct Prepared {
-    t: Tableau,
-    /// First artificial column (phase-2 entering bar).
-    art_start: usize,
-    /// For each constraint: the auxiliary column whose final reduced cost
-    /// yields its dual, and the sign relating that reduced cost to y.
-    dual_col: Vec<usize>,
-    dual_sign: Vec<f64>,
-    /// Definition of every internal column.
-    col_defs: Vec<ColDef>,
-}
-
-/// Builds the initial tableau (slack/artificial basis) from normalized rows.
-fn build_tableau(num_vars: usize, rows: &[Row]) -> Prepared {
-    let m = rows.len();
-    let num_slack = rows
-        .iter()
-        .filter(|r| !matches!(r.rel, Relation::Eq))
-        .count();
-    let num_art = rows
-        .iter()
-        .filter(|r| matches!(r.rel, Relation::Ge | Relation::Eq))
-        .count();
-    let vars = num_vars + num_slack + num_art;
+/// Builds the initial dense tableau (slack/artificial basis) from the
+/// normalized system.
+fn build_tableau(sys: &NormSystem) -> Tableau {
+    let m = sys.m();
+    let vars = sys.total_cols;
     let w = vars + 1;
-
     let mut a = vec![0.0; m * w];
-    let mut basis = vec![0usize; m];
-    let mut next_slack = num_vars;
-    let mut next_art = num_vars + num_slack;
-    let art_start = num_vars + num_slack;
-    let mut dual_col = vec![0usize; m];
-    let mut dual_sign = vec![0.0f64; m];
-    let mut col_defs: Vec<ColDef> = (0..num_vars).map(ColDef::Structural).collect();
-    col_defs.resize(vars, ColDef::Structural(usize::MAX)); // Placeholders, filled below.
-    for (r, row) in rows.iter().enumerate() {
+    for (r, row) in sys.rows.iter().enumerate() {
         let base = r * w;
-        a[base..base + num_vars].copy_from_slice(&row.coef);
+        for &(j, v) in &row.terms {
+            a[base + j as usize] = v;
+        }
         a[base + vars] = row.rhs;
-        match row.rel {
-            Relation::Le => {
-                a[base + next_slack] = 1.0;
-                basis[r] = next_slack;
-                // Reduced cost of a +1 slack is -y.
-                dual_col[r] = next_slack;
-                dual_sign[r] = -1.0;
-                col_defs[next_slack] = ColDef::RowUnit { row: r, sign: 1.0 };
-                next_slack += 1;
-            }
-            Relation::Ge => {
-                a[base + next_slack] = -1.0;
-                // Reduced cost of a -1 surplus is +y.
-                dual_col[r] = next_slack;
-                dual_sign[r] = 1.0;
-                col_defs[next_slack] = ColDef::RowUnit { row: r, sign: -1.0 };
-                next_slack += 1;
-                a[base + next_art] = 1.0;
-                basis[r] = next_art;
-                col_defs[next_art] = ColDef::RowUnit { row: r, sign: 1.0 };
-                next_art += 1;
-            }
-            Relation::Eq => {
-                a[base + next_art] = 1.0;
-                basis[r] = next_art;
-                // Equalities have no slack; the +1 artificial's phase-2
-                // reduced cost is -y (its own cost is zero).
-                dual_col[r] = next_art;
-                dual_sign[r] = -1.0;
-                col_defs[next_art] = ColDef::RowUnit { row: r, sign: 1.0 };
-                next_art += 1;
-            }
+    }
+    for c in sys.num_vars..vars {
+        if let ColDef::RowUnit { row, sign } = sys.col_defs[c] {
+            a[row * w + c] = sign;
         }
     }
-
-    Prepared {
-        t: Tableau {
-            rows: m,
-            vars,
-            a,
-            basis,
-            cost: vec![],
-            pivots: 0,
-        },
-        art_start,
-        dual_col,
-        dual_sign,
-        col_defs,
+    Tableau {
+        rows: m,
+        vars,
+        a,
+        basis: sys.init_basis.clone(),
+        cost: vec![],
+        pivots: 0,
     }
 }
 
-/// Solves `min c^T x` subject to `constraints` and `x >= 0`.
-///
-/// This is the internal entry point used by [`crate::Problem::solve`]; the
-/// cost vector must already be in minimization sense.
-pub(crate) fn solve_standard(
+/// Solves `min c^T x` s.t. `constraints`, `0 ≤ x ≤ upper` through the dense
+/// tableau. Positive finite bounds are materialized as appended `≤` rows
+/// (ascending variable order); `ub = 0` pins are enforced by barring the
+/// column. The cost vector must already be in minimization sense.
+pub(crate) fn solve_dense(
     num_vars: usize,
     objective: &[f64],
     constraints: &[Constraint],
+    upper: &[f64],
 ) -> Result<Solution, LpError> {
-    solve_standard_impl(num_vars, objective, constraints, None, false)
-}
-
-/// Cold solve with canonical extraction: identical pivoting to
-/// [`solve_standard`], but the reported values and duals are re-derived
-/// from the optimal basis by the same deterministic refinement the warm
-/// path uses. This is the reference a warm-started solve is compared
-/// against bit for bit (the plan-cache audit oracle).
-pub(crate) fn solve_canonical(
-    num_vars: usize,
-    objective: &[f64],
-    constraints: &[Constraint],
-) -> Result<Solution, LpError> {
-    solve_standard_impl(num_vars, objective, constraints, None, true)
-}
-
-/// Warm-started variant of [`solve_standard`]: pivots into `basis` and skips
-/// phase 1 when that basis is still primal-feasible for the (drifted)
-/// constraint data, falling back to the cold two-phase path otherwise.
-/// Always extracts canonically so the result is comparable bit for bit
-/// with [`solve_canonical`].
-pub(crate) fn solve_from_basis(
-    num_vars: usize,
-    objective: &[f64],
-    constraints: &[Constraint],
-    basis: &Basis,
-) -> Result<Solution, LpError> {
-    solve_standard_impl(num_vars, objective, constraints, Some(basis), true)
-}
-
-fn solve_standard_impl(
-    num_vars: usize,
-    objective: &[f64],
-    constraints: &[Constraint],
-    warm: Option<&Basis>,
-    canonical: bool,
-) -> Result<Solution, LpError> {
-    let m = constraints.len();
-    let rows = normalize_rows(num_vars, constraints);
-    let prepared = build_tableau(num_vars, &rows);
-    let Prepared {
-        t,
-        art_start,
-        dual_col,
-        dual_sign,
-        col_defs,
-    } = prepared;
-
-    // Phase-2 cost vector (structural objective, zero elsewhere).
-    let mut c2 = vec![0.0; t.vars];
-    c2[..num_vars].copy_from_slice(objective);
-
-    // Warm attempt: pivot a copy of the fresh tableau into the stored basis
-    // and re-optimize from there. Artificial columns are rejected outright —
-    // a basis containing one cannot represent a feasible point of the real
-    // problem unless that artificial sits at zero, and the cold path below
-    // handles those rare degenerate shapes correctly anyway.
-    if let Some(b) = warm {
-        let shape_ok = b.num_vars == num_vars
-            && b.cols.len() == m
-            && b.sig == relation_sig(constraints)
-            && b.cols.iter().all(|&c| c < art_start);
-        if shape_ok {
-            if let Some(mut wt) = pivot_into_basis(&t, &b.cols) {
-                wt.price(&c2);
-                if wt.optimize(art_start).is_ok() && wt.optimize_face(art_start).is_ok() {
-                    return Ok(extract_solution(
-                        wt, num_vars, objective, &rows, &col_defs, &dual_col, &dual_sign,
-                        art_start, true, true,
-                    ));
-                }
+    let user_m = constraints.len();
+    let mut extended: Vec<Constraint>;
+    let (constraints, upper_refine): (&[Constraint], Vec<f64>) = {
+        let bounded: Vec<usize> = (0..num_vars)
+            .filter(|&j| upper[j].is_finite() && upper[j] > 0.0)
+            .collect();
+        if bounded.is_empty() {
+            (constraints, upper.to_vec())
+        } else {
+            extended = constraints.to_vec();
+            let mut up = upper.to_vec();
+            for &j in &bounded {
+                extended.push(Constraint {
+                    terms: vec![(j, 1.0)],
+                    relation: Relation::Le,
+                    rhs: upper[j],
+                });
+                // The bound lives in a row now; the refinement must not
+                // treat the column as bounded on top of that.
+                up[j] = f64::INFINITY;
             }
+            (extended.as_slice(), up)
         }
-    }
+    };
 
-    let mut t = t;
-    let num_art = t.vars - art_start;
+    let sys = NormSystem::build(num_vars, constraints);
+    let mut t = build_tableau(&sys);
+    let barred_p1: Vec<bool> = (0..sys.total_cols)
+        .map(
+            |c| matches!(sys.col_defs[c], ColDef::Structural(j) if j < num_vars && upper[j] == 0.0),
+        )
+        .collect();
+    let barred_p2: Vec<bool> = (0..sys.total_cols)
+        .map(|c| barred_p1[c] || c >= sys.art_start)
+        .collect();
 
     // Phase 1: minimize the sum of artificials.
-    if num_art > 0 {
-        let mut c1 = vec![0.0; t.vars];
-        for c in c1.iter_mut().take(t.vars).skip(art_start) {
+    if sys.total_cols > sys.art_start {
+        let mut c1 = vec![0.0; sys.total_cols];
+        for c in c1.iter_mut().skip(sys.art_start) {
             *c = 1.0;
         }
         t.price(&c1);
-        t.optimize(t.vars)?;
+        t.optimize(&barred_p1, None)?;
         // The phase-1 objective value is -cost[vars].
-        let v1 = -t.cost[t.vars];
-        if v1 > 1e-7 {
+        if -t.cost[t.vars] > 1e-7 {
             return Err(LpError::Infeasible);
         }
-        // Drive remaining basic artificials out of the basis; drop redundant
-        // rows where no structural pivot exists.
-        let mut r = 0;
-        while r < t.rows {
-            if t.basis[r] >= art_start {
-                let mut pivot_col = None;
-                for j in 0..art_start {
-                    if t.at(r, j).abs() > 1e-7 {
-                        pivot_col = Some(j);
-                        break;
-                    }
-                }
-                if let Some(j) = pivot_col {
-                    t.pivot(r, j);
-                } else {
-                    // Redundant constraint: remove the row entirely.
-                    let w = t.vars + 1;
-                    let start = r * w;
-                    t.a.drain(start..start + w);
-                    t.basis.remove(r);
-                    t.rows -= 1;
-                    continue;
-                }
-            }
-            r += 1;
-        }
     }
 
-    // Phase 2: minimize the real objective, barring artificial columns.
+    // Phase 2 + canonical face cleanup, with artificials fixed at zero.
+    let mut c2 = vec![0.0; sys.total_cols];
+    c2[..num_vars].copy_from_slice(objective);
     t.price(&c2);
-    t.optimize(art_start)?;
-    if canonical {
-        t.optimize_face(art_start)?;
-    }
+    t.optimize(&barred_p2, Some(sys.art_start))?;
+    t.optimize_face(&barred_p2, Some(sys.art_start))?;
 
-    Ok(extract_solution(
-        t, num_vars, objective, &rows, &col_defs, &dual_col, &dual_sign, art_start, canonical,
-        false,
-    ))
-}
-
-/// Pivots a copy of the fresh tableau into the target basis via
-/// Gauss–Jordan with partial pivoting. Returns `None` when the basis matrix
-/// is (numerically) singular for the new data or the resulting vertex is
-/// primal-infeasible — both mean phase 1 cannot be skipped.
-fn pivot_into_basis(t: &Tableau, cols: &[usize]) -> Option<Tableau> {
-    let mut wt = t.clone();
-    wt.cost = vec![0.0; wt.vars + 1]; // Inert during basis establishment.
-    let mut claimed = vec![false; wt.rows];
-    for &col in cols {
-        let mut best: Option<usize> = None;
-        let mut best_mag = 1e-7;
-        for (r, taken) in claimed.iter().enumerate() {
-            if *taken {
-                continue;
-            }
-            let mag = wt.at(r, col).abs();
-            if mag > best_mag {
-                best_mag = mag;
-                best = Some(r);
-            }
-        }
-        let r = best?;
-        wt.pivot(r, col);
-        claimed[r] = true;
-    }
-    // Primal feasibility of the stored basis under the new data.
-    for r in 0..wt.rows {
-        if wt.rhs(r) < -1e-7 {
-            return None;
-        }
-    }
-    Some(wt)
-}
-
-/// Reads the optimal solution out of a terminal tableau, then canonically
-/// refines it from the original constraint data (see the module docs). The
-/// refinement is skipped when phase 1 dropped redundant rows (the basis is
-/// no longer square against the original system); tableau-derived values
-/// are used directly in that case.
-#[allow(clippy::too_many_arguments)]
-fn extract_solution(
-    t: Tableau,
-    num_vars: usize,
-    objective: &[f64],
-    rows: &[Row],
-    col_defs: &[ColDef],
-    dual_col: &[usize],
-    dual_sign: &[f64],
-    art_start: usize,
-    refine: bool,
-    warm_started: bool,
-) -> Solution {
-    let m = rows.len();
-    let mut basis_cols: Vec<usize> = t.basis.clone();
+    let mut basis_cols = t.basis.clone();
     basis_cols.sort_unstable();
-
-    if refine && t.rows == m {
-        let refined = refine_canonical(num_vars, objective, rows, col_defs, art_start, &basis_cols)
-            .or_else(|| refine_from_basis(num_vars, objective, rows, col_defs, &basis_cols));
-        if let Some((values, duals, objective_value)) = refined {
-            return Solution {
-                values,
-                objective: objective_value,
-                duals,
-                pivots: t.pivots,
-                basis: Basis {
-                    cols: basis_cols,
-                    num_vars,
-                    sig: rows_sig(rows),
-                },
-                warm_started,
-            };
-        }
-    }
-
-    let mut values = vec![0.0; num_vars];
-    for r in 0..t.rows {
-        let b = t.basis[r];
-        if b < num_vars {
-            values[b] = t.rhs(r).max(0.0);
-        }
-    }
-    let objective_value = values
-        .iter()
-        .zip(objective)
-        .map(|(x, c)| x * c)
-        .sum::<f64>();
-    // Duals from the final reduced costs of the auxiliary columns; undo the
-    // per-row rescaling and the sign flip of negative-RHS normalization.
-    let duals = (0..m)
-        .map(|r| {
-            let y_scaled = dual_sign[r] * t.cost[dual_col[r]];
-            let y = y_scaled / rows[r].scale;
-            if rows[r].flipped {
-                -y
-            } else {
-                y
+    let refined = refine_canonical(&sys, objective, &upper_refine, &[], &basis_cols)
+        .or_else(|| refine_from_basis(&sys, objective, &upper_refine, &[], &basis_cols));
+    let (values, mut duals, objective_value) = match refined {
+        Some(r) => r,
+        None => {
+            // Last resort: read the answer straight out of the tableau.
+            let mut values = vec![0.0; num_vars];
+            for r in 0..t.rows {
+                let b = t.basis[r];
+                if b < num_vars {
+                    values[b] = t.rhs(r).max(0.0);
+                }
             }
-        })
-        .collect();
-    Solution {
+            let objective_value = values
+                .iter()
+                .zip(objective)
+                .map(|(x, c)| x * c)
+                .sum::<f64>();
+            let duals = (0..sys.m())
+                .map(|r| {
+                    let y_scaled = sys.dual_sign[r] * t.cost[sys.dual_col[r]];
+                    let y = y_scaled / sys.rows[r].scale;
+                    if sys.rows[r].flipped {
+                        -y
+                    } else {
+                        y
+                    }
+                })
+                .collect();
+            (values, duals, objective_value)
+        }
+    };
+    duals.truncate(user_m);
+    Ok(Solution {
         values,
         objective: objective_value,
         duals,
@@ -748,337 +371,10 @@ fn extract_solution(
         basis: Basis {
             cols: basis_cols,
             num_vars,
-            sig: rows_sig(rows),
+            sig: sys.rows_sig(),
+            bsig: bounds_sig(upper),
+            upper: Vec::new(),
         },
-        warm_started,
-    }
-}
-
-/// Relation signature over normalized rows — identical to
-/// [`relation_sig`] over the originating constraints because normalization
-/// flips relations only together with their data, and the signature must
-/// match what a *fresh* constraint list would produce. Computed from the
-/// pre-flip relation.
-fn rows_sig(rows: &[Row]) -> u64 {
-    let mut sig: u64 = 0xcbf29ce484222325;
-    for row in rows {
-        // Undo the negative-RHS flip to recover the user-facing relation.
-        let rel = if row.flipped {
-            match row.rel {
-                Relation::Le => Relation::Ge,
-                Relation::Ge => Relation::Le,
-                Relation::Eq => Relation::Eq,
-            }
-        } else {
-            row.rel
-        };
-        let code = match rel {
-            Relation::Le => 1u64,
-            Relation::Ge => 2,
-            Relation::Eq => 3,
-        };
-        sig = sig.wrapping_mul(0x100000001b3).wrapping_add(code);
-    }
-    sig
-}
-
-/// The column of the normalized system for internal column `c`.
-fn column_vec(rows: &[Row], col_defs: &[ColDef], c: usize) -> Vec<f64> {
-    let m = rows.len();
-    let mut a = vec![0.0f64; m];
-    match col_defs[c] {
-        ColDef::Structural(j) => {
-            for (r, row) in rows.iter().enumerate() {
-                a[r] = row.coef[j];
-            }
-        }
-        ColDef::RowUnit { row, sign } => a[row] = sign,
-    }
-    a
-}
-
-/// Solves `B x_B = b` and `Bᵀ y = c_B` for the given basis columns against
-/// the normalized system via two deterministic LU solves. Returns the
-/// per-basis-position values and the dual vector in normalized-row space,
-/// or `None` when the basis matrix is numerically singular.
-fn basis_systems(
-    num_vars: usize,
-    objective: &[f64],
-    rows: &[Row],
-    col_defs: &[ColDef],
-    basis_cols: &[usize],
-) -> Option<(Vec<f64>, Vec<f64>)> {
-    let m = rows.len();
-    if basis_cols.len() != m {
-        return None;
-    }
-    // Assemble B column-by-column from the normalized system.
-    let mut bmat = vec![0.0f64; m * m]; // Row-major m×m.
-    for (k, &c) in basis_cols.iter().enumerate() {
-        match col_defs[c] {
-            ColDef::Structural(j) => {
-                for r in 0..m {
-                    bmat[r * m + k] = rows[r].coef[j];
-                }
-            }
-            ColDef::RowUnit { row, sign } => {
-                bmat[row * m + k] = sign;
-            }
-        }
-    }
-    let rhs: Vec<f64> = rows.iter().map(|r| r.rhs).collect();
-    let xb = lu_solve(&bmat, m, &rhs)?;
-
-    // Basis costs under the (minimization-sense) structural objective.
-    let cb: Vec<f64> = basis_cols
-        .iter()
-        .map(|&c| match col_defs[c] {
-            ColDef::Structural(j) if j < num_vars => objective[j],
-            _ => 0.0,
-        })
-        .collect();
-    // Bᵀ y = c_B.
-    let mut bt = vec![0.0f64; m * m];
-    for r in 0..m {
-        for k in 0..m {
-            bt[k * m + r] = bmat[r * m + k];
-        }
-    }
-    let y = lu_solve(&bt, m, &cb)?;
-    Some((xb, y))
-}
-
-/// Maps raw basis-system solutions into user-facing `(values, duals,
-/// objective)`: structural values with a tolerant feasibility check, duals
-/// rescaled and un-flipped back to the original constraint orientation.
-fn package_solution(
-    num_vars: usize,
-    objective: &[f64],
-    rows: &[Row],
-    col_defs: &[ColDef],
-    basis_cols: &[usize],
-    xb: &[f64],
-    y: &[f64],
-) -> Option<(Vec<f64>, Vec<f64>, f64)> {
-    let mut values = vec![0.0; num_vars];
-    for (k, &c) in basis_cols.iter().enumerate() {
-        if let ColDef::Structural(j) = col_defs[c] {
-            if j < num_vars {
-                if xb[k] < -1e-6 {
-                    return None; // Refined vertex drifted infeasible; keep tableau values.
-                }
-                values[j] = xb[k].max(0.0);
-            }
-        }
-    }
-    let objective_value = values
-        .iter()
-        .zip(objective)
-        .map(|(x, c)| x * c)
-        .sum::<f64>();
-    let duals = rows
-        .iter()
-        .zip(y)
-        .map(|(row, &yr)| {
-            let v = yr / row.scale;
-            if row.flipped {
-                -v
-            } else {
-                v
-            }
-        })
-        .collect();
-    Some((values, duals, objective_value))
-}
-
-/// Canonical refinement: re-derives solution values and duals for a known
-/// basis directly from the normalized constraint data via two deterministic
-/// LU solves (`B x_B = b` and `Bᵀ y = c_B`). Erases the pivot-path
-/// floating-point history, so any two solves ending at this basis return
-/// bit-identical results. Returns `None` when the basis matrix is
-/// numerically singular or the refined vertex is not (tolerantly) feasible.
-fn refine_from_basis(
-    num_vars: usize,
-    objective: &[f64],
-    rows: &[Row],
-    col_defs: &[ColDef],
-    basis_cols: &[usize],
-) -> Option<(Vec<f64>, Vec<f64>, f64)> {
-    let (xb, y) = basis_systems(num_vars, objective, rows, col_defs, basis_cols)?;
-    package_solution(num_vars, objective, rows, col_defs, basis_cols, &xb, &y)
-}
-
-/// Basis-*independent* canonical refinement. At a primal-degenerate optimal
-/// vertex, several bases represent the same point, and two simplex runs
-/// (say a warm start and a cold solve) can legitimately terminate at
-/// different ones; refining from different basis matrices then disagrees in
-/// the last ulps. To make the reported *values* a function of the vertex
-/// rather than of the pivot path, the terminal basis is replaced before the
-/// value solve by a canonical one: the vertex's support columns (basic at a
-/// nonzero value, hence basic in *every* basis of this vertex) completed to
-/// rank `m` by scanning the non-artificial columns in fixed index order —
-/// a pure function of the support set. Any nonsingular completion yields
-/// the same basic solution (the completion columns sit at zero in it), so
-/// values and objective come out bit-identical for every pivot path that
-/// reaches this vertex.
-///
-/// Duals are deliberately *not* taken from the canonical basis — a
-/// completion chosen without regard to reduced costs need not be
-/// dual-feasible. They are refined from the terminal basis instead, which
-/// keeps them valid shadow prices; at a dual-degenerate optimum two pivot
-/// paths may then report different (equally valid) dual vectors, which is
-/// why the audit oracle compares placements (value-derived), not duals.
-fn refine_canonical(
-    num_vars: usize,
-    objective: &[f64],
-    rows: &[Row],
-    col_defs: &[ColDef],
-    art_start: usize,
-    terminal_cols: &[usize],
-) -> Option<(Vec<f64>, Vec<f64>, f64)> {
-    let m = rows.len();
-    let (xb, y) = basis_systems(num_vars, objective, rows, col_defs, terminal_cols)?;
-    // Vertex support: basic columns at a tolerantly nonzero value.
-    // `terminal_cols` is sorted, so the support inherits that order.
-    let support: Vec<usize> = terminal_cols
-        .iter()
-        .zip(&xb)
-        .filter(|&(_, &x)| x.abs() > 1e-7)
-        .map(|(&c, _)| c)
-        .collect();
-    if support.len() == m {
-        // Non-degenerate vertex: its basis is unique, nothing to replace.
-        return package_solution(num_vars, objective, rows, col_defs, terminal_cols, &xb, &y);
-    }
-    let canon = complete_basis(rows, col_defs, art_start, &support)?;
-    let (cxb, _) = basis_systems(num_vars, objective, rows, col_defs, &canon)?;
-    // Values from the canonical basis, duals from the terminal one.
-    package_solution(num_vars, objective, rows, col_defs, &canon, &cxb, &y)
-}
-
-/// Completes the vertex support to a full basis by greedy Gaussian
-/// elimination over the non-artificial columns in ascending index order. A
-/// pure function of the normalized system and the support set — independent
-/// of which terminal basis (and hence which dual vector) the pivot path
-/// reached. Returns `None` if rank `m` is not reached (the caller then
-/// falls back to plain terminal-basis refinement).
-fn complete_basis(
-    rows: &[Row],
-    col_defs: &[ColDef],
-    art_start: usize,
-    support: &[usize],
-) -> Option<Vec<usize>> {
-    let m = rows.len();
-    let mut chosen: Vec<usize> = Vec::with_capacity(m);
-    // Eliminated copies of the chosen columns and their pivot rows.
-    let mut reduced: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut pivot_rows: Vec<usize> = Vec::with_capacity(m);
-    let mut row_used = vec![false; m];
-
-    let add_column = |c: usize,
-                      chosen: &mut Vec<usize>,
-                      reduced: &mut Vec<Vec<f64>>,
-                      pivot_rows: &mut Vec<usize>,
-                      row_used: &mut Vec<bool>| {
-        let mut a = column_vec(rows, col_defs, c);
-        for (v, &p) in reduced.iter().zip(pivot_rows.iter()) {
-            let f = a[p] / v[p];
-            if f != 0.0 {
-                for (ar, vr) in a.iter_mut().zip(v) {
-                    *ar -= f * vr;
-                }
-            }
-        }
-        // Pivot: max magnitude over unused rows, ties to the smallest index.
-        let mut best: Option<usize> = None;
-        let mut best_mag = 1e-7;
-        for (r, used) in row_used.iter().enumerate() {
-            if !used && a[r].abs() > best_mag {
-                best_mag = a[r].abs();
-                best = Some(r);
-            }
-        }
-        let Some(p) = best else { return false };
-        row_used[p] = true;
-        chosen.push(c);
-        reduced.push(a);
-        pivot_rows.push(p);
-        true
-    };
-
-    for &c in support {
-        // The support of a vertex is linearly independent; a failure here
-        // means the "vertex" was numerically degenerate beyond repair.
-        if !add_column(c, &mut chosen, &mut reduced, &mut pivot_rows, &mut row_used) {
-            return None;
-        }
-    }
-    for c in 0..art_start {
-        if chosen.len() == m {
-            break;
-        }
-        if support.binary_search(&c).is_ok() {
-            continue;
-        }
-        add_column(c, &mut chosen, &mut reduced, &mut pivot_rows, &mut row_used);
-    }
-    if chosen.len() != m {
-        return None;
-    }
-    chosen.sort_unstable();
-    Some(chosen)
-}
-
-/// Deterministic dense LU solve with partial pivoting (max magnitude, ties
-/// to the smallest row index). Returns `None` on a (near-)singular matrix.
-fn lu_solve(a: &[f64], n: usize, b: &[f64]) -> Option<Vec<f64>> {
-    let mut lu = a.to_vec();
-    let mut x = b.to_vec();
-    let mut perm: Vec<usize> = (0..n).collect();
-    for k in 0..n {
-        let mut piv = k;
-        let mut piv_mag = lu[perm[k] * n + k].abs();
-        for r in (k + 1)..n {
-            let mag = lu[perm[r] * n + k].abs();
-            if mag > piv_mag {
-                piv_mag = mag;
-                piv = r;
-            }
-        }
-        if piv_mag < 1e-11 {
-            return None;
-        }
-        perm.swap(k, piv);
-        let prow = perm[k];
-        let inv = 1.0 / lu[prow * n + k];
-        for &row in perm.iter().skip(k + 1) {
-            let f = lu[row * n + k] * inv;
-            if f != 0.0 {
-                lu[row * n + k] = f;
-                for c in (k + 1)..n {
-                    lu[row * n + c] -= f * lu[prow * n + c];
-                }
-            } else {
-                lu[row * n + k] = 0.0;
-            }
-        }
-    }
-    // Forward substitution on the permuted rows (unit lower triangle).
-    let mut fy = vec![0.0f64; n];
-    for r in 0..n {
-        let mut acc = x[perm[r]];
-        for c in 0..r {
-            acc -= lu[perm[r] * n + c] * fy[c];
-        }
-        fy[r] = acc;
-    }
-    // Back substitution (upper triangle).
-    for r in (0..n).rev() {
-        let mut acc = fy[r];
-        for c in (r + 1)..n {
-            acc -= lu[perm[r] * n + c] * x[c];
-        }
-        x[r] = acc / lu[perm[r] * n + r];
-    }
-    Some(x)
+        warm_started: false,
+    })
 }

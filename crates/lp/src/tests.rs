@@ -678,4 +678,103 @@ proptest! {
             prop_assert_eq!(&warm.duals, &cold.duals);
         }
     }
+
+    /// On random LPs spanning every outcome class — feasible, infeasible,
+    /// unbounded, and (via duplicated rows and zero right-hand sides)
+    /// degenerate — the sparse revised simplex agrees with the retained
+    /// dense tableau: same error kind, and on success the canonical
+    /// solutions are bit-identical (the `--features audit` contract,
+    /// exercised here without the feature flag).
+    #[test]
+    fn sparse_and_dense_agree_on_random_lps(
+        num_vars in 2usize..5,
+        seed_cons in proptest::collection::vec(
+            (proptest::collection::vec(-3i32..4, 4), 0u8..3, -6i32..15),
+            1..7,
+        ),
+        obj in proptest::collection::vec(-4i32..5, 4),
+        duplicate_first in proptest::bool::ANY,
+    ) {
+        let mut p = Problem::minimize(num_vars);
+        let terms: Vec<(usize, f64)> = obj
+            .iter()
+            .take(num_vars)
+            .enumerate()
+            .map(|(i, &c)| (i, c as f64))
+            .collect();
+        p.set_objective(&terms);
+        let mut add = |coef: &[i32], rel: u8, rhs: i32| {
+            let terms: Vec<(usize, f64)> = coef
+                .iter()
+                .take(num_vars)
+                .enumerate()
+                .map(|(i, &c)| (i, c as f64))
+                .collect();
+            let rel = match rel {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            p.add_constraint(&terms, rel, rhs as f64);
+        };
+        for (coef, rel, rhs) in &seed_cons {
+            add(coef, *rel, *rhs);
+        }
+        if duplicate_first {
+            // A redundant copy of the first row forces primal degeneracy.
+            let (coef, rel, rhs) = &seed_cons[0];
+            add(coef, *rel, *rhs);
+        }
+        match (p.solve(), p.solve_dense()) {
+            (Ok(s), Ok(d)) => {
+                prop_assert_eq!(s.objective.to_bits(), d.objective.to_bits(),
+                    "objective: sparse {} vs dense {}", s.objective, d.objective);
+                for (i, (sv, dv)) in s.values.iter().zip(&d.values).enumerate() {
+                    prop_assert_eq!(sv.to_bits(), dv.to_bits(),
+                        "value {}: sparse {} vs dense {}", i, sv, dv);
+                }
+            }
+            (Err(se), Err(de)) => prop_assert_eq!(se, de),
+            (s, d) => {
+                return Err(TestCaseError::fail(format!(
+                    "outcome mismatch: sparse {s:?} vs dense {d:?}"
+                )));
+            }
+        }
+    }
+
+    /// An exported basis re-imported into `solve_from_basis` on the *same*
+    /// problem reproduces the canonical solution bit for bit and re-exports
+    /// the same basis — the round-trip contract PR 6's template cache and
+    /// this PR's sparse rewrite both depend on.
+    #[test]
+    fn basis_export_import_round_trips(
+        seed_cons in proptest::collection::vec(
+            (proptest::collection::vec(1i32..5, 3), 2i32..20),
+            1..4,
+        ),
+        obj in proptest::collection::vec(1i32..6, 3),
+    ) {
+        let num_vars = 3;
+        let mut p = Problem::minimize(num_vars);
+        let terms: Vec<(usize, f64)> =
+            obj.iter().enumerate().map(|(i, &c)| (i, c as f64)).collect();
+        p.set_objective(&terms);
+        for (coef, rhs) in &seed_cons {
+            let terms: Vec<(usize, f64)> =
+                coef.iter().enumerate().map(|(i, &c)| (i, c as f64)).collect();
+            p.add_constraint(&terms, Relation::Ge, *rhs as f64);
+        }
+        let cold = p.solve_canonical().unwrap();
+        let warm = p.solve_from_basis(&cold.basis).unwrap();
+        prop_assert!(warm.warm_started, "identical problem must accept its own basis");
+        prop_assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        prop_assert_eq!(&warm.basis, &cold.basis, "basis must survive the round trip");
+        for (w, c) in warm.values.iter().zip(&cold.values) {
+            prop_assert_eq!(w.to_bits(), c.to_bits());
+        }
+        for (w, c) in warm.duals.iter().zip(&cold.duals) {
+            prop_assert_eq!(w.to_bits(), c.to_bits());
+        }
+    }
 }

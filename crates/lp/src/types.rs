@@ -1,0 +1,148 @@
+//! Shared solver types: errors, exported bases, solutions, tolerances and
+//! layout signatures. Used by both the sparse revised simplex
+//! ([`crate::revised`], the default path) and the retained dense tableau
+//! solver ([`crate::simplex`], the audit oracle).
+
+use crate::problem::{Constraint, Relation};
+
+/// Absolute tolerance used for all feasibility and pivoting comparisons.
+///
+/// Rows are rescaled to unit max-magnitude before solving, so an absolute
+/// tolerance behaves like a relative one.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Tolerance for membership of the primary-optimal face during the
+/// canonical-path secondary cleanup: a column may enter only while its
+/// primary reduced cost is within this of zero. Looser than [`EPS`] so that
+/// float noise in the priced cost row cannot make two pivot paths disagree
+/// about which columns lie on the face.
+pub(crate) const FACE_EPS: f64 = 1e-7;
+
+/// Threshold below which a vertex coordinate does not count toward the
+/// vertex support during canonical refinement.
+pub(crate) const SUPPORT_EPS: f64 = 1e-7;
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No assignment satisfies all constraints.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The pivot-iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal simplex basis, exportable from one solve and usable to
+/// warm-start another solve of a structurally identical problem.
+///
+/// Opaque on purpose: the column indices refer to the solver's internal
+/// `[structural | slack | artificial]` layout, which is only meaningful for
+/// a problem with the same variable count and relation sequence. Problems
+/// with upper-bounded variables additionally record which variables sat at
+/// their upper bound at the optimum, so a warm start can re-establish the
+/// full vertex, and a bound-pattern signature so a basis is only replayed
+/// against a problem whose bound structure matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Sorted basic column indices.
+    pub(crate) cols: Vec<usize>,
+    /// Structural variable count of the originating problem.
+    pub(crate) num_vars: usize,
+    /// Signature of the constraint-relation sequence (layout determinant).
+    pub(crate) sig: u64,
+    /// Signature of the variable bound pattern (none / pinned / finite).
+    pub(crate) bsig: u64,
+    /// Sorted structural columns nonbasic at a positive finite upper bound.
+    pub(crate) upper: Vec<usize>,
+}
+
+impl Basis {
+    /// Number of basic columns (equals the surviving row count of the
+    /// originating solve).
+    pub fn num_basic(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether this basis can even be *attempted* against a problem with
+    /// `num_vars` variables and the given constraints (shape check only;
+    /// feasibility is decided during the warm solve itself). Bound patterns
+    /// are checked separately by the warm solve — a basis exported from an
+    /// unbounded-variable problem carries the no-bounds signature.
+    pub fn compatible_with(&self, num_vars: usize, constraints: &[Constraint]) -> bool {
+        self.num_vars == num_vars
+            && self.cols.len() == constraints.len()
+            && self.sig == relation_sig(constraints)
+    }
+}
+
+/// Signature of a constraint list's relation sequence; together with the
+/// variable count it fully determines the internal column layout.
+pub(crate) fn relation_sig(constraints: &[Constraint]) -> u64 {
+    let mut sig: u64 = 0xcbf29ce484222325;
+    for c in constraints {
+        let code = match c.relation {
+            Relation::Le => 1u64,
+            Relation::Ge => 2,
+            Relation::Eq => 3,
+        };
+        sig = sig.wrapping_mul(0x100000001b3).wrapping_add(code);
+    }
+    sig
+}
+
+/// Signature of a problem's variable-bound *pattern*: per variable, whether
+/// it is unbounded above, pinned to zero, or carries a positive finite
+/// upper bound. Bound *values* may drift between warm-started solves (like
+/// coefficients and right-hand sides do); the pattern is structural.
+pub(crate) fn bounds_sig(upper: &[f64]) -> u64 {
+    let mut sig: u64 = 0x9e3779b97f4a7c15;
+    for &u in upper {
+        let code = if u.is_infinite() {
+            0u64
+        } else if u == 0.0 {
+            1
+        } else {
+            2
+        };
+        sig = sig.wrapping_mul(0x100000001b3).wrapping_add(code);
+    }
+    sig
+}
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Value of each decision variable (non-negative).
+    pub values: Vec<f64>,
+    /// Objective value at the optimum (in the problem's original sense).
+    pub objective: f64,
+    /// Shadow price of each constraint, in input order: the marginal change
+    /// of the optimal objective per unit increase of that constraint's
+    /// right-hand side (in the problem's original sense). Zero for
+    /// non-binding constraints; one valid assignment when duals are
+    /// degenerate. In the placement models these read as "seconds saved per
+    /// extra GB/s on this link / per extra slot at this site".
+    pub duals: Vec<f64>,
+    /// Number of simplex iterations performed across both phases (basis
+    /// changes plus bound flips).
+    pub pivots: usize,
+    /// The optimal basis, for warm-starting a later structurally identical
+    /// solve via [`crate::Problem::solve_from_basis`].
+    pub basis: Basis,
+    /// Whether this solve actually started from a supplied basis (`false`
+    /// for cold solves and for warm attempts that fell back).
+    pub warm_started: bool,
+}

@@ -128,6 +128,17 @@ fn key(level: f64) -> u64 {
 /// saturation heap, and a link union-find) live across calls, so the steady
 /// state of a refill allocates nothing.
 ///
+/// # Sparsity
+///
+/// Construction allocates only the per-link arrays (`2 × n_sites` entries);
+/// per-group state (`spec_cache`, `frozen`) is keyed by *position in the
+/// caller's sorted live list*, not by group id, so its footprint is
+/// O(live pairs) even when the caller numbers groups by dense `(src, dst)`
+/// pair index (n² ids). Per-refill bookkeeping that used to reset every
+/// link (union-find parents, dirty-root markers, the scoped-link scan) is
+/// epoch-stamped instead: an incremental refill touches O(live + dirty)
+/// links, never all `2n`.
+///
 /// # Dirty-link incremental refills
 ///
 /// Links and groups form a bipartite graph (each group crosses its source
@@ -154,32 +165,45 @@ pub struct Waterfiller {
     rem: Vec<f64>,
     /// Per-link count of unfrozen flows.
     act: Vec<usize>,
-    /// Per-link list of groups crossing it (rebuilt per refill, scoped).
-    link_groups: Vec<Vec<usize>>,
+    /// Per-link list of live-list positions of the groups crossing it
+    /// (rebuilt per refill, scoped). Positions, not group ids: the fill
+    /// never indexes anything by the caller's (possibly dense-pair) ids.
+    link_groups: Vec<Vec<u32>>,
     /// Saturation heap of `(level key, link)` packed into a `u128`
     /// (`key << 64 | link`; one-word compares), min-first. Ordering is
     /// identical to the `(key, link)` tuple.
     heap: BinaryHeap<Reverse<u128>>,
-    /// Per-group frozen marker (valid only for groups in the current scope).
+    /// Per-live-position frozen marker, rebuilt each refill (O(live)).
     frozen: Vec<bool>,
-    /// Union-find parent over links, rebuilt per refill.
+    /// Union-find parent over links. Lazily reset: a link whose
+    /// `parent_epoch` lags the current epoch reads as a fresh singleton,
+    /// so no O(links) clear pass runs per refill.
     parent: Vec<u32>,
+    parent_epoch: Vec<u64>,
+    /// Bumped at the start of every refill that does work; validates
+    /// `parent_epoch`, `dirty_root_epoch` and `scoped_epoch` entries.
+    epoch: u64,
     /// Links marked dirty by mutations since the last refill.
     dirty_links: Vec<usize>,
     dirty_mask: Vec<bool>,
     all_dirty: bool,
-    /// Per-root dirty marker (scratch).
-    dirty_root: Vec<bool>,
-    /// Links participating in the current scoped fill, ascending.
+    /// Per-link root-dirty marker: the root is dirty iff its entry equals
+    /// the current epoch.
+    dirty_root_epoch: Vec<u64>,
+    /// Links participating in the current scoped fill (each reset exactly
+    /// once per refill, guarded by `scoped_epoch`).
     scoped_links: Vec<usize>,
-    /// Per-group `(src, dst, count)` cached for the current refill so the
-    /// fill loop stays on this compact array instead of chasing the
-    /// caller's group records.
+    scoped_epoch: Vec<u64>,
+    /// `(src, dst, count)` per live-list position, cached for the current
+    /// refill so the fill loop stays on this compact array instead of
+    /// chasing the caller's group records. Sized to the live list —
+    /// O(live pairs), independent of how sparse or dense the caller's
+    /// group-id space is.
     spec_cache: Vec<(u32, u32, u32)>,
     /// Scratch the frozen link's member list is swapped into (the buffers
     /// circulate between this and `link_groups`, so freezing never
     /// deallocates).
-    members_scratch: Vec<usize>,
+    members_scratch: Vec<u32>,
     /// Key of the most recent heap push per link. The fill keeps the
     /// invariant that every active link has an entry at or below its
     /// current saturation level: levels are monotone over the fill modulo
@@ -202,11 +226,14 @@ impl Waterfiller {
             heap: BinaryHeap::new(),
             frozen: Vec::new(),
             parent: vec![0; links],
+            parent_epoch: vec![0; links],
+            epoch: 0,
             dirty_links: Vec::new(),
             dirty_mask: vec![false; links],
             all_dirty: false,
-            dirty_root: vec![false; links],
+            dirty_root_epoch: vec![0; links],
             scoped_links: Vec::new(),
+            scoped_epoch: vec![0; links],
             spec_cache: Vec::new(),
             members_scratch: Vec::new(),
             best_key: vec![0; links],
@@ -250,6 +277,14 @@ impl Waterfiller {
     }
 
     fn find(&mut self, l: usize) -> usize {
+        // Lazy singleton: an unstamped link has never been unioned this
+        // epoch, so it is its own root (parents are only written between
+        // stamped links, so stamped chains never escape the epoch).
+        if self.parent_epoch[l] != self.epoch {
+            self.parent_epoch[l] = self.epoch;
+            self.parent[l] = l as u32;
+            return l;
+        }
         let mut root = l;
         while self.parent[root] as usize != root {
             root = self.parent[root] as usize;
@@ -284,79 +319,71 @@ impl Waterfiller {
         if !full && self.dirty_links.is_empty() {
             return;
         }
+        // One epoch per working refill: invalidates last refill's parents,
+        // dirty-root marks and scoped marks without clearing them.
+        self.epoch += 1;
 
-        // Cache every live group's spec once; all later passes read the
-        // compact array. Also union the live groups' link pairs and mark
-        // the roots reached by dirty links (a full refill scopes every
-        // link, so it skips the union pass).
-        if let Some(&max_g) = live.last() {
-            if self.spec_cache.len() <= max_g {
-                self.spec_cache.resize(max_g + 1, (0, 0, 0));
-            }
-            if self.frozen.len() <= max_g {
-                self.frozen.resize(max_g + 1, false);
-            }
-        }
+        // Cache every live group's spec once, keyed by live-list position;
+        // all later passes read the compact array. Also union the live
+        // groups' link pairs and mark the roots reached by dirty links (a
+        // full refill scopes every live group, so it skips the union pass).
+        self.spec_cache.clear();
+        self.frozen.clear();
+        self.frozen.resize(live.len(), false);
         if full {
             for &g in live {
                 let (src, dst, count) = spec(g);
                 assert!(src != dst, "local flows cannot be grouped");
                 assert!(src < n && dst < n);
-                self.spec_cache[g] = (src as u32, dst as u32, count as u32);
+                self.spec_cache.push((src as u32, dst as u32, count as u32));
             }
         } else {
-            for (l, p) in self.parent.iter_mut().enumerate() {
-                *p = l as u32;
-            }
             for &g in live {
                 let (src, dst, count) = spec(g);
                 assert!(src != dst, "local flows cannot be grouped");
                 assert!(src < n && dst < n);
-                self.spec_cache[g] = (src as u32, dst as u32, count as u32);
+                self.spec_cache.push((src as u32, dst as u32, count as u32));
                 let (a, b) = (self.find(src), self.find(n + dst));
                 if a != b {
                     self.parent[a] = b as u32;
                 }
             }
-            self.dirty_root.iter_mut().for_each(|d| *d = false);
             for i in 0..self.dirty_links.len() {
                 let l = self.dirty_links[i];
                 let r = self.find(l);
-                self.dirty_root[r] = true;
+                self.dirty_root_epoch[r] = self.epoch;
             }
         }
 
-        // Reset per-link fill state for scoped links and collect the scoped
-        // group set into the link membership lists (ascending group order —
-        // the fill's arithmetic order).
+        // Collect the scoped group set into the link membership lists
+        // (ascending live order — the fill's arithmetic order), resetting
+        // each scoped link's fill state on first touch. Only links crossed
+        // by in-scope groups are visited; a dirty link with no live group
+        // has nothing to recompute.
         self.scoped_links.clear();
-        for l in 0..2 * n {
-            let scoped = full || {
-                let r = self.find(l);
-                self.dirty_root[r]
-            };
-            if scoped {
-                self.scoped_links.push(l);
-                self.rem[l] = if l < n { up_gbps[l] } else { down_gbps[l - n] };
-                self.act[l] = 0;
-                self.link_groups[l].clear();
-            }
-        }
-        for &g in live {
-            let (src, dst, count) = self.spec_cache[g];
+        for i in 0..self.spec_cache.len() {
+            let (src, dst, count) = self.spec_cache[i];
             let (src, dst, count) = (src as usize, dst as usize, count as usize);
             let in_scope = full || {
                 let r = self.find(src);
-                self.dirty_root[r]
+                self.dirty_root_epoch[r] == self.epoch
             };
             if !in_scope {
                 continue;
             }
-            self.frozen[g] = false;
+            for l in [src, n + dst] {
+                if self.scoped_epoch[l] != self.epoch {
+                    self.scoped_epoch[l] = self.epoch;
+                    self.scoped_links.push(l);
+                    self.rem[l] = if l < n { up_gbps[l] } else { down_gbps[l - n] };
+                    self.act[l] = 0;
+                    self.link_groups[l].clear();
+                }
+            }
             self.act[src] += count;
             self.act[n + dst] += count;
-            self.link_groups[src].push(g);
-            self.link_groups[n + dst].push(g);
+            self.link_groups[src].push(i as u32);
+            self.link_groups[n + dst].push(i as u32);
         }
 
         // Progressive filling over the scoped component(s), identical to a
@@ -410,13 +437,14 @@ impl Waterfiller {
             let level = exact;
             members_scratch.clear();
             std::mem::swap(members_scratch, &mut link_groups[l]);
-            for &g in members_scratch.iter() {
-                if frozen[g] {
+            for &i in members_scratch.iter() {
+                let i = i as usize;
+                if frozen[i] {
                     continue;
                 }
-                frozen[g] = true;
-                refilled.push((g, level));
-                let (src, dst, count) = spec_cache[g];
+                frozen[i] = true;
+                refilled.push((live[i], level));
+                let (src, dst, count) = spec_cache[i];
                 let (src, dst, count) = (src as usize, dst as usize, count as usize);
                 // Counterpart links almost never need a re-push: the entry
                 // behind `best_key[m]` is still at or below the new level

@@ -1286,15 +1286,22 @@ impl Engine {
             SiteState {
                 slots: self.cur_slots[s],
                 free_slots: self.cur_slots[s].saturating_sub(self.occupied[s]),
-                // The extra 1e-9 floor only bites when a dynamics event zeroed
+                // The extra 1e-4 floor only bites when a dynamics event zeroed
                 // the link outright; it keeps scheduler transfer-time models
                 // finite (no 0/0) without perturbing healthy-link reports.
+                // The floor must sit well above the LP solvers' 1e-9 pivot
+                // tolerance: a dead-link bandwidth near the tolerance after
+                // row normalization makes feasibility of the placement model
+                // numerically ambiguous, and pivots on such entries amplify
+                // roundoff past the tolerance. At 1e-4 GB/s a "dead" link
+                // still needs ~1e4 s per GB — far beyond any realized
+                // makespan — so placements are unaffected.
                 up_gbps: (self.cur_up[s] - up_used[s])
                     .max(self.cur_up[s] * 0.05)
-                    .max(1e-9),
+                    .max(1e-4),
                 down_gbps: (self.cur_down[s] - down_used[s])
                     .max(self.cur_down[s] * 0.05)
-                    .max(1e-9),
+                    .max(1e-4),
             }
         }));
         self.usage_scratch = (up_used, down_used);

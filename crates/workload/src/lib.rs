@@ -20,6 +20,7 @@ pub mod bigdata;
 pub mod example;
 pub mod io;
 pub mod recurring;
+pub mod scale;
 pub mod tpcds;
 pub mod trace;
 
@@ -27,6 +28,7 @@ pub use bigdata::bigdata_like_jobs;
 pub use example::{fig4_cluster, fig4_job, two_job_example};
 pub use io::{Scenario, ScenarioError};
 pub use recurring::{recurring_dashboard_jobs, RecurringParams};
+pub use scale::{sites_from_args, ScalePreset};
 pub use tpcds::tpcds_like_jobs;
 pub use trace::{trace_like_jobs, TraceParams};
 

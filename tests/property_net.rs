@@ -386,3 +386,69 @@ proptest! {
         prop_assert!((sim.total_wan_gb() - expected).abs() < 1e-6 * (1.0 + expected));
     }
 }
+
+// Fewer cases: each one churns a 1000-site waterfiller and cross-checks
+// against from-scratch fills, so 16 cases already cover hundreds of
+// incremental refills at full scale.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 1000-site churn: a persistent [`Waterfiller`] fed a *sparse* live
+    /// pair set (the regime the sorted sparse pair index exists for) under
+    /// count mutations and capacity-independent dirty marking must match
+    /// the from-scratch [`waterfill_groups`] fill bit for bit at every
+    /// step. Guards the O(live pairs) group state against scale: dense
+    /// n²-pair scratch would OOM or crawl at this site count long before
+    /// the assertions fire.
+    #[test]
+    fn thousand_site_incremental_refill_matches_full_fill(
+        pair_seeds in proptest::collection::vec((0usize..1000, 1usize..1000), 20..60),
+        caps in proptest::collection::vec(1u32..80, 64),
+        steps in proptest::collection::vec((0usize..60, 0u8..3, 1u32..4), 30..80),
+    ) {
+        use tetrium::net::{waterfill_groups, GroupSpec, Waterfiller};
+        let n = 1000;
+        let up: Vec<f64> = (0..n).map(|i| caps[i % caps.len()] as f64 * 0.05).collect();
+        let down: Vec<f64> = (0..n).map(|i| caps[(i * 7 + 3) % caps.len()] as f64 * 0.05).collect();
+        // Sparse live pair universe: tens of pairs over a thousand sites.
+        let mut pairs: Vec<(usize, usize)> = pair_seeds
+            .into_iter()
+            .map(|(s, off)| (s, (s + off) % n))
+            .filter(|&(s, d)| s != d)
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assume!(!pairs.is_empty());
+        let mut counts = vec![0usize; pairs.len()];
+        let mut rates = vec![0.0f64; pairs.len()];
+        let mut wf = Waterfiller::new(n);
+        for (step, (pick, op, delta)) in steps.into_iter().enumerate() {
+            let g = pick % pairs.len();
+            match op {
+                0 => counts[g] += delta as usize,
+                1 if counts[g] > 0 => counts[g] -= 1,
+                _ => counts[g] += 1,
+            }
+            let (s, d) = pairs[g];
+            wf.mark_pair_dirty(s, d);
+            let live: Vec<usize> = (0..pairs.len()).filter(|&g| counts[g] > 0).collect();
+            wf.refill(&live, |g| (pairs[g].0, pairs[g].1, counts[g]), &up, &down);
+            for &(g, r) in wf.refilled() {
+                rates[g] = r;
+            }
+            let specs: Vec<GroupSpec> = pairs
+                .iter()
+                .zip(&counts)
+                .map(|(&(src, dst), &count)| GroupSpec { src, dst, count })
+                .collect();
+            let want = waterfill_groups(&specs, &up, &down);
+            for &g in &live {
+                prop_assert!(
+                    rates[g].to_bits() == want[g].to_bits(),
+                    "step {}: group {} incremental {} != full {}",
+                    step, g, rates[g], want[g]
+                );
+            }
+        }
+    }
+}
