@@ -25,6 +25,7 @@ fn main() {
     vs_tetris::run_fig();
     skew_sweep::run_fig();
     resilience::run_fig();
+    trace_replay::run_fig();
     let wall = t0.elapsed().as_secs_f64();
     println!("\nall figures regenerated; records in target/experiments/");
     eprintln!("[all_figures] wall-clock {wall:.1} s on {threads} thread(s)");

@@ -25,6 +25,9 @@ use tetrium::core::{PlanCacheMode, TetriumConfig};
 use tetrium::{run_workload, SchedulerKind};
 use tetrium_bench::churn::run_flowsim_churn;
 use tetrium_sim::EngineConfig;
+use tetrium_workload::ingest::{
+    parse_trace_str, scenario_from_trace, trace_from_jobs, validate, TraceProfile, ValidatorConfig,
+};
 use tetrium_workload::{recurring_dashboard_jobs, trace_like_jobs, RecurringParams, TraceParams};
 
 fn main() {
@@ -102,12 +105,19 @@ fn main() {
         solver_dense * 1e3
     );
 
+    let (ingest_rows, ingest_median) = trace_ingest_median();
+    let ingest_rows_per_sec = ingest_rows as f64 / ingest_median;
+    println!(
+        "trace_ingest: {ingest_rows} rows in {ingest_median:.3} s -> {ingest_rows_per_sec:.0} rows/s"
+    );
+
     if check {
         check_against_baseline(
             median,
             churn_median,
             resilience_median,
             serve_median,
+            ingest_median,
             sched_speedup,
             solver_speedup,
         );
@@ -152,6 +162,12 @@ fn main() {
             "sparse_median_secs": solver_sparse,
             "dense_median_secs": solver_dense,
             "speedup": solver_speedup,
+        },
+        "trace_ingest": {
+            "workload": "trace-file-30-sites",
+            "rows": ingest_rows,
+            "median_run_secs": ingest_median,
+            "rows_per_sec": ingest_rows_per_sec,
         },
     });
     match std::fs::read_to_string("target/experiments/harness_wallclock.json") {
@@ -361,11 +377,55 @@ fn solver_time_medians() -> (f64, f64) {
     (sparse, dense)
 }
 
+/// Median wall time of the full trace-ingestion path — parse the on-disk
+/// JSON rendering, run the complete validation gate (drift included,
+/// against the trace's own profile), and convert to a scenario — on a
+/// 60-job trace over 30 sites. Guards the ingestion gate's overhead: the
+/// gate runs on every `run --trace` before the engine sees a single job.
+/// Returns `(rows, median_secs)`.
+fn trace_ingest_median() -> (usize, f64) {
+    let cluster = ec2_thirty_instances();
+    let params = TraceParams {
+        median_input_gb: 10.0,
+        mean_interarrival_secs: 30.0,
+        mean_task_secs: 5.0,
+        tasks_per_gb: 4.0,
+        max_tasks: 150,
+        ..TraceParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(35);
+    let jobs = trace_like_jobs(&cluster, 60, &params, &mut rng);
+    let n_jobs = jobs.len();
+    let body = trace_from_jobs(&jobs, cluster.len(), "perf-snapshot").to_json();
+    let rows = parse_trace_str(&body)
+        .expect("exported trace parses")
+        .rows
+        .len();
+    let mut secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            let trace = parse_trace_str(&body).expect("exported trace parses");
+            let cfg = ValidatorConfig {
+                profile: TraceProfile::from_trace(&trace),
+                ..ValidatorConfig::default()
+            };
+            validate(&trace, &cfg).expect("exported trace passes the gate");
+            let scenario =
+                scenario_from_trace(&trace, cluster.clone(), &cfg).expect("trace converts");
+            assert_eq!(scenario.jobs.len(), n_jobs, "ingestion dropped jobs");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.total_cmp(b));
+    (rows, secs[secs.len() / 2])
+}
+
 fn check_against_baseline(
     median: f64,
     churn_median: f64,
     resilience_median: f64,
     serve_median: f64,
+    ingest_median: f64,
     sched_speedup: f64,
     solver_speedup: f64,
 ) {
@@ -383,6 +443,7 @@ fn check_against_baseline(
         ("flowsim_churn", churn_median),
         ("resilience_sweep", resilience_median),
         ("serve_throughput", serve_median),
+        ("trace_ingest", ingest_median),
     ] {
         let Some(base) = baseline[name]["median_run_secs"].as_f64() else {
             println!("perf check: no {name}.median_run_secs in baseline, skipping");

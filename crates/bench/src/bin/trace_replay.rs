@@ -1,0 +1,4 @@
+//! Regenerates the trace-replay ingestion sweep; see `tetrium_bench::figs`.
+fn main() {
+    tetrium_bench::figs::trace_replay::run_fig();
+}

@@ -13,4 +13,5 @@ pub mod fwd_rev;
 pub mod resilience;
 pub mod scale;
 pub mod skew_sweep;
+pub mod trace_replay;
 pub mod vs_tetris;

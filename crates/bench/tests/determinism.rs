@@ -60,8 +60,15 @@ fn render_grid(threads: usize) -> String {
                     // byte-identity assertion below.
                     let obs =
                         serde_json::to_string(&r.obs.as_ref().unwrap().to_json(false)).unwrap();
+                    // The OTel span export is part of the same contract: its
+                    // ids and timestamps derive only from simulation state,
+                    // so the rendered document must be byte-identical too.
+                    let otel = tetrium::obs::to_otel_string(
+                        r.obs.as_ref().unwrap(),
+                        &format!("det/{name}/seed-{seed}"),
+                    );
                     format!(
-                        "{name:<10} seed={seed} avg={:.6} wan={:.6} obs={obs}",
+                        "{name:<10} seed={seed} avg={:.6} wan={:.6} obs={obs} otel={otel}",
                         r.avg_response(),
                         r.total_wan_gb
                     )

@@ -1,22 +1,33 @@
 //! Minimal `--flag value` argument parsing.
+//!
+//! Values are kept as [`OsString`] so path-valued flags round-trip
+//! non-UTF-8 file names untouched (they go to the filesystem APIs as
+//! [`Path`]s, never through `str`). Flags that *are* text — scheduler
+//! names, numbers, presets — are decoded on access and a non-UTF-8 value
+//! is a clean CLI error, not a panic.
 
 use std::collections::BTreeMap;
+use std::ffi::OsString;
+use std::path::Path;
 
 /// Parsed flags of one subcommand invocation.
 #[derive(Debug, Default)]
 pub struct Args {
-    flags: BTreeMap<String, String>,
+    flags: BTreeMap<String, OsString>,
 }
 
 impl Args {
     /// Parses `--name value` pairs; rejects dangling or unknown-form args.
-    pub fn parse(argv: &[String]) -> Result<Self, String> {
+    /// Flag *names* must be UTF-8; values may be arbitrary OS strings.
+    pub fn parse(argv: &[OsString]) -> Result<Self, String> {
         let mut flags = BTreeMap::new();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             let name = a
+                .to_str()
+                .ok_or_else(|| format!("flag name {a:?} is not valid UTF-8"))?
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got '{a}'"))?;
+                .ok_or_else(|| format!("expected --flag, got '{}'", a.to_string_lossy()))?;
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -27,22 +38,44 @@ impl Args {
         Ok(Self { flags })
     }
 
-    /// Required string flag.
+    /// Required text flag; errors when missing or not UTF-8.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.flags
-            .get(name)
-            .map(|s| s.as_str())
+        self.get(name)?
             .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
-    /// Optional string flag.
-    pub fn get(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(|s| s.as_str())
+    /// Optional text flag; errors when present but not UTF-8.
+    pub fn get(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v.to_str().map(Some).ok_or_else(|| {
+                format!(
+                    "flag --{name}: value {:?} is not valid UTF-8",
+                    v.to_string_lossy()
+                )
+            }),
+        }
+    }
+
+    /// Required path flag; any OS string is a valid path.
+    pub fn require_path(&self, name: &str) -> Result<&Path, String> {
+        self.get_path(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional path flag; any OS string is a valid path.
+    pub fn get_path(&self, name: &str) -> Option<&Path> {
+        self.flags.get(name).map(Path::new)
+    }
+
+    /// Whether the flag was given at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// Optional flag parsed to a type, with a default.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
-        match self.flags.get(name) {
+        match self.get(name)? {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -65,8 +98,8 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn sv(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+    fn sv(v: &[&str]) -> Vec<OsString> {
+        v.iter().map(OsString::from).collect()
     }
 
     #[test]
@@ -75,6 +108,8 @@ mod tests {
         assert_eq!(a.require("jobs").unwrap(), "16");
         assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
         assert_eq!(a.get_or::<f64>("rho", 1.0).unwrap(), 1.0);
+        assert!(a.has("jobs"));
+        assert!(!a.has("rho"));
     }
 
     #[test]
@@ -89,5 +124,22 @@ mod tests {
         let a = Args::parse(&sv(&["--oops", "1"])).unwrap();
         assert!(a.allow_only(&["jobs"]).is_err());
         assert!(a.allow_only(&["oops"]).is_ok());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_values_are_paths_not_panics() {
+        use std::os::unix::ffi::OsStringExt;
+        let weird = OsString::from_vec(vec![b'/', b't', b'm', b'p', b'/', 0xff, 0xfe]);
+        let argv = vec![OsString::from("--out"), weird.clone()];
+        let a = Args::parse(&argv).unwrap();
+        // As a path it round-trips byte-exactly.
+        assert_eq!(a.require_path("out").unwrap(), Path::new(&weird));
+        assert_eq!(a.get_path("out").unwrap(), Path::new(&weird));
+        // As text it is a clean error, not a panic.
+        let err = a.require("out").unwrap_err();
+        assert!(err.contains("not valid UTF-8"), "{err}");
+        assert!(a.get("out").is_err());
+        assert!(a.get_or::<f64>("out", 1.0).is_err());
     }
 }

@@ -1,11 +1,16 @@
-//! Subcommand implementations: generate / run / compare / serve.
+//! Subcommand implementations: generate / ingest / run / compare / serve.
 
 use crate::args::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ffi::OsString;
+use std::path::Path;
 use tetrium::cluster::Cluster;
 use tetrium::core::{PlanCacheMode, TetriumConfig, WanKnob};
 use tetrium::sim::EngineConfig;
+use tetrium::workload::ingest::{
+    read_trace_file, scenario_from_trace, TraceProfile, ValidatorConfig,
+};
 use tetrium::workload::{
     bigdata_like_jobs, tpcds_like_jobs, trace_like_jobs, Scenario, TraceParams,
 };
@@ -17,30 +22,35 @@ usage:
   tetrium-cli generate --kind trace|tpcds|bigdata --sites ec2-8|ec2-30|trace-50
                        [--jobs N] [--seed S] [--interarrival SECS] [--scale GB]
                        --out scenario.json
-  tetrium-cli run      --scenario scenario.json
+  tetrium-cli ingest   --trace trace.json|trace.csv --sites ec2-8|ec2-30|trace-50
+                       [--out scenario.json] [--profile reference-trace.json]
+                       [--max-drift FRAC] [--byte-tolerance FRAC] [--seed S]
+  tetrium-cli run      --scenario scenario.json | --trace trace.json --sites PRESET
                        [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
                        [--rho R] [--epsilon E] [--seed S] [--json out.json]
                        [--plan-cache off|exact|full]
-                       [--trace chrome_trace.json] [--obs obs.json]
-                       [--dynamics timeline.json]
+                       [--chrome-trace trace.json] [--obs obs.json]
+                       [--obs-otel spans.json] [--dynamics timeline.json]
   tetrium-cli compare  --scenario scenario.json [--seed S]
   tetrium-cli serve    --scenario scenario.json [--shards N]
                        [--scheduler tetrium|in-place|iridium|centralized|tetris|swag]
-                       [--rho R] [--epsilon E] [--seed S] [--json out.json]";
+                       [--rho R] [--epsilon E] [--seed S] [--json out.json]
+                       [--obs-otel spans.json]";
 
 /// Routes a command line to its subcommand.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[OsString]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("no subcommand given")?;
-    match cmd.as_str() {
-        "generate" => generate(&Args::parse(rest)?),
-        "run" => run(&Args::parse(rest)?),
-        "compare" => compare(&Args::parse(rest)?),
-        "serve" => serve(&Args::parse(rest)?),
-        "help" | "--help" | "-h" => {
+    match cmd.to_str() {
+        Some("generate") => generate(&Args::parse(rest)?),
+        Some("ingest") => ingest(&Args::parse(rest)?),
+        Some("run") => run(&Args::parse(rest)?),
+        Some("compare") => compare(&Args::parse(rest)?),
+        Some("serve") => serve(&Args::parse(rest)?),
+        Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}'")),
+        _ => Err(format!("unknown subcommand '{}'", cmd.to_string_lossy())),
     }
 }
 
@@ -93,6 +103,12 @@ fn scheduler_kind(
     }
 }
 
+fn write_pretty(path: &Path, value: &serde_json::Value) -> Result<(), String> {
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("cannot serialize {}: {e}", path.display()))?;
+    std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 fn generate(args: &Args) -> Result<(), String> {
     args.allow_only(&[
         "kind",
@@ -105,7 +121,7 @@ fn generate(args: &Args) -> Result<(), String> {
     ])?;
     let kind = args.require("kind")?;
     let sites = args.require("sites")?;
-    let out = args.require("out")?;
+    let out = args.require_path("out")?;
     let jobs_n: usize = args.get_or("jobs", 12)?;
     let seed: u64 = args.get_or("seed", 1)?;
     let interarrival: f64 = args.get_or("interarrival", 30.0)?;
@@ -132,7 +148,8 @@ fn generate(args: &Args) -> Result<(), String> {
     let scenario = Scenario::new(description, cluster, jobs).map_err(|e| e.to_string())?;
     scenario.save(out).map_err(|e| e.to_string())?;
     println!(
-        "wrote {out}: {} jobs, {} sites, {:.1} GB total input",
+        "wrote {}: {} jobs, {} sites, {:.1} GB total input",
+        out.display(),
         scenario.jobs.len(),
         scenario.cluster.len(),
         scenario.jobs.iter().map(|j| j.input_gb()).sum::<f64>()
@@ -140,38 +157,108 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the validator config from the shared ingestion flags
+/// (`--byte-tolerance`, `--profile`, `--max-drift`).
+fn validator_config(args: &Args) -> Result<ValidatorConfig, String> {
+    let mut cfg = ValidatorConfig::default();
+    cfg.byte_tolerance = args.get_or("byte-tolerance", cfg.byte_tolerance)?;
+    cfg.max_drift = args.get_or("max-drift", cfg.max_drift)?;
+    if let Some(reference) = args.get_path("profile") {
+        let trace = read_trace_file(reference).map_err(|e| e.to_string())?;
+        cfg.profile = Some(TraceProfile::from_trace(&trace).ok_or_else(|| {
+            format!(
+                "reference trace {} has too few jobs to profile",
+                reference.display()
+            )
+        })?);
+    }
+    Ok(cfg)
+}
+
+/// Loads a raw trace, runs the validation gate, and converts to a
+/// scenario over the given site preset. All violations surface in the
+/// error string, row-addressed.
+fn load_trace_scenario(args: &Args, seed: u64) -> Result<Scenario, String> {
+    let path = args.require_path("trace")?;
+    let sites = args.require("sites")?;
+    let cluster = cluster_preset(sites, seed)?;
+    let trace = read_trace_file(path).map_err(|e| e.to_string())?;
+    let cfg = validator_config(args)?;
+    scenario_from_trace(&trace, cluster, &cfg).map_err(|e| e.to_string())
+}
+
+/// Validates a raw trace file and (optionally) freezes it as a scenario.
+fn ingest(args: &Args) -> Result<(), String> {
+    args.allow_only(&[
+        "trace",
+        "sites",
+        "out",
+        "profile",
+        "max-drift",
+        "byte-tolerance",
+        "seed",
+    ])?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let scenario = load_trace_scenario(args, seed)?;
+    println!(
+        "trace accepted: {} jobs, {} stages, {} sites, {:.1} GB total input",
+        scenario.jobs.len(),
+        scenario.jobs.iter().map(|j| j.num_stages()).sum::<usize>(),
+        scenario.cluster.len(),
+        scenario.jobs.iter().map(|j| j.input_gb()).sum::<f64>()
+    );
+    if let Some(out) = args.get_path("out") {
+        scenario.save(out).map_err(|e| e.to_string())?;
+        println!("wrote {}", out.display());
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     args.allow_only(&[
         "scenario",
+        "trace",
+        "sites",
+        "profile",
+        "max-drift",
+        "byte-tolerance",
         "scheduler",
         "rho",
         "epsilon",
         "seed",
         "json",
         "plan-cache",
-        "trace",
+        "chrome-trace",
         "obs",
+        "obs-otel",
         "dynamics",
     ])?;
-    let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let scenario = match (args.has("scenario"), args.has("trace")) {
+        (true, false) => {
+            Scenario::load(args.require_path("scenario")?).map_err(|e| e.to_string())?
+        }
+        (false, true) => load_trace_scenario(args, seed)?,
+        (true, true) => return Err("--scenario and --trace are mutually exclusive".into()),
+        (false, false) => return Err("one of --scenario or --trace is required".into()),
+    };
     let rho: f64 = args.get_or("rho", 1.0)?;
     let epsilon: f64 = args.get_or("epsilon", 1.0)?;
-    let seed: u64 = args.get_or("seed", 0)?;
-    let plan_cache = plan_cache_mode(args.get("plan-cache").unwrap_or("off"))?;
+    let plan_cache = plan_cache_mode(args.get("plan-cache")?.unwrap_or("off"))?;
     let kind = scheduler_kind(
-        args.get("scheduler").unwrap_or("tetrium"),
+        args.get("scheduler")?.unwrap_or("tetrium"),
         rho,
         epsilon,
         plan_cache,
     )?;
     let dynamics = args
-        .get("dynamics")
+        .get_path("dynamics")
         .map(|path| load_dynamics(path, &scenario.cluster))
         .transpose()?;
 
     let mut cfg = EngineConfig::trace_like(seed);
-    cfg.record_trace = args.get("trace").is_some();
-    cfg.record_obs = args.get("obs").is_some();
+    cfg.record_trace = args.has("chrome-trace");
+    cfg.record_obs = args.has("obs") || args.has("obs-otel");
     let report = match dynamics {
         Some(timeline) => {
             run_workload_dynamic(scenario.cluster, scenario.jobs, kind, cfg, timeline)
@@ -195,22 +282,31 @@ fn run(args: &Args) -> Result<(), String> {
             j.name, j.arrival, j.response, j.wan_gb, j.num_stages
         );
     }
-    if let Some(path) = args.get("obs") {
+    if let Some(path) = args.get_path("obs") {
         let obs = report.obs.as_ref().expect("record_obs was set");
         print_obs_summary(obs, report.makespan);
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&obs.to_json(true)).unwrap(),
-        )
-        .map_err(|e| e.to_string())?;
-        println!("wrote {path} (schema tetrium-obs/v1)");
+        write_pretty(path, &obs.to_json(true))?;
+        println!("wrote {} (schema tetrium-obs/v1)", path.display());
     }
-    if let Some(path) = args.get("trace") {
+    if let Some(path) = args.get_path("obs-otel") {
+        let obs = report.obs.as_ref().expect("record_obs was set");
+        // The run name seeds the span-id namespace; it must be a pure
+        // function of the run's inputs so the export stays
+        // byte-deterministic across worker-thread counts.
+        let run_name = format!("run/{}/seed-{seed}", report.scheduler);
+        std::fs::write(path, tetrium::obs::to_otel_string(obs, &run_name))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {} (OTLP/JSON spans)", path.display());
+    }
+    if let Some(path) = args.get_path("chrome-trace") {
         std::fs::write(path, tetrium::metrics::chrome_trace(&report.trace))
             .map_err(|e| e.to_string())?;
-        println!("wrote {path} (load in chrome://tracing or Perfetto)");
+        println!(
+            "wrote {} (load in chrome://tracing or Perfetto)",
+            path.display()
+        );
     }
-    if let Some(path) = args.get("json") {
+    if let Some(path) = args.get_path("json") {
         let rows: Vec<serde_json::Value> = report
             .jobs
             .iter()
@@ -228,9 +324,8 @@ fn run(args: &Args) -> Result<(), String> {
             "makespan_s": report.makespan,
             "jobs": rows,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&v).unwrap())
-            .map_err(|e| e.to_string())?;
-        println!("wrote {path}");
+        write_pretty(path, &v)?;
+        println!("wrote {}", path.display());
     }
     Ok(())
 }
@@ -238,16 +333,16 @@ fn run(args: &Args) -> Result<(), String> {
 /// Loads and validates a mid-run dynamics timeline (a JSON array of
 /// `{"site": N, "at_time": S, "change": {"kind": ...}}` events).
 fn load_dynamics(
-    path: &str,
+    path: &Path,
     cluster: &Cluster,
 ) -> Result<tetrium::cluster::DynamicsTimeline, String> {
-    let body =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read dynamics {path}: {e}"))?;
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read dynamics {}: {e}", path.display()))?;
     let timeline: tetrium::cluster::DynamicsTimeline =
-        serde_json::from_str(&body).map_err(|e| format!("bad dynamics {path}: {e}"))?;
+        serde_json::from_str(&body).map_err(|e| format!("bad dynamics {}: {e}", path.display()))?;
     timeline
         .validate_for(cluster)
-        .map_err(|e| format!("bad dynamics {path}: {e}"))?;
+        .map_err(|e| format!("bad dynamics {}: {e}", path.display()))?;
     Ok(timeline)
 }
 
@@ -312,8 +407,9 @@ fn serve(args: &Args) -> Result<(), String> {
         "seed",
         "json",
         "plan-cache",
+        "obs-otel",
     ])?;
-    let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
+    let scenario = Scenario::load(args.require_path("scenario")?).map_err(|e| e.to_string())?;
     let shards: usize = args.get_or("shards", 2)?;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
@@ -321,17 +417,22 @@ fn serve(args: &Args) -> Result<(), String> {
     let rho: f64 = args.get_or("rho", 1.0)?;
     let epsilon: f64 = args.get_or("epsilon", 1.0)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let plan_cache = plan_cache_mode(args.get("plan-cache").unwrap_or("off"))?;
+    let plan_cache = plan_cache_mode(args.get("plan-cache")?.unwrap_or("off"))?;
     let kind = scheduler_kind(
-        args.get("scheduler").unwrap_or("tetrium"),
+        args.get("scheduler")?.unwrap_or("tetrium"),
         rho,
         epsilon,
         plan_cache,
     )?;
+    let otel_path = args.get_path("obs-otel");
+    let mut engine_cfg = EngineConfig::trace_like(seed);
+    // Task events only flow to subscribers (and thus to the span tap)
+    // when the shard engines record obs.
+    engine_cfg.record_obs = otel_path.is_some();
     let cfg = tetrium_serve::ServeConfig {
         shards,
         scheduler: kind,
-        engine: EngineConfig::trace_like(seed),
+        engine: engine_cfg,
         ..tetrium_serve::ServeConfig::default()
     };
     let n_jobs = scenario.jobs.len();
@@ -339,31 +440,36 @@ fn serve(args: &Args) -> Result<(), String> {
         .enable_all()
         .build()
         .map_err(|e| format!("cannot build runtime: {e}"))?;
-    let (report, observed_finished) = rt.block_on(async {
+    let (report, observed_finished, tap) = rt.block_on(async {
         let svc = tetrium_serve::TetriumService::start_held(&scenario.cluster, &cfg);
         let mut events = svc.subscribe();
         let counter = tokio::spawn(async move {
+            let mut tap = tetrium_serve::SpanTap::new();
             let mut finished = 0usize;
             loop {
                 use tokio::sync::broadcast::error::RecvError;
                 match events.recv().await {
-                    Ok(tetrium_serve::JobEvent::Finished { .. }) => finished += 1,
-                    Ok(_) => {}
+                    Ok(event) => {
+                        if matches!(event, tetrium_serve::JobEvent::Finished { .. }) {
+                            finished += 1;
+                        }
+                        tap.observe(&event);
+                    }
                     Err(RecvError::Lagged(_)) => {}
                     Err(RecvError::Closed) => break,
                 }
             }
-            finished
+            (finished, tap)
         });
         for job in scenario.jobs {
             svc.submit(job).await.map_err(|e| e.to_string())?;
         }
         svc.open();
         let report = svc.join().await.map_err(|e| e.to_string())?;
-        let finished = counter
+        let (finished, tap) = counter
             .await
             .map_err(|_| "event counter lost".to_string())?;
-        Ok::<_, String>((report, finished))
+        Ok::<_, String>((report, finished, tap))
     })?;
     println!(
         "serve: {shards} shard(s), {n_jobs} job(s) submitted, {observed_finished} Finished event(s) observed"
@@ -384,20 +490,22 @@ fn serve(args: &Args) -> Result<(), String> {
         report.makespan(),
         report.total_wan_gb()
     );
-    if let Some(path) = args.get("json") {
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&report.to_json()).unwrap(),
-        )
-        .map_err(|e| e.to_string())?;
-        println!("wrote {path}");
+    if let Some(path) = otel_path {
+        let run_name = format!("serve/seed-{seed}");
+        std::fs::write(path, tap.to_otel_string(&run_name))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {} (OTLP/JSON spans)", path.display());
+    }
+    if let Some(path) = args.get_path("json") {
+        write_pretty(path, &report.to_json())?;
+        println!("wrote {}", path.display());
     }
     Ok(())
 }
 
 fn compare(args: &Args) -> Result<(), String> {
     args.allow_only(&["scenario", "seed"])?;
-    let scenario = Scenario::load(args.require("scenario")?).map_err(|e| e.to_string())?;
+    let scenario = Scenario::load(args.require_path("scenario")?).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 0)?;
     println!(
         "{:<13} {:>10} {:>10} {:>10} {:>10}",
@@ -433,9 +541,28 @@ fn compare(args: &Args) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tetrium::workload::ingest::trace_from_jobs;
 
-    fn sv(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+    fn sv(v: &[&str]) -> Vec<OsString> {
+        v.iter().map(OsString::from).collect()
+    }
+
+    fn svp(v: &[&str], tail: &[&Path]) -> Vec<OsString> {
+        let mut out = sv(v);
+        out.extend(tail.iter().map(|p| p.as_os_str().to_os_string()));
+        out
+    }
+
+    /// Writes a small valid trace over the ec2-8 preset and returns its
+    /// path.
+    fn write_mini_trace(dir: &Path) -> std::path::PathBuf {
+        let cluster = tetrium::cluster::ec2_eight_regions();
+        let mut rng = StdRng::seed_from_u64(11);
+        let jobs = trace_like_jobs(&cluster, 3, &TraceParams::default(), &mut rng);
+        let trace = trace_from_jobs(&jobs, cluster.len(), "cli-test");
+        let path = dir.join("mini_trace.json");
+        std::fs::write(&path, trace.to_json()).unwrap();
+        path
     }
 
     #[test]
@@ -443,33 +570,37 @@ mod tests {
         let dir = std::env::temp_dir().join("tetrium_cli_test");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("scenario.json");
-        let out = path.to_str().unwrap();
-        dispatch(&sv(&[
-            "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "3", "--seed", "5",
-            "--scale", "2.0", "--out", out,
-        ]))
+        dispatch(&svp(
+            &[
+                "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "3", "--seed", "5",
+                "--scale", "2.0", "--out",
+            ],
+            &[&path],
+        ))
         .unwrap();
-        dispatch(&sv(&["run", "--scenario", out, "--scheduler", "tetrium"])).unwrap();
-        dispatch(&sv(&["run", "--scenario", out, "--scheduler", "swag"])).unwrap();
+        dispatch(&svp(
+            &["run", "--scheduler", "tetrium", "--scenario"],
+            &[&path],
+        ))
+        .unwrap();
+        dispatch(&svp(
+            &["run", "--scheduler", "swag", "--scenario"],
+            &[&path],
+        ))
+        .unwrap();
         let trace_out = dir.join("trace.json");
-        dispatch(&sv(&[
-            "run",
-            "--scenario",
-            out,
-            "--trace",
-            trace_out.to_str().unwrap(),
-        ]))
+        dispatch(&svp(
+            &["run", "--scenario"],
+            &[&path, Path::new("--chrome-trace"), &trace_out],
+        ))
         .unwrap();
         let body = std::fs::read_to_string(&trace_out).unwrap();
         assert!(body.starts_with('['), "chrome trace must be a JSON array");
         let obs_out = dir.join("obs.json");
-        dispatch(&sv(&[
-            "run",
-            "--scenario",
-            out,
-            "--obs",
-            obs_out.to_str().unwrap(),
-        ]))
+        dispatch(&svp(
+            &["run", "--scenario"],
+            &[&path, Path::new("--obs"), &obs_out],
+        ))
         .unwrap();
         let body = std::fs::read_to_string(&obs_out).unwrap();
         assert!(
@@ -490,13 +621,10 @@ mod tests {
             ]"#,
         )
         .unwrap();
-        dispatch(&sv(&[
-            "run",
-            "--scenario",
-            out,
-            "--dynamics",
-            dyn_path.to_str().unwrap(),
-        ]))
+        dispatch(&svp(
+            &["run", "--scenario"],
+            &[&path, Path::new("--dynamics"), &dyn_path],
+        ))
         .unwrap();
         // Out-of-range sites are rejected at load time, not mid-run.
         std::fs::write(
@@ -504,15 +632,67 @@ mod tests {
             r#"[{"site": 99, "at_time": 1.0, "change": {"kind": "outage"}}]"#,
         )
         .unwrap();
-        let err = dispatch(&sv(&[
-            "run",
-            "--scenario",
-            out,
-            "--dynamics",
-            dyn_path.to_str().unwrap(),
-        ]))
+        let err = dispatch(&svp(
+            &["run", "--scenario"],
+            &[&path, Path::new("--dynamics"), &dyn_path],
+        ))
         .unwrap_err();
         assert!(err.contains("out of range"), "err: {err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ingest_and_trace_replay_with_otel_export() {
+        let dir = std::env::temp_dir().join("tetrium_cli_ingest_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let trace_path = write_mini_trace(&dir);
+        // ingest: validation gate + scenario freeze.
+        let scenario_out = dir.join("from_trace.json");
+        dispatch(&svp(
+            &["ingest", "--sites", "ec2-8", "--trace"],
+            &[&trace_path, Path::new("--out"), &scenario_out],
+        ))
+        .unwrap();
+        assert!(Scenario::load(&scenario_out).is_ok());
+        // Self-profiling never drifts: the trace checked against its own
+        // profile passes.
+        dispatch(&svp(
+            &["ingest", "--sites", "ec2-8", "--trace"],
+            &[&trace_path, Path::new("--profile"), &trace_path],
+        ))
+        .unwrap();
+        // run --trace replays the raw trace directly, with OTel export.
+        let otel_out = dir.join("spans.json");
+        dispatch(&svp(
+            &["run", "--sites", "ec2-8", "--trace"],
+            &[&trace_path, Path::new("--obs-otel"), &otel_out],
+        ))
+        .unwrap();
+        let spans: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&otel_out).unwrap()).unwrap();
+        assert!(spans["resourceSpans"][0]["scopeSpans"][0]["spans"]
+            .as_array()
+            .is_some_and(|s| s.len() > 1));
+        // A malformed trace is rejected with row-addressed violations, not
+        // a panic, and --scenario/--trace exclusivity is enforced.
+        let bad = dir.join("bad_trace.json");
+        std::fs::write(
+            &bad,
+            r#"{"format": "tetrium-trace/v1", "sites": 8, "rows": [
+                {"job": "x", "submit_s": -1.0, "stage": 0, "deps": [], "kind": "mop",
+                 "tasks": 0, "task_s": 1.0, "input_gb_by_site": [1.0], "output_gb": 1.0}
+            ]}"#,
+        )
+        .unwrap();
+        let err = dispatch(&svp(&["ingest", "--sites", "ec2-8", "--trace"], &[&bad])).unwrap_err();
+        assert!(err.contains("row 1"), "err: {err}");
+        assert!(err.contains("violation"), "err: {err}");
+        let err = dispatch(&svp(
+            &["run", "--sites", "ec2-8", "--scenario", "x.json", "--trace"],
+            &[&trace_path],
+        ))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "err: {err}");
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -521,28 +701,36 @@ mod tests {
         let dir = std::env::temp_dir().join("tetrium_cli_serve_test");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("scenario.json");
-        let out = path.to_str().unwrap();
-        dispatch(&sv(&[
-            "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "4", "--seed", "5",
-            "--scale", "2.0", "--out", out,
-        ]))
+        dispatch(&svp(
+            &[
+                "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "4", "--seed", "5",
+                "--scale", "2.0", "--out",
+            ],
+            &[&path],
+        ))
         .unwrap();
         let json_out = dir.join("serve.json");
-        dispatch(&sv(&[
-            "serve",
-            "--scenario",
-            out,
-            "--shards",
-            "2",
-            "--json",
-            json_out.to_str().unwrap(),
-        ]))
+        let otel_out = dir.join("serve_spans.json");
+        dispatch(&svp(
+            &["serve", "--shards", "2", "--scenario"],
+            &[
+                &path,
+                Path::new("--json"),
+                &json_out,
+                Path::new("--obs-otel"),
+                &otel_out,
+            ],
+        ))
         .unwrap();
         let body = std::fs::read_to_string(&json_out).unwrap();
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["total_jobs"], 4);
         assert_eq!(v["shards"].as_array().unwrap().len(), 2);
-        assert!(dispatch(&sv(&["serve", "--scenario", out, "--shards", "0"])).is_err());
+        // The span tap exported one resource per shard that ran tasks.
+        let spans: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&otel_out).unwrap()).unwrap();
+        assert!(!spans["resourceSpans"].as_array().unwrap().is_empty());
+        assert!(dispatch(&svp(&["serve", "--shards", "0", "--scenario"], &[&path])).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -551,9 +739,40 @@ mod tests {
         assert!(dispatch(&sv(&["frobnicate"])).is_err());
         assert!(dispatch(&sv(&["generate", "--kind", "nope"])).is_err());
         assert!(dispatch(&sv(&["run", "--scenario", "/nonexistent.json"])).is_err());
+        assert!(dispatch(&sv(&["run"])).is_err());
         assert!(scheduler_kind("alien", 1.0, 1.0, PlanCacheMode::Off).is_err());
         assert!(cluster_preset("mars", 0).is_err());
         assert!(plan_cache_mode("sometimes").is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_output_paths_are_not_a_panic() {
+        use std::os::unix::ffi::OsStringExt;
+        let dir = std::env::temp_dir().join("tetrium_cli_nonutf8_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let mut bytes = dir.as_os_str().to_os_string().into_vec();
+        bytes.extend(*b"/scen-");
+        bytes.extend([0xff, 0xfe]);
+        bytes.extend(*b".json");
+        let weird = OsString::from_vec(bytes);
+        let mut argv = sv(&[
+            "generate", "--kind", "bigdata", "--sites", "ec2-8", "--jobs", "2", "--seed", "5",
+            "--scale", "2.0", "--out",
+        ]);
+        argv.push(weird.clone());
+        // The non-UTF-8 path is threaded through as a Path and written.
+        dispatch(&argv).unwrap();
+        assert!(Path::new(&weird).exists());
+        // A non-UTF-8 value where text is required errors instead of
+        // panicking.
+        let mut argv = sv(&["run", "--scenario"]);
+        argv.push(weird.clone());
+        argv.push(OsString::from("--scheduler"));
+        argv.push(OsString::from_vec(vec![0xff]));
+        let err = dispatch(&argv).unwrap_err();
+        assert!(err.contains("not valid UTF-8"), "err: {err}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -3,21 +3,25 @@
 //!
 //! ```text
 //! tetrium-cli generate --kind trace --sites trace-50 --jobs 16 --seed 7 --out scenario.json
+//! tetrium-cli ingest   --trace cluster_trace.json --sites ec2-8 --out scenario.json
 //! tetrium-cli run      --scenario scenario.json --scheduler tetrium --rho 0.75
+//! tetrium-cli run      --trace cluster_trace.json --sites ec2-8 --obs-otel spans.json
 //! tetrium-cli compare  --scenario scenario.json
 //! tetrium-cli serve    --scenario scenario.json --shards 2
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs) to keep the
-//! workspace dependency-light.
+//! workspace dependency-light. Arguments are taken as OS strings so
+//! non-UTF-8 paths work (and non-UTF-8 text flags fail cleanly).
 
 mod args;
 mod commands;
 
+use std::ffi::OsString;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<OsString> = std::env::args_os().skip(1).collect();
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

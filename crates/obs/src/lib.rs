@@ -24,6 +24,10 @@
 //! uncontended on the hot path; the disabled handle skips it entirely at
 //! an `Option` branch.
 
+pub mod otel;
+
+pub use otel::{to_otel_json, to_otel_string, OTEL_SCOPE};
+
 use std::sync::{Arc, Mutex};
 use tetrium_cluster::SiteId;
 
@@ -447,7 +451,13 @@ impl Obs {
 
     fn with(&self, f: impl FnOnce(&mut ObsReport)) {
         if let Some(core) = &self.inner {
-            f(&mut core.lock().expect("obs lock poisoned"));
+            // Recover from poisoning: a panic in one engine thread must not
+            // cascade through the shared sink and take down unrelated
+            // shards. The report data is plain counters/vectors, valid
+            // after any partial emission.
+            f(&mut core
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner));
         }
     }
 
@@ -570,7 +580,9 @@ impl Obs {
     /// after the run ends). Returns `None` for a disabled sink.
     pub fn finish(&self) -> Option<ObsReport> {
         self.inner.as_ref().map(|core| {
-            let mut locked = core.lock().expect("obs lock poisoned");
+            let mut locked = core
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             std::mem::take(&mut *locked)
         })
     }
@@ -581,7 +593,9 @@ impl Obs {
     /// report. Returns an empty vec for a disabled sink.
     pub fn drain_task_events(&self) -> Vec<TaskEvent> {
         self.inner.as_ref().map_or_else(Vec::new, |core| {
-            let mut locked = core.lock().expect("obs lock poisoned");
+            let mut locked = core
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             std::mem::take(&mut locked.task_events)
         })
     }

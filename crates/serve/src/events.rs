@@ -40,8 +40,12 @@ pub enum JobEvent {
         stage: usize,
         /// Task index within the stage.
         task: usize,
+        /// Whether the attempt is a speculative copy.
+        copy: bool,
         /// Transition kind.
         phase: TaskPhaseEvent,
+        /// Site of the attempt (dense site index).
+        site: usize,
         /// Virtual time of the transition.
         at: f64,
     },

@@ -38,11 +38,13 @@ mod config;
 mod events;
 mod report;
 mod service;
+mod spans;
 
 pub use config::{shard_of, ServeConfig};
 pub use events::JobEvent;
 pub use report::{ServeReport, ShardReport};
 pub use service::{ServeError, SubmitError, SubmitReceipt, TetriumService};
+pub use spans::SpanTap;
 
 pub use tetrium::jobs::{Job, JobId};
 pub use tetrium::SchedulerKind;

@@ -248,7 +248,9 @@ fn process_epoch(
             job_index: e.job,
             stage: e.stage,
             task: e.task,
+            copy: e.copy,
             phase: e.phase,
+            site: e.site.index(),
             at: e.t,
         });
     }

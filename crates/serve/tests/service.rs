@@ -1,7 +1,9 @@
 //! End-to-end service tests: submission-order determinism under one epoch
 //! partition, merged multi-shard reports, and graceful shutdown.
 
-use tetrium_serve::{shard_of, Job, JobEvent, JobId, ServeConfig, SubmitError, TetriumService};
+use tetrium_serve::{
+    shard_of, Job, JobEvent, JobId, ServeConfig, SpanTap, SubmitError, TetriumService,
+};
 
 use tetrium::cluster::{Cluster, DataDistribution, Site};
 use tetrium::jobs::Stage;
@@ -186,6 +188,55 @@ fn graceful_shutdown_completes_accepted_jobs_and_flushes_events() {
             other => panic!("final event must be ShardDone for 3 jobs, got {other:?}"),
         }
     });
+}
+
+#[test]
+fn span_tap_exports_deterministic_otel_spans() {
+    fn run_once() -> String {
+        let rt = runtime();
+        rt.block_on(async {
+            let shards = 2;
+            let mut engine = tetrium::sim::EngineConfig::trace_like(0);
+            // Task events only reach subscribers when the shard engines
+            // record obs.
+            engine.record_obs = true;
+            let cfg = ServeConfig {
+                shards,
+                engine,
+                ..ServeConfig::default()
+            };
+            let svc = TetriumService::start_held(&two_sites(), &cfg);
+            let mut rx = svc.subscribe();
+            let collector = tokio::spawn(async move {
+                let mut tap = SpanTap::new();
+                tap.collect(&mut rx, shards).await;
+                tap
+            });
+            for id in 0..6 {
+                svc.submit(job(id)).await.expect("submit accepted");
+            }
+            svc.open();
+            let report = svc.join().await.expect("service run succeeds");
+            assert_eq!(report.total_jobs(), 6);
+            let tap = collector.await.expect("collector ran");
+            assert_eq!(tap.shards_done(), shards);
+            tap.to_otel_string("serve-test")
+        })
+    }
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "span export must not depend on event timing");
+    let v: serde_json::Value = serde_json::from_str(&a).expect("export parses");
+    let resources = v["resourceSpans"].as_array().expect("resourceSpans array");
+    assert!(!resources.is_empty());
+    for r in resources {
+        let spans = r["scopeSpans"][0]["spans"].as_array().expect("spans array");
+        assert!(!spans.is_empty());
+        for s in spans {
+            assert_eq!(s["traceId"].as_str().map(str::len), Some(32));
+            assert_eq!(s["spanId"].as_str().map(str::len), Some(16));
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,305 @@
+//! Trace → [`Scenario`] loading and the reverse export.
+//!
+//! The loader only runs downstream of the validator: every panic-bearing
+//! constructor invariant in `tetrium-jobs`/`tetrium-cluster` (positive
+//! task counts, finite non-negative volumes, topological dep order) is a
+//! constraint the validator already checked, so [`scenario_from_trace`]
+//! validates first and converts without any fallible arithmetic left.
+
+use super::schema::{RawRow, RawTrace, TraceParseError};
+use super::validate::{validate, ValidationReport, ValidatorConfig};
+use crate::io::{Scenario, ScenarioError};
+use std::path::Path;
+use tetrium_cluster::{Cluster, DataDistribution};
+use tetrium_jobs::{Job, JobId, Stage};
+
+/// Errors from trace ingestion.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Filesystem failure reading the trace file.
+    Io(std::io::Error),
+    /// The file is not a structurally readable trace.
+    Parse(TraceParseError),
+    /// The trace parsed but failed the constraint pipeline; the report
+    /// carries every violation.
+    Rejected(ValidationReport),
+    /// The trace does not fit the target cluster.
+    Cluster(String),
+    /// The converted scenario failed its own consistency checks.
+    Scenario(ScenarioError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "trace io error: {e}"),
+            IngestError::Parse(e) => write!(f, "trace parse error: {e}"),
+            IngestError::Rejected(r) => write!(f, "{r}"),
+            IngestError::Cluster(m) => write!(f, "trace/cluster mismatch: {m}"),
+            IngestError::Scenario(e) => write!(f, "converted scenario invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<TraceParseError> for IngestError {
+    fn from(e: TraceParseError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+impl From<ScenarioError> for IngestError {
+    fn from(e: ScenarioError) -> Self {
+        IngestError::Scenario(e)
+    }
+}
+
+/// Reads a raw trace from disk, sniffing JSON vs CSV from the leading
+/// non-whitespace byte (`{` → JSON, `#` → CSV pragma) so the file
+/// extension carries no meaning.
+///
+/// # Errors
+///
+/// IO failures and structurally unreadable files; per-row damage is *not*
+/// an error here — it surfaces through the validator.
+pub fn read_trace_file(path: &Path) -> Result<RawTrace, IngestError> {
+    let body = std::fs::read_to_string(path)?;
+    parse_trace_str(&body)
+}
+
+/// Parses a raw trace from a string, sniffing the rendering.
+///
+/// # Errors
+///
+/// Structurally unreadable input (neither a JSON object nor a CSV pragma).
+pub fn parse_trace_str(body: &str) -> Result<RawTrace, IngestError> {
+    match body.trim_start().as_bytes().first() {
+        Some(b'{') => Ok(RawTrace::from_json(body)?),
+        Some(b'#') => Ok(RawTrace::from_csv(body)?),
+        _ => Err(IngestError::Parse(TraceParseError::Structure(
+            "trace must be a JSON object or start with the CSV pragma line".into(),
+        ))),
+    }
+}
+
+/// Validates a raw trace and converts it into a [`Scenario`] over the
+/// given cluster.
+///
+/// # Errors
+///
+/// [`IngestError::Rejected`] with the full violation report when the
+/// validator fires; [`IngestError::Cluster`] when the cluster's site
+/// count differs from the trace header.
+pub fn scenario_from_trace(
+    trace: &RawTrace,
+    cluster: Cluster,
+    cfg: &ValidatorConfig,
+) -> Result<Scenario, IngestError> {
+    validate(trace, cfg).map_err(IngestError::Rejected)?;
+    if cluster.len() != trace.sites {
+        return Err(IngestError::Cluster(format!(
+            "trace declares {} sites, cluster has {}",
+            trace.sites,
+            cluster.len()
+        )));
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut start = 0usize;
+    while start < trace.rows.len() {
+        let name = trace.rows[start].job.clone().unwrap_or_default();
+        let mut end = start;
+        while end < trace.rows.len() && trace.rows[end].job.as_deref() == Some(name.as_str()) {
+            end += 1;
+        }
+        let rows = &trace.rows[start..end];
+        let arrival = rows[0].submit_s.unwrap_or(0.0);
+        let stages: Vec<Stage> = rows.iter().map(stage_from_row).collect();
+        jobs.push(Job::new(JobId(jobs.len()), name, arrival, stages));
+        start = end;
+    }
+    let description = format!(
+        "ingested trace '{}' ({} jobs over {} sites)",
+        trace.source,
+        jobs.len(),
+        trace.sites
+    );
+    Ok(Scenario::new(description, cluster, jobs)?)
+}
+
+/// One-call ingestion: read, validate, convert.
+///
+/// # Errors
+///
+/// Any of the [`IngestError`] cases.
+pub fn ingest(
+    path: &Path,
+    cluster: Cluster,
+    cfg: &ValidatorConfig,
+) -> Result<Scenario, IngestError> {
+    let trace = read_trace_file(path)?;
+    scenario_from_trace(&trace, cluster, cfg)
+}
+
+/// Converts one validated row into a [`Stage`]. Only called on rows the
+/// validator has cleared, so the unwraps and casts cannot fire.
+fn stage_from_row(r: &RawRow) -> Stage {
+    let deps: Vec<usize> = r
+        .deps
+        .as_ref()
+        .map(|d| d.iter().map(|x| *x as usize).collect())
+        .unwrap_or_default();
+    let tasks = r.tasks.unwrap_or(1.0) as usize;
+    let task_s = r.task_s.unwrap_or(0.0);
+    let output_gb = r.output_gb.unwrap_or(0.0);
+    if deps.is_empty() {
+        let by_site = r.input_gb_by_site.clone().unwrap_or_default();
+        let input = DataDistribution::new(by_site);
+        let total = input.total();
+        let ratio = if total > 0.0 { output_gb / total } else { 0.0 };
+        Stage::root_map(input, tasks, task_s, ratio)
+    } else {
+        let input = r.input_gb.unwrap_or(0.0);
+        let ratio = if input > 0.0 { output_gb / input } else { 0.0 };
+        if r.kind.as_deref() == Some("map") {
+            Stage::map(deps, tasks, task_s, ratio)
+        } else {
+            Stage::reduce(deps, tasks, task_s, ratio)
+        }
+    }
+}
+
+/// Exports jobs back into the raw trace format — the inverse of
+/// [`scenario_from_trace`] up to the representation change from
+/// `output_ratio` to absolute `output_gb`. Used to turn synthetic
+/// `trace_like_jobs` workloads into valid trace files for tests and
+/// benchmarks.
+pub fn trace_from_jobs(jobs: &[Job], sites: usize, source: &str) -> RawTrace {
+    let mut rows: Vec<RawRow> = Vec::new();
+    for job in jobs {
+        let outs = job.expected_stage_outputs_gb();
+        for (i, s) in job.stages.iter().enumerate() {
+            let row_no = rows.len() + 1;
+            let is_root = s.is_root();
+            rows.push(RawRow {
+                row: row_no,
+                job: Some(job.name.clone()),
+                submit_s: Some(job.arrival),
+                stage: Some(i as f64),
+                deps: Some(s.deps.iter().map(|&d| d as f64).collect()),
+                kind: Some(
+                    if s.kind == tetrium_jobs::StageKind::Map {
+                        "map"
+                    } else {
+                        "reduce"
+                    }
+                    .to_string(),
+                ),
+                tasks: Some(s.num_tasks as f64),
+                task_s: Some(s.task_secs),
+                input_gb: if is_root {
+                    None
+                } else {
+                    Some(s.deps.iter().map(|&d| outs[d]).sum())
+                },
+                input_gb_by_site: if is_root {
+                    s.input.as_ref().map(|d| d.as_slice().to_vec())
+                } else {
+                    None
+                },
+                output_gb: Some(outs[i]),
+                bad_fields: Vec::new(),
+            });
+        }
+    }
+    RawTrace {
+        source: source.to_string(),
+        sites,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{trace_like_jobs, TraceParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tetrium_cluster::Site;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![
+            Site::new("a", 8, 1.0, 1.0),
+            Site::new("b", 4, 0.5, 0.5),
+            Site::new("c", 4, 0.25, 0.5),
+        ])
+    }
+
+    #[test]
+    fn synthetic_jobs_survive_export_validate_import() {
+        let cluster = cluster();
+        let mut rng = StdRng::seed_from_u64(42);
+        let jobs = trace_like_jobs(&cluster, 6, &TraceParams::default(), &mut rng);
+        let trace = trace_from_jobs(&jobs, cluster.len(), "synthetic");
+        assert!(validate(&trace, &ValidatorConfig::default()).is_ok());
+        let scenario = scenario_from_trace(&trace, cluster, &ValidatorConfig::default()).unwrap();
+        assert_eq!(scenario.jobs.len(), jobs.len());
+        for (orig, back) in jobs.iter().zip(&scenario.jobs) {
+            assert_eq!(orig.name, back.name);
+            assert_eq!(orig.arrival, back.arrival);
+            assert_eq!(orig.num_stages(), back.num_stages());
+            assert_eq!(orig.total_tasks(), back.total_tasks());
+            assert_eq!(orig.input_gb(), back.input_gb());
+        }
+    }
+
+    #[test]
+    fn scenario_json_round_trip_is_byte_identical() {
+        let cluster = cluster();
+        let mut rng = StdRng::seed_from_u64(7);
+        let jobs = trace_like_jobs(&cluster, 4, &TraceParams::default(), &mut rng);
+        let trace = trace_from_jobs(&jobs, cluster.len(), "synthetic");
+        let scenario = scenario_from_trace(&trace, cluster, &ValidatorConfig::default()).unwrap();
+        let json = scenario.to_json().unwrap();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.to_json().unwrap(), json);
+    }
+
+    #[test]
+    fn rejected_trace_reports_not_panics() {
+        let body = r#"{"format": "tetrium-trace/v1", "sites": 3, "rows": [
+            {"job": "x", "submit_s": -1.0, "stage": 0, "deps": [], "kind": "mop",
+             "tasks": 0, "task_s": 1.0, "input_gb_by_site": [1.0], "output_gb": 1.0}
+        ]}"#;
+        let trace = parse_trace_str(body).unwrap();
+        let err = scenario_from_trace(&trace, cluster(), &ValidatorConfig::default()).unwrap_err();
+        let IngestError::Rejected(report) = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert!(report.distinct_constraints() >= 3, "{report}");
+    }
+
+    #[test]
+    fn cluster_arity_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = Cluster::new(vec![Site::new("solo", 4, 1.0, 1.0)]);
+        let jobs = trace_like_jobs(&small, 2, &TraceParams::default(), &mut rng);
+        let trace = trace_from_jobs(&jobs, 1, "synthetic");
+        let err = scenario_from_trace(&trace, cluster(), &ValidatorConfig::default()).unwrap_err();
+        assert!(matches!(err, IngestError::Cluster(_)), "{err:?}");
+    }
+
+    #[test]
+    fn format_sniffing_rejects_garbage() {
+        assert!(matches!(
+            parse_trace_str("hello"),
+            Err(IngestError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,533 @@
+//! Raw trace schema: the on-disk shape of a replayable cluster trace.
+//!
+//! The format (`tetrium-trace/v1`) is modeled on the public
+//! Google/Alibaba cluster traces: one *row per stage* carrying the job it
+//! belongs to, its submit timestamp, the stage's position in the DAG, task
+//! count and duration, and byte volumes in and out. Both JSON and a
+//! semicolon-nested CSV rendering are supported; the two parse to the same
+//! [`RawTrace`].
+//!
+//! Parsing is deliberately *lenient*: a missing, `null`, or wrongly-typed
+//! field never aborts the load. Every field is an `Option` and type errors
+//! are recorded per row in [`RawRow::bad_fields`], so the validator
+//! (`super::validate`) can report **all** problems with row/field spans in
+//! one pass instead of panicking (or bailing) on the first. Only damage
+//! that makes rows unaddressable — unparseable JSON, a missing `rows`
+//! array, an unknown format tag — is a [`TraceParseError`].
+
+use serde_json::Value;
+
+/// Format tag expected in the JSON header / CSV pragma line.
+pub const TRACE_FORMAT: &str = "tetrium-trace/v1";
+
+/// Fields a row may carry; used for unknown-field detection and spans.
+const ROW_FIELDS: &[&str] = &[
+    "job",
+    "submit_s",
+    "stage",
+    "deps",
+    "kind",
+    "tasks",
+    "task_s",
+    "input_gb",
+    "input_gb_by_site",
+    "output_gb",
+];
+
+/// A whole trace file: header plus one row per (job, stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawTrace {
+    /// Where the trace came from (free-form: `synthetic`, `alibaba`, ...).
+    pub source: String,
+    /// Number of sites the per-site byte columns are indexed over.
+    pub sites: usize,
+    /// Stage rows in file order.
+    pub rows: Vec<RawRow>,
+}
+
+/// One stage row, exactly as parsed — nothing is validated here.
+///
+/// Numeric fields are kept as `f64` even where integers are expected
+/// (`stage`, `tasks`, `deps`) so that negative or fractional values survive
+/// parsing and surface as *validation* violations with a row address.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawRow {
+    /// 1-based row address: the data-row ordinal, identical in the JSON
+    /// and CSV renderings. Violations cite this.
+    pub row: usize,
+    /// Job the stage belongs to (rows of one job must be contiguous).
+    pub job: Option<String>,
+    /// Job submit time in seconds (identical on every row of a job).
+    pub submit_s: Option<f64>,
+    /// Stage index within the job (dense, ascending from 0).
+    pub stage: Option<f64>,
+    /// Parent stage indices; `Some(vec![])` is an explicit root.
+    pub deps: Option<Vec<f64>>,
+    /// Communication pattern: `"map"` or `"reduce"`.
+    pub kind: Option<String>,
+    /// Number of parallel tasks.
+    pub tasks: Option<f64>,
+    /// Mean task compute seconds.
+    pub task_s: Option<f64>,
+    /// Declared stage input volume in GB (non-root rows; checked against
+    /// the parents' outputs by the byte-conservation constraint).
+    pub input_gb: Option<f64>,
+    /// Per-site external input in GB (root rows; length must equal the
+    /// header's `sites`).
+    pub input_gb_by_site: Option<Vec<f64>>,
+    /// Stage output volume in GB.
+    pub output_gb: Option<f64>,
+    /// Type/shape errors found while parsing this row: `(field, message)`.
+    /// Reported by the `schema` constraint.
+    pub bad_fields: Vec<(&'static str, String)>,
+}
+
+/// Damage that leaves no addressable rows to validate.
+#[derive(Debug)]
+pub enum TraceParseError {
+    /// The file is not parseable JSON at all.
+    Json(serde_json::Error),
+    /// The file parsed but is not a `tetrium-trace/v1` document (wrong or
+    /// missing format tag, `rows` not an array, bad header field).
+    Structure(String),
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::Json(e) => write!(f, "trace is not valid JSON: {e}"),
+            TraceParseError::Structure(m) => write!(f, "trace structure error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl RawTrace {
+    /// Parses the JSON rendering. See the module docs for leniency rules.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError`] only for unaddressable damage; field-level
+    /// problems land in [`RawRow::bad_fields`] instead.
+    pub fn from_json(body: &str) -> Result<Self, TraceParseError> {
+        let v: Value = serde_json::from_str(body).map_err(TraceParseError::Json)?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| TraceParseError::Structure("top level must be an object".into()))?;
+        let format = obj.get("format").and_then(Value::as_str).unwrap_or("");
+        if format != TRACE_FORMAT {
+            return Err(TraceParseError::Structure(format!(
+                "format tag '{format}' is not '{TRACE_FORMAT}'"
+            )));
+        }
+        let source = obj
+            .get("source")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let sites =
+            obj.get("sites").and_then(Value::as_u64).ok_or_else(|| {
+                TraceParseError::Structure("header needs a numeric 'sites'".into())
+            })? as usize;
+        let rows_v = obj
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or_else(|| TraceParseError::Structure("header needs a 'rows' array".into()))?;
+        let rows = rows_v
+            .iter()
+            .enumerate()
+            .map(|(i, rv)| row_from_value(i + 1, rv))
+            .collect();
+        Ok(Self {
+            source,
+            sites,
+            rows,
+        })
+    }
+
+    /// Parses the CSV rendering: a pragma line
+    /// `# tetrium-trace/v1 sites=N [source=S]`, a header line naming the
+    /// columns, then one line per row. Lists nest with `;`
+    /// (`deps` = `0;1`, `input_gb_by_site` = `1.0;2.0;...`); an empty cell
+    /// is a missing field. No quoting — the format carries no free text
+    /// beyond job names, which must not contain commas.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError::Structure`] when the pragma or header line is
+    /// missing/unreadable; cell-level problems land in
+    /// [`RawRow::bad_fields`]. An *empty* list (a root's `deps`) renders
+    /// as `-` to stay distinct from a missing cell.
+    pub fn from_csv(body: &str) -> Result<Self, TraceParseError> {
+        let mut lines = body.lines().enumerate();
+        let (_, pragma) = lines
+            .next()
+            .ok_or_else(|| TraceParseError::Structure("empty file".into()))?;
+        let pragma = pragma
+            .strip_prefix('#')
+            .map(str::trim)
+            .ok_or_else(|| TraceParseError::Structure("first line must be a '#' pragma".into()))?;
+        let mut parts = pragma.split_whitespace();
+        if parts.next() != Some(TRACE_FORMAT) {
+            return Err(TraceParseError::Structure(format!(
+                "pragma must start with '{TRACE_FORMAT}'"
+            )));
+        }
+        let mut sites: Option<usize> = None;
+        let mut source = "unknown".to_string();
+        for p in parts {
+            if let Some(n) = p.strip_prefix("sites=") {
+                sites = n.parse().ok();
+            } else if let Some(s) = p.strip_prefix("source=") {
+                source = s.to_string();
+            }
+        }
+        let sites =
+            sites.ok_or_else(|| TraceParseError::Structure("pragma needs 'sites=N'".into()))?;
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| TraceParseError::Structure("missing CSV header line".into()))?;
+        let columns: Vec<&str> = header.split(',').map(str::trim).collect();
+        for c in &columns {
+            if !ROW_FIELDS.contains(c) {
+                return Err(TraceParseError::Structure(format!(
+                    "unknown CSV column '{c}'"
+                )));
+            }
+        }
+        let mut rows = Vec::new();
+        for (_, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            rows.push(row_from_csv(rows.len() + 1, &columns, line));
+        }
+        Ok(Self {
+            source,
+            sites,
+            rows,
+        })
+    }
+
+    /// Serializes to the pretty JSON rendering (the canonical one; fixture
+    /// files and the exporter both use it).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("trace serializes")
+    }
+
+    /// The JSON value form.
+    pub fn to_value(&self) -> Value {
+        use serde_json::json;
+        let rows: Vec<Value> = self.rows.iter().map(row_to_value).collect();
+        json!({
+            "format": TRACE_FORMAT,
+            "source": self.source,
+            "sites": self.sites,
+            "rows": rows,
+        })
+    }
+
+    /// Serializes to the CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!(
+            "# {TRACE_FORMAT} sites={} source={}\n\
+             job,submit_s,stage,deps,kind,tasks,task_s,input_gb,input_gb_by_site,output_gb\n",
+            self.sites, self.source
+        );
+        for r in &self.rows {
+            let cell_f = |v: &Option<f64>| v.map(fmt_f64).unwrap_or_default();
+            let list = |v: &Option<Vec<f64>>| match v {
+                None => String::new(),
+                Some(xs) if xs.is_empty() => "-".to_string(),
+                Some(xs) => xs.iter().map(|x| fmt_f64(*x)).collect::<Vec<_>>().join(";"),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                r.job.as_deref().unwrap_or(""),
+                cell_f(&r.submit_s),
+                cell_f(&r.stage),
+                list(&r.deps),
+                r.kind.as_deref().unwrap_or(""),
+                cell_f(&r.tasks),
+                cell_f(&r.task_s),
+                cell_f(&r.input_gb),
+                list(&r.input_gb_by_site),
+                cell_f(&r.output_gb),
+            ));
+        }
+        out
+    }
+}
+
+/// Shortest-round-trip float formatting for CSV cells (Rust's `{}` on f64
+/// prints the shortest string that parses back to the same bits).
+fn fmt_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+fn row_to_value(r: &RawRow) -> Value {
+    use serde_json::json;
+    let mut v = json!({});
+    if let Some(job) = &r.job {
+        v["job"] = json!(job);
+    }
+    if let Some(x) = r.submit_s {
+        v["submit_s"] = json!(x);
+    }
+    if let Some(x) = r.stage {
+        v["stage"] = json!(x);
+    }
+    if let Some(d) = &r.deps {
+        v["deps"] = json!(d);
+    }
+    if let Some(k) = &r.kind {
+        v["kind"] = json!(k);
+    }
+    if let Some(x) = r.tasks {
+        v["tasks"] = json!(x);
+    }
+    if let Some(x) = r.task_s {
+        v["task_s"] = json!(x);
+    }
+    if let Some(x) = r.input_gb {
+        v["input_gb"] = json!(x);
+    }
+    if let Some(b) = &r.input_gb_by_site {
+        v["input_gb_by_site"] = json!(b);
+    }
+    if let Some(x) = r.output_gb {
+        v["output_gb"] = json!(x);
+    }
+    v
+}
+
+/// Converts one JSON row into a [`RawRow`], recording type errors instead
+/// of failing.
+fn row_from_value(row: usize, v: &Value) -> RawRow {
+    let mut r = RawRow {
+        row,
+        ..RawRow::default()
+    };
+    let Some(obj) = v.as_object() else {
+        r.bad_fields
+            .push(("row", format!("row is not an object: {v}")));
+        return r;
+    };
+    for key in obj.keys() {
+        if !ROW_FIELDS.contains(&key.as_str()) {
+            r.bad_fields.push(("row", format!("unknown field '{key}'")));
+        }
+    }
+    let take_str = |r: &mut RawRow, field: &'static str| -> Option<String> {
+        match obj.get(field) {
+            None | Some(Value::Null) => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(other) => {
+                r.bad_fields
+                    .push((field, format!("expected a string, got {other}")));
+                None
+            }
+        }
+    };
+    let take_f64 = |r: &mut RawRow, field: &'static str| -> Option<f64> {
+        match obj.get(field) {
+            None | Some(Value::Null) => None,
+            Some(other) => match other.as_f64() {
+                Some(x) => Some(x),
+                None => {
+                    r.bad_fields
+                        .push((field, format!("expected a number, got {other}")));
+                    None
+                }
+            },
+        }
+    };
+    let take_list = |r: &mut RawRow, field: &'static str| -> Option<Vec<f64>> {
+        match obj.get(field) {
+            None | Some(Value::Null) => None,
+            Some(Value::Array(xs)) => {
+                let mut out = Vec::with_capacity(xs.len());
+                for (i, x) in xs.iter().enumerate() {
+                    match x.as_f64() {
+                        Some(f) => out.push(f),
+                        None => {
+                            r.bad_fields
+                                .push((field, format!("entry {i} is not a number: {x}")));
+                            return None;
+                        }
+                    }
+                }
+                Some(out)
+            }
+            Some(other) => {
+                r.bad_fields
+                    .push((field, format!("expected an array, got {other}")));
+                None
+            }
+        }
+    };
+    r.job = take_str(&mut r, "job");
+    r.submit_s = take_f64(&mut r, "submit_s");
+    r.stage = take_f64(&mut r, "stage");
+    r.deps = take_list(&mut r, "deps");
+    r.kind = take_str(&mut r, "kind");
+    r.tasks = take_f64(&mut r, "tasks");
+    r.task_s = take_f64(&mut r, "task_s");
+    r.input_gb = take_f64(&mut r, "input_gb");
+    r.input_gb_by_site = take_list(&mut r, "input_gb_by_site");
+    r.output_gb = take_f64(&mut r, "output_gb");
+    r
+}
+
+/// Converts one CSV line into a [`RawRow`] under the given column order.
+fn row_from_csv(row: usize, columns: &[&str], line: &str) -> RawRow {
+    let mut r = RawRow {
+        row,
+        ..RawRow::default()
+    };
+    let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+    if cells.len() != columns.len() {
+        r.bad_fields.push((
+            "row",
+            format!(
+                "{} cells, header has {} columns",
+                cells.len(),
+                columns.len()
+            ),
+        ));
+    }
+    for (col, cell) in columns.iter().zip(&cells) {
+        if cell.is_empty() {
+            continue;
+        }
+        match *col {
+            "job" => r.job = Some((*cell).to_string()),
+            "kind" => r.kind = Some((*cell).to_string()),
+            "submit_s" => r.submit_s = parse_cell(&mut r, "submit_s", cell),
+            "stage" => r.stage = parse_cell(&mut r, "stage", cell),
+            "tasks" => r.tasks = parse_cell(&mut r, "tasks", cell),
+            "task_s" => r.task_s = parse_cell(&mut r, "task_s", cell),
+            "input_gb" => r.input_gb = parse_cell(&mut r, "input_gb", cell),
+            "output_gb" => r.output_gb = parse_cell(&mut r, "output_gb", cell),
+            "deps" => r.deps = parse_list(&mut r, "deps", cell),
+            "input_gb_by_site" => {
+                r.input_gb_by_site = parse_list(&mut r, "input_gb_by_site", cell);
+            }
+            _ => unreachable!("columns were checked against ROW_FIELDS"),
+        }
+    }
+    r
+}
+
+fn parse_cell(r: &mut RawRow, field: &'static str, cell: &str) -> Option<f64> {
+    match cell.parse::<f64>() {
+        Ok(x) => Some(x),
+        Err(_) => {
+            r.bad_fields
+                .push((field, format!("'{cell}' is not a number")));
+            None
+        }
+    }
+}
+
+fn parse_list(r: &mut RawRow, field: &'static str, cell: &str) -> Option<Vec<f64>> {
+    if cell == "-" {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in cell.split(';') {
+        match part.trim().parse::<f64>() {
+            Ok(x) => out.push(x),
+            Err(_) => {
+                r.bad_fields
+                    .push((field, format!("list entry '{part}' is not a number")));
+                return None;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"{
+        "format": "tetrium-trace/v1",
+        "source": "test",
+        "sites": 2,
+        "rows": [
+            {"job": "a", "submit_s": 0.0, "stage": 0, "deps": [], "kind": "map",
+             "tasks": 4, "task_s": 1.5, "input_gb_by_site": [1.0, 3.0], "output_gb": 2.0},
+            {"job": "a", "submit_s": 0.0, "stage": 1, "deps": [0], "kind": "reduce",
+             "tasks": 2, "task_s": 1.0, "input_gb": 2.0, "output_gb": 0.2}
+        ]
+    }"#;
+
+    #[test]
+    fn json_parses_rows_in_order() {
+        let t = RawTrace::from_json(MINI).unwrap();
+        assert_eq!(t.sites, 2);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].row, 1);
+        assert_eq!(t.rows[0].job.as_deref(), Some("a"));
+        assert_eq!(t.rows[0].deps, Some(vec![]));
+        assert_eq!(t.rows[1].deps, Some(vec![0.0]));
+        assert!(t.rows.iter().all(|r| r.bad_fields.is_empty()));
+    }
+
+    #[test]
+    fn wrong_types_become_bad_fields_not_errors() {
+        let body = r#"{"format": "tetrium-trace/v1", "sites": 2, "rows": [
+            {"job": 7, "submit_s": "soon", "stage": 0, "deps": [], "kind": "map",
+             "tasks": 4, "task_s": 1.0, "input_gb_by_site": [1.0, 1.0], "output_gb": 1.0,
+             "surprise": true}
+        ]}"#;
+        let t = RawTrace::from_json(body).unwrap();
+        let bad = &t.rows[0].bad_fields;
+        assert!(bad.iter().any(|(f, _)| *f == "job"));
+        assert!(bad.iter().any(|(f, _)| *f == "submit_s"));
+        assert!(bad.iter().any(|(_, m)| m.contains("surprise")));
+        assert!(t.rows[0].job.is_none());
+    }
+
+    #[test]
+    fn format_tag_is_enforced() {
+        assert!(RawTrace::from_json(r#"{"format": "v9", "sites": 1, "rows": []}"#).is_err());
+        assert!(RawTrace::from_json("not json").is_err());
+        assert!(RawTrace::from_json(r#"{"format": "tetrium-trace/v1", "rows": []}"#).is_err());
+    }
+
+    #[test]
+    fn csv_and_json_renderings_agree() {
+        let t = RawTrace::from_json(MINI).unwrap();
+        let csv = t.to_csv();
+        let back = RawTrace::from_csv(&csv).unwrap();
+        assert_eq!(back, t);
+        let json = t.to_json();
+        let back = RawTrace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_missing_cells_are_none_and_bad_cells_are_recorded() {
+        let body = "# tetrium-trace/v1 sites=2\n\
+                    job,submit_s,stage,deps,kind,tasks,task_s,input_gb,input_gb_by_site,output_gb\n\
+                    a,0.0,0,,map,four,1.0,,1.0;1.0,1.0\n";
+        let t = RawTrace::from_csv(body).unwrap();
+        assert_eq!(t.rows[0].deps, None);
+        assert!(t.rows[0]
+            .bad_fields
+            .iter()
+            .any(|(f, m)| *f == "tasks" && m.contains("four")));
+    }
+
+    #[test]
+    fn csv_pragma_is_enforced() {
+        assert!(RawTrace::from_csv("").is_err());
+        assert!(RawTrace::from_csv("job,stage\n").is_err());
+        assert!(RawTrace::from_csv("# tetrium-trace/v1\njob\n").is_err());
+        assert!(RawTrace::from_csv("# tetrium-trace/v1 sites=2\njob,oops\n").is_err());
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod bigdata;
 pub mod example;
+pub mod ingest;
 pub mod io;
 pub mod recurring;
 pub mod scale;
@@ -26,6 +27,10 @@ pub mod trace;
 
 pub use bigdata::bigdata_like_jobs;
 pub use example::{fig4_cluster, fig4_job, two_job_example};
+pub use ingest::{
+    scenario_from_trace, trace_from_jobs, IngestError, RawTrace, TraceProfile, ValidationReport,
+    ValidatorConfig,
+};
 pub use io::{Scenario, ScenarioError};
 pub use recurring::{recurring_dashboard_jobs, RecurringParams};
 pub use scale::{sites_from_args, ScalePreset};
