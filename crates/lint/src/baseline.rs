@@ -1,0 +1,409 @@
+//! Machine-readable findings and the CI ratchet baseline.
+//!
+//! `cargo lint --json` emits findings as JSON; `lint_baseline.json` at
+//! the workspace root records the accepted debt. Baseline entries are
+//! keyed by **(rule, path, trimmed source line)** with a count — not by
+//! line number — so unrelated edits that shift code up or down don't
+//! invalidate the baseline, while any *new* occurrence of a flagged
+//! pattern (count exceeds the recorded one) fails the build. When the
+//! codebase burns debt down, the affected keys go **stale** (current
+//! count below the recorded one); that's a warning prompting a
+//! `cargo lint --update-baseline` re-commit, never a failure.
+//!
+//! Everything here is hand-rolled (writer + minimal JSON parser) to keep
+//! the crate dependency-free.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// One baseline key: rule name, workspace-relative path, and the flagged
+/// source line with surrounding whitespace trimmed.
+pub type Key = (String, String, String);
+
+fn key_of(f: &Finding) -> Key {
+    (
+        f.rule.name().to_string(),
+        f.path.clone(),
+        f.src_line.trim().to_string(),
+    )
+}
+
+/// The accepted-findings baseline: key → occurrence count.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<Key, u32>,
+}
+
+/// Result of ratcheting current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings beyond the baselined count — these fail the build. When a
+    /// key's count grows from m to n, the last n−m findings of that group
+    /// (by position) are reported.
+    pub new: Vec<Finding>,
+    /// Keys whose current count dropped below the baseline (debt burned
+    /// down): (key, recorded, current). Warn and re-commit the baseline.
+    pub stale: Vec<(Key, u32, u32)>,
+}
+
+impl Baseline {
+    /// Builds a baseline that accepts exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: BTreeMap<Key, u32> = BTreeMap::new();
+        for f in findings {
+            *entries.entry(key_of(f)).or_default() += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Compares current findings against the baseline.
+    pub fn ratchet(&self, findings: &[Finding]) -> Ratchet {
+        let mut groups: BTreeMap<Key, Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            groups.entry(key_of(f)).or_default().push(f);
+        }
+        let mut out = Ratchet::default();
+        for (key, group) in &groups {
+            let allowed = self.entries.get(key).copied().unwrap_or(0) as usize;
+            if group.len() > allowed {
+                out.new
+                    .extend(group[allowed..].iter().map(|f| (*f).clone()));
+            }
+        }
+        for (key, &recorded) in &self.entries {
+            let current = groups.get(key).map(|g| g.len() as u32).unwrap_or(0);
+            if current < recorded {
+                out.stale.push((key.clone(), recorded, current));
+            }
+        }
+        out
+    }
+
+    /// Serializes to the committed `lint_baseline.json` format (stable
+    /// order, one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let n = self.entries.len();
+        for (i, ((rule, path, line_text), count)) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line_text\": {}, \"count\": {}}}{}\n",
+                escape(rule),
+                escape(path),
+                escape(line_text),
+                count,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a committed baseline file.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let v = Json::parse(json)?;
+        let entries_v = v
+            .get("entries")
+            .ok_or_else(|| "baseline: missing \"entries\"".to_string())?;
+        let Json::Array(items) = entries_v else {
+            return Err("baseline: \"entries\" is not an array".to_string());
+        };
+        let mut entries = BTreeMap::new();
+        for item in items {
+            let field = |name: &str| -> Result<&Json, String> {
+                item.get(name)
+                    .ok_or_else(|| format!("baseline entry: missing \"{name}\""))
+            };
+            let rule = field("rule")?.as_str()?.to_string();
+            let path = field("path")?.as_str()?.to_string();
+            let line_text = field("line_text")?.as_str()?.to_string();
+            let count = field("count")?.as_u32()?;
+            *entries.entry((rule, path, line_text)).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Renders findings as the `cargo lint --json` document.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"findings\": [\n");
+    let n = findings.len();
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+             \"len\": {}, \"message\": {}, \"line_text\": {}}}{}\n",
+            escape(f.rule.name()),
+            escape(&f.path),
+            f.line,
+            f.col,
+            f.len,
+            escape(&f.message),
+            escape(f.src_line.trim()),
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// JSON string escaping (the subset our own content can contain, plus
+/// control characters for safety).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value — just enough to read our own files back.
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(s: &str) -> Result<Json, String> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut pos = 0usize;
+        let v = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("trailing content at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_u32(&self) -> Result<u32, String> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => Ok(*n as u32),
+            other => Err(format!("expected non-negative integer, got {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = parse_string(c, pos)?;
+                skip_ws(c, pos);
+                if c.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(c, pos)?));
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(c, pos)?)),
+        Some('t') if c[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool)
+        }
+        Some('f') if c[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool)
+        }
+        Some('n') if c[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < c.len() && (c[*pos].is_ascii_digit() || "+-.eE".contains(c[*pos])) {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}` at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    if c.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < c.len() {
+        match c[*pos] {
+            '"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            '\\' => {
+                *pos += 1;
+                match c.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = c
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let n = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            ch => {
+                out.push(ch);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_sources;
+
+    fn sample_findings() -> Vec<Finding> {
+        lint_sources(&[(
+            "crates/sim/src/x.rs".to_string(),
+            "fn f(v: &[u32], i: usize) -> u32 { v[i] + v[0] }".to_string(),
+        )])
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let f = sample_findings();
+        assert_eq!(f.len(), 2);
+        let b = Baseline::from_findings(&f);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b, parsed);
+        // Everything baselined: no new, no stale.
+        let r = parsed.ratchet(&f);
+        assert!(r.new.is_empty() && r.stale.is_empty());
+    }
+
+    #[test]
+    fn count_growth_fails_and_burndown_goes_stale() {
+        let f = sample_findings();
+        let one = &f[..1];
+        let b = Baseline::from_findings(one);
+        // Same key, higher count: exactly the excess is new.
+        let r = b.ratchet(&f);
+        assert_eq!(r.new.len(), 1);
+        assert!(r.stale.is_empty());
+        // Count dropped: stale warning, nothing new.
+        let r = Baseline::from_findings(&f).ratchet(one);
+        assert!(r.new.is_empty());
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!((r.stale[0].1, r.stale[0].2), (2, 1));
+    }
+
+    #[test]
+    fn line_drift_does_not_invalidate_the_baseline() {
+        let b = Baseline::from_findings(&sample_findings());
+        // Two blank lines on top: same trimmed line text, new line numbers.
+        let drifted = lint_sources(&[(
+            "crates/sim/src/x.rs".to_string(),
+            "\n\nfn f(v: &[u32], i: usize) -> u32 { v[i] + v[0] }".to_string(),
+        )]);
+        let r = b.ratchet(&drifted);
+        assert!(r.new.is_empty() && r.stale.is_empty(), "{r:#?}");
+    }
+
+    #[test]
+    fn findings_json_escapes_and_lists_all_fields() {
+        let f = sample_findings();
+        let json = findings_to_json(&f);
+        let v = Json::parse(&json).unwrap();
+        let Some(Json::Array(items)) = v.get("findings") else {
+            panic!("no findings array");
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("rule").unwrap().as_str().unwrap(), "L6");
+        assert!(items[0].get("line").unwrap().as_u32().unwrap() >= 1);
+    }
+}

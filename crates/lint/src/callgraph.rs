@@ -1,0 +1,356 @@
+//! Conservative, name-resolved call graph over the workspace function
+//! table, plus transitive taint propagation for L7.
+//!
+//! Resolution is purely syntactic — no type inference — so it errs on the
+//! side of over-connecting (several same-named methods all become
+//! candidate callees) and compensates with a blocklist of ubiquitous
+//! method names that would otherwise alias half of `std`. The taint pass
+//! then runs on the *reverse* edges: a function tainted by an entropy /
+//! wall-clock / unordered-iteration source taints every resolved caller,
+//! carrying a breadcrumb chain (`calls \`helper\`, which iterates …`) so
+//! the diagnostic at the call site explains the whole path.
+//!
+//! Known imprecision (see DESIGN.md §15): trait-object dispatch, function
+//! pointers, closures passed as arguments and macro-generated calls are
+//! invisible; same-named methods on unrelated types are conflated. The
+//! first kind under-taints, the second over-taints — both are acceptable
+//! for a ratcheted lint with an allow hatch, and neither can corrupt a
+//! span (every site is a real token).
+
+use crate::lexer::TokKind;
+use crate::SourceFile;
+use std::collections::BTreeMap;
+
+/// Method names too generic to resolve: calling `.get(…)` on anything
+/// would otherwise connect to every `fn get` in the workspace.
+const METHOD_BLOCKLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "iter",
+    "iter_mut",
+    "next",
+    "into",
+    "from",
+    "into_iter",
+    "as_ref",
+    "as_mut",
+    "unwrap",
+    "expect",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "to_string",
+    "send",
+    "recv",
+    "lock",
+    "read",
+    "write",
+    "clear",
+    "contains",
+    "extend",
+    "take",
+    "min",
+    "max",
+    "abs",
+    "sort",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "index",
+    "name",
+    "id",
+    "kind",
+    "value",
+    "values",
+    "keys",
+];
+
+/// One node of the graph: function `fn_idx` of file `file`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    pub file: usize,
+    pub fn_idx: usize,
+}
+
+/// A resolved call edge endpoint recorded on the callee: who calls it and
+/// where (token index of the callee name in the caller's file).
+#[derive(Debug, Clone, Copy)]
+pub struct CallerEdge {
+    pub caller: usize,
+    pub call_tok: usize,
+}
+
+/// Taint state of one node after propagation.
+#[derive(Debug, Clone)]
+pub struct Taint {
+    /// Human-readable breadcrumb: for seeds, the source description; for
+    /// transitively tainted nodes, `calls \`name\`, which <...>`.
+    pub reason: String,
+    /// Token index (in this node's file) of the call that imported the
+    /// taint. `None` for seed nodes — their own body is the source.
+    pub via_tok: Option<usize>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Dense node list, file-major order (stable across runs).
+    pub nodes: Vec<Node>,
+    /// Reverse edges: `callers[n]` lists resolved call sites of node `n`.
+    pub callers: Vec<Vec<CallerEdge>>,
+    /// First node id of each file (for node lookup by `(file, fn_idx)`).
+    base: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Node id for function `fn_idx` of file `file`.
+    pub fn node_id(&self, file: usize, fn_idx: usize) -> usize {
+        self.base[file] + fn_idx
+    }
+
+    /// Builds the graph from lexed+parsed files.
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut nodes = Vec::new();
+        let mut base = Vec::with_capacity(files.len());
+        for (fi, f) in files.iter().enumerate() {
+            base.push(nodes.len());
+            for k in 0..f.syntax.fns.len() {
+                nodes.push(Node {
+                    file: fi,
+                    fn_idx: k,
+                });
+            }
+        }
+        // Name indices over the whole table. BTreeMap keeps candidate
+        // order deterministic.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (n, node) in nodes.iter().enumerate() {
+            let f = &files[node.file].syntax.fns[node.fn_idx];
+            by_name.entry(f.name.as_str()).or_default().push(n);
+            if let Some(ty) = f.impl_type.as_deref() {
+                by_typed.entry((ty, f.name.as_str())).or_default().push(n);
+            }
+        }
+
+        let mut callers: Vec<Vec<CallerEdge>> = vec![Vec::new(); nodes.len()];
+        for (fi, file) in files.iter().enumerate() {
+            let toks = &file.lexed.toks;
+            for (k, f) in file.syntax.fns.iter().enumerate() {
+                let Some((lo, hi)) = f.body else { continue };
+                let caller = base[fi] + k;
+                for j in lo + 1..hi {
+                    if toks[j].kind != TokKind::Ident
+                        || !toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+                    {
+                        continue;
+                    }
+                    let name = toks[j].text.as_str();
+                    let prev = (j > lo).then(|| &toks[j - 1]);
+                    // `fn name(` is the definition of a nested fn, not a call.
+                    if prev.is_some_and(|p| p.is_ident("fn")) {
+                        continue;
+                    }
+                    let candidates: &[usize] = if prev.is_some_and(|p| p.is_punct(".")) {
+                        // `.method(` — any same-named method, blocklisted.
+                        if METHOD_BLOCKLIST.contains(&name) {
+                            continue;
+                        }
+                        match by_name.get(name) {
+                            Some(c) => c,
+                            None => continue,
+                        }
+                    } else if prev.is_some_and(|p| p.is_punct("::")) && j >= 2 {
+                        let qual = &toks[j - 2];
+                        if qual.kind != TokKind::Ident {
+                            continue;
+                        }
+                        // `Self::m(` resolves via the caller's impl type;
+                        // `Type::m(` via the typed index; a lowercase
+                        // qualifier is a module path — fall back to name.
+                        let ty = if qual.is_ident("Self") {
+                            f.impl_type.as_deref()
+                        } else {
+                            Some(qual.text.as_str())
+                        };
+                        let typed = ty.and_then(|ty| by_typed.get(&(ty, name)));
+                        match typed {
+                            Some(c) => c,
+                            None => {
+                                let starts_lower =
+                                    qual.text.chars().next().is_some_and(|c| c.is_lowercase());
+                                match (starts_lower, by_name.get(name)) {
+                                    (true, Some(c)) => c,
+                                    _ => continue,
+                                }
+                            }
+                        }
+                    } else {
+                        // Bare `name(` — free call.
+                        match by_name.get(name) {
+                            Some(c) => c,
+                            None => continue,
+                        }
+                    };
+                    for &callee in candidates {
+                        if callee != caller {
+                            callers[callee].push(CallerEdge {
+                                caller,
+                                call_tok: j,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph {
+            nodes,
+            callers,
+            base,
+        }
+    }
+
+    /// Propagates taint from `seeds` (node id, source description) to all
+    /// transitive callers. Returns per-node taint state; seeds keep
+    /// `via_tok: None`, propagated nodes record the importing call site.
+    /// First-come wins: once a node is tainted, later (longer) paths don't
+    /// overwrite its breadcrumb, so reasons stay shortest-path.
+    pub fn propagate(
+        &self,
+        files: &[SourceFile],
+        seeds: Vec<(usize, String)>,
+    ) -> Vec<Option<Taint>> {
+        let mut taint: Vec<Option<Taint>> = vec![None; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for (n, reason) in seeds {
+            if taint[n].is_none() {
+                taint[n] = Some(Taint {
+                    reason,
+                    via_tok: None,
+                });
+                queue.push(n);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let n = queue[head];
+            head += 1;
+            let node = self.nodes[n];
+            let callee_name = files[node.file].syntax.fns[node.fn_idx].name.clone();
+            let reason = taint[n].as_ref().map(|t| t.reason.clone()).unwrap();
+            for e in &self.callers[n] {
+                if taint[e.caller].is_none() {
+                    taint[e.caller] = Some(Taint {
+                        reason: format!("calls `{callee_name}`, which {reason}"),
+                        via_tok: Some(e.call_tok),
+                    });
+                    queue.push(e.caller);
+                }
+            }
+        }
+        taint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::FileSyntax;
+
+    fn build(srcs: &[&str]) -> (Vec<SourceFile>, CallGraph) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let lexed = lex(s);
+                let syntax = FileSyntax::parse(&lexed);
+                SourceFile {
+                    path: format!("crates/core/src/f{i}.rs"),
+                    lexed,
+                    syntax,
+                }
+            })
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    fn fn_node(files: &[SourceFile], g: &CallGraph, name: &str) -> usize {
+        for (fi, f) in files.iter().enumerate() {
+            for (k, f) in f.syntax.fns.iter().enumerate() {
+                if f.name == name {
+                    return g.node_id(fi, k);
+                }
+            }
+        }
+        panic!("no fn {name}");
+    }
+
+    #[test]
+    fn free_call_links_across_files() {
+        let (files, g) = build(&[
+            "pub fn helper() -> u32 { 1 }",
+            "fn caller() -> u32 { helper() + 1 }",
+        ]);
+        let h = fn_node(&files, &g, "helper");
+        let c = fn_node(&files, &g, "caller");
+        assert_eq!(g.callers[h].len(), 1);
+        assert_eq!(g.callers[h][0].caller, c);
+    }
+
+    #[test]
+    fn qualified_and_self_calls_resolve_via_impl_type() {
+        let (files, g) = build(&["struct W;\n\
+             impl W {\n\
+                 fn source() {}\n\
+                 fn relay() { Self::source(); }\n\
+             }\n\
+             fn outside() { W::relay(); }"]);
+        let s = fn_node(&files, &g, "source");
+        let r = fn_node(&files, &g, "relay");
+        let o = fn_node(&files, &g, "outside");
+        assert_eq!(
+            g.callers[s].iter().map(|e| e.caller).collect::<Vec<_>>(),
+            [r]
+        );
+        assert_eq!(
+            g.callers[r].iter().map(|e| e.caller).collect::<Vec<_>>(),
+            [o]
+        );
+    }
+
+    #[test]
+    fn blocklisted_method_names_do_not_link() {
+        let (files, g) = build(&["struct S;\n\
+             impl S { fn get(&self) -> u32 { 0 } }\n\
+             fn f(s: &S) -> u32 { s.get() }"]);
+        let get = fn_node(&files, &g, "get");
+        assert!(g.callers[get].is_empty(), "`.get(` is too generic to link");
+    }
+
+    #[test]
+    fn taint_propagates_transitively_with_breadcrumbs() {
+        let (files, g) = build(&["fn source() {}\nfn mid() { source(); }\nfn top() { mid(); }"]);
+        let s = fn_node(&files, &g, "source");
+        let top = fn_node(&files, &g, "top");
+        let taint = g.propagate(&files, vec![(s, "reads the wall clock".into())]);
+        let t = taint[top].as_ref().expect("top is tainted");
+        assert!(t.via_tok.is_some());
+        assert_eq!(
+            t.reason,
+            "calls `mid`, which calls `source`, which reads the wall clock"
+        );
+    }
+}

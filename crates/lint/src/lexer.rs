@@ -13,10 +13,15 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword (`as`, `for`, `fn`, ... are plain idents here).
+    /// Raw identifiers (`r#fn`) lex as one token whose text keeps the `r#`
+    /// prefix, so an escaped keyword never looks like the keyword itself.
     Ident,
     /// Numeric literal (int or float, any base, with or without suffix).
     Num,
-    /// String, raw-string, byte-string or char literal.
+    /// String, raw-string, byte-string or char literal. `text` keeps the
+    /// literal's source form (quotes included) so attribute scans can see
+    /// e.g. `feature = "audit"`; rules never treat literal contents as
+    /// code.
     Lit,
     /// Lifetime (`'a`, `'_`, `'static`).
     Lifetime,
@@ -64,12 +69,19 @@ impl Tok {
 /// `// lint:allow(L1, L3) -- reason` suppresses findings of the listed rules
 /// on the marker's line and on the line directly below it (so a comment line
 /// above the offending code works). `// lint:allow-file(L3) -- reason`
-/// suppresses the rule for the whole file.
+/// suppresses the rule for the whole file. The reason can also be given as
+/// a quoted argument — `lint:allow(l6, "bounded by construction")` — and
+/// rule names are case-insensitive. The dataflow rules (L6–L8) refuse
+/// markers with no reason; see [`crate::Rule::requires_reason`].
 #[derive(Debug, Clone)]
 pub struct AllowMarker {
+    /// Rule names, normalized to uppercase.
     pub rules: Vec<String>,
     pub line: u32,
     pub whole_file: bool,
+    /// The justification text, from either a `"..."` argument or a
+    /// trailing `-- reason`.
+    pub reason: Option<String>,
 }
 
 /// Result of lexing one file.
@@ -150,7 +162,31 @@ pub fn lex(src: &str) -> Lexed {
                 hashes += 1;
                 j += 1;
             }
+            // Raw identifier (`r#fn`, `r#impl`): one Ident token keeping the
+            // `r#` prefix. Without this, `r#fn` lexed as `r`/`#`/`fn` and the
+            // phantom keyword confused brace-matched item extraction.
+            if c == 'r'
+                && hashes == 1
+                && j < chars.len()
+                && (chars[j].is_alphabetic() || chars[j] == '_')
+            {
+                let start = i;
+                while i < j {
+                    bump!();
+                }
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
             if j < chars.len() && chars[j] == '"' {
+                let start = i;
                 // Consume prefix up to and including the opening quote.
                 while i <= j {
                     bump!();
@@ -173,7 +209,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 toks.push(Tok {
                     kind: TokKind::Lit,
-                    text: String::new(),
+                    text: chars[start..i].iter().collect(),
                     line: tline,
                     col: tcol,
                 });
@@ -183,6 +219,7 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Strings and byte strings.
         if c == '"' || (c == 'b' && i + 1 < chars.len() && chars[i + 1] == '"') {
+            let start = i;
             if c == 'b' {
                 bump!();
             }
@@ -200,7 +237,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             toks.push(Tok {
                 kind: TokKind::Lit,
-                text: String::new(),
+                text: chars[start..i].iter().collect(),
                 line: tline,
                 col: tcol,
             });
@@ -210,13 +247,19 @@ pub fn lex(src: &str) -> Lexed {
         if c == '\'' || (c == 'b' && i + 1 < chars.len() && chars[i + 1] == '\'') {
             let q = if c == 'b' { i + 1 } else { i };
             // Char literal if the quote closes after one (possibly escaped)
-            // character; otherwise it's a lifetime.
-            let is_char = if q + 1 < chars.len() && chars[q + 1] == '\\' {
-                true
-            } else {
-                q + 2 < chars.len() && chars[q + 2] == '\''
-            };
+            // character; otherwise it's a lifetime. One recovery case: a
+            // two-scalar content whose second scalar is non-ASCII (a
+            // combining-mark sequence like `'é́'`, or an emoji + modifier)
+            // is a char literal as far as the rest of the stream is
+            // concerned — the old lookahead called it a lifetime and left
+            // the closing quote to corrupt every token after it. ASCII at
+            // `q + 2` (as in `<'a,'b>`, quote three ahead) stays a
+            // lifetime.
+            let is_char = (q + 1 < chars.len() && chars[q + 1] == '\\')
+                || (q + 2 < chars.len() && chars[q + 2] == '\'')
+                || (q + 3 < chars.len() && chars[q + 3] == '\'' && !chars[q + 2].is_ascii());
             if is_char {
+                let start = i;
                 if c == 'b' {
                     bump!();
                 }
@@ -234,7 +277,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 toks.push(Tok {
                     kind: TokKind::Lit,
-                    text: String::new(),
+                    text: chars[start..i].iter().collect(),
                     line: tline,
                     col: tcol,
                 });
@@ -345,8 +388,17 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// Parses `lint:allow(...)` / `lint:allow-file(...)` markers out of a
-/// comment's text.
+/// comment's text. Multiline block comments attribute each marker to the
+/// line it actually sits on (not the comment's first line), so a marker in
+/// the middle of a long `/* ... */` still suppresses the line below it.
 fn parse_allow(comment: &str, line: u32, out: &mut Vec<AllowMarker>) {
+    for (off, text) in comment.split('\n').enumerate() {
+        parse_allow_line(text, line + off as u32, out);
+    }
+}
+
+/// Parses the markers on one comment line.
+fn parse_allow_line(comment: &str, line: u32, out: &mut Vec<AllowMarker>) {
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:allow") {
         rest = &rest[pos + "lint:allow".len()..];
@@ -362,16 +414,42 @@ fn parse_allow(comment: &str, line: u32, out: &mut Vec<AllowMarker>) {
         let Some(close) = after[open..].find(')') else {
             continue;
         };
-        let rules: Vec<String> = after[open + 1..open + close]
-            .split(',')
-            .map(|r| r.trim().to_string())
-            .filter(|r| !r.is_empty())
-            .collect();
+        let mut rules: Vec<String> = Vec::new();
+        let mut reason: Option<String> = None;
+        for arg in after[open + 1..open + close].split(',') {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                continue;
+            }
+            // A quoted argument is the reason; anything else is a rule name.
+            if let Some(q) = arg.strip_prefix('"') {
+                let q = q.strip_suffix('"').unwrap_or(q).trim();
+                if !q.is_empty() {
+                    reason = Some(q.to_string());
+                }
+            } else {
+                rules.push(arg.to_ascii_uppercase());
+            }
+        }
+        // `-- reason` trailing style: everything after `--`, up to the next
+        // marker on the same line.
+        let tail_end = after[open + close..]
+            .find("lint:allow")
+            .map_or(after.len(), |p| open + close + p);
+        if reason.is_none() {
+            if let Some(dd) = after[open + close..tail_end].find("--") {
+                let r = after[open + close + dd + 2..tail_end].trim();
+                if !r.is_empty() {
+                    reason = Some(r.to_string());
+                }
+            }
+        }
         if !rules.is_empty() {
             out.push(AllowMarker {
                 rules,
                 line,
                 whole_file,
+                reason,
             });
         }
         rest = &after[open + close..];
@@ -433,6 +511,81 @@ mod tests {
         assert!(!l.allows[0].whole_file);
         assert!(l.allows[1].whole_file);
         assert_eq!(l.allows[1].rules, ["L3"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_tokens() {
+        // `r#fn` must not leak a phantom `fn` keyword (or a stray `#`) into
+        // the stream — the syntax layer would see a function item.
+        let l = lex("let r#fn = 1; r#impl::go(r#type)");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#fn"));
+        assert!(!l.toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("impl")));
+        assert!(!l.toks.iter().any(|t| t.is_punct("#")));
+        // A plain `r` binding still lexes as an identifier.
+        let l = lex("let r = 1;");
+        assert!(l.toks.iter().any(|t| t.is_ident("r")));
+    }
+
+    #[test]
+    fn block_comment_allow_markers_keep_their_line() {
+        // A marker inside a multiline block comment used to be attributed
+        // to the comment's first line, so it suppressed the wrong lines.
+        let l = lex("/* intro\n lint:allow(L3) -- reason\n */\nx();");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].line, 2);
+    }
+
+    #[test]
+    fn multi_scalar_char_literal_does_not_corrupt_stream() {
+        // 'é' + combining acute (two scalars) is invalid Rust, but the
+        // lexer must consume it as one literal: the old lookahead called it
+        // a lifetime and left the closing quote to corrupt what follows.
+        let l = lex("let c = '\u{e9}\u{301}'; Instant::now()");
+        assert!(l.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(!l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn adjacent_lifetimes_stay_lifetimes() {
+        // `<'a,'b>` puts a quote three chars after `'a`; that must not be
+        // mistaken for a char literal.
+        let l = lex("fn f<'a,'b>(x: &'a u8, y: &'b u8) {}");
+        let lts: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lts, ["a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn nasty_raw_strings_and_nested_comments_hide_their_contents() {
+        let l = lex("br##\"x \"# Instant\"## /* /* SystemTime */ thread_rng */ ok");
+        assert!(!l.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(l.toks.iter().any(|t| t.is_ident("ok")));
+    }
+
+    #[test]
+    fn allow_reason_parses_from_both_styles() {
+        let l = lex(
+            "// lint:allow(l6, \"bounded\")\n// lint:allow(L6) -- trailing reason\n// lint:allow(L6)\n",
+        );
+        assert_eq!(l.allows.len(), 3);
+        assert_eq!(
+            l.allows[0].rules,
+            ["L6"],
+            "rule names normalize to uppercase"
+        );
+        assert_eq!(l.allows[0].reason.as_deref(), Some("bounded"));
+        assert_eq!(l.allows[1].reason.as_deref(), Some("trailing reason"));
+        assert_eq!(l.allows[2].reason, None);
     }
 
     #[test]

@@ -27,17 +27,44 @@
 //!   float `Vec` there is dense-matrix creep. Use `tetrium-lp::sparsela`
 //!   structures or a sorted `(row, col)` index.
 //!
+//! Three dataflow rules run on top of a lightweight syntax layer
+//! ([`syntax`]: brace-matched item extraction) and a conservative
+//! name-resolved call graph ([`callgraph`]); see DESIGN.md §15:
+//!
+//! * **L6** — reachable panics (`.unwrap()`, `.expect(…)`, panicking
+//!   macros, `expr[…]` indexing) in the sim-facing crates (`sim`, `net`,
+//!   `lp`, `serve`, `obs`) outside `#[cfg(test)]` and audit-gated code.
+//! * **L7** — transitive determinism taint: entropy / wall-clock /
+//!   unordered-iteration sources anywhere in the workspace taint their
+//!   resolved transitive callers; tainted functions in the
+//!   deterministic-core crates are reported at the importing call site.
+//! * **L8** — lock discipline in `crates/serve`: a `Mutex`/`RwLock` guard
+//!   held across `.await` or a channel send, and inconsistent two-lock
+//!   acquisition order.
+//!
 //! Escape hatch: `// lint:allow(L3) -- reason` suppresses a rule on the
 //! marker's line and the line below it; `// lint:allow-file(L3) -- reason`
-//! suppresses it for the whole file. Allow markers without a reason still
-//! work, but reviewers should expect one.
+//! suppresses it for the whole file. For the token rules (L1–L5) a marker
+//! without a reason still works; the dataflow rules (L6–L8) ignore
+//! reasonless markers — write `lint:allow(L6, "why this is safe")`.
+//!
+//! Two engines share this crate: [`lint_source`] is the original per-file
+//! token engine (L1–L5 only — kept verbatim so fixtures can prove what it
+//! misses), and [`lint_sources`]/[`lint_workspace`] run the full
+//! multi-file engine (L1–L8). CI consumes the latter as JSON
+//! (`cargo lint --json`) ratcheted against `lint_baseline.json`; see
+//! [`baseline`].
 
+pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 mod rules;
+pub mod syntax;
 mod walk;
 
 use lexer::Lexed;
 use std::path::Path;
+use syntax::FileSyntax;
 
 /// Lint rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -52,6 +79,14 @@ pub enum Rule {
     L4,
     /// Dense matrix type in a sparse-substrate crate.
     L5,
+    /// Reachable panic (`unwrap`/`expect`/panicking macro/indexing) in a
+    /// sim-facing crate.
+    L6,
+    /// Transitive determinism taint reaching a deterministic-core
+    /// function.
+    L7,
+    /// Lock-discipline violation in `crates/serve`.
+    L8,
 }
 
 impl Rule {
@@ -62,7 +97,17 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
+            Rule::L7 => "L7",
+            Rule::L8 => "L8",
         }
+    }
+
+    /// The dataflow rules only honour `lint:allow` markers that carry a
+    /// justification (`lint:allow(L6, "reason")` or a trailing
+    /// `-- reason`).
+    pub fn requires_reason(self) -> bool {
+        matches!(self, Rule::L6 | Rule::L7 | Rule::L8)
     }
 }
 
@@ -100,36 +145,95 @@ impl Finding {
     }
 }
 
-/// Lints a single file's source text. `virtual_path` determines rule scope
-/// (which rules apply where), so tests can lint snippets "as if" they lived
-/// at a given workspace path.
+/// One workspace source file, lexed and syntax-parsed: the unit the
+/// multi-file engine and the call graph operate on.
+pub struct SourceFile {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    pub lexed: Lexed,
+    pub syntax: FileSyntax,
+}
+
+/// Lints a single file with the **original token engine** (L1–L5 only,
+/// no syntax layer, no call graph). `virtual_path` determines rule scope,
+/// so tests can lint snippets "as if" they lived at a given workspace
+/// path. Kept verbatim so fixtures can demonstrate what per-file token
+/// matching provably misses; everything real goes through
+/// [`lint_sources`] / [`lint_workspace`].
 pub fn lint_source(virtual_path: &str, source: &str) -> Vec<Finding> {
     let lexed = lexer::lex(source);
     let mut findings = Vec::new();
-    if rules::l1_applies(virtual_path) {
-        rules::check_l1(&lexed, &mut findings);
-    }
-    rules::check_l2(&lexed, &mut findings);
-    if rules::l3_applies(virtual_path) {
-        rules::check_l3(&lexed, &mut findings);
-    }
-    if rules::l4_applies(virtual_path) {
-        rules::check_l4(&lexed, &mut findings);
-    }
-    if rules::l5_applies(virtual_path) {
-        rules::check_l5(&lexed, &mut findings);
-    }
+    token_rules(virtual_path, &lexed, &mut findings);
     let findings = apply_allows(&lexed, findings);
     finalize(virtual_path, &lexed, findings)
 }
 
-/// Drops findings suppressed by `lint:allow` markers.
+/// The per-file token rules (L1–L5), scoped by path.
+fn token_rules(path: &str, lexed: &Lexed, out: &mut Vec<rules::RawFinding>) {
+    if rules::l1_applies(path) {
+        rules::check_l1(lexed, out);
+    }
+    rules::check_l2(lexed, out);
+    if rules::l3_applies(path) {
+        rules::check_l3(lexed, out);
+    }
+    if rules::l4_applies(path) {
+        rules::check_l4(lexed, out);
+    }
+    if rules::l5_applies(path) {
+        rules::check_l5(lexed, out);
+    }
+}
+
+/// Lints a set of files with the **full engine**: token rules (L1–L5)
+/// per file, panic reachability (L6) against the syntax layer, lock
+/// discipline (L8) across `crates/serve`, and determinism taint (L7)
+/// propagated through the workspace call graph. Findings come back
+/// sorted by (path, line, col, rule).
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, src)| {
+            let lexed = lexer::lex(src);
+            let syntax = FileSyntax::parse(&lexed);
+            SourceFile {
+                path: path.clone(),
+                lexed,
+                syntax,
+            }
+        })
+        .collect();
+    let mut per_file: Vec<Vec<rules::RawFinding>> = parsed.iter().map(|_| Vec::new()).collect();
+    for (fi, f) in parsed.iter().enumerate() {
+        token_rules(&f.path, &f.lexed, &mut per_file[fi]);
+        if rules::l6_applies(&f.path) {
+            rules::check_l6(&f.lexed, &f.syntax, &mut per_file[fi]);
+        }
+    }
+    rules::check_l8(&parsed, &mut per_file);
+    let graph = callgraph::CallGraph::build(&parsed);
+    rules::check_l7(&parsed, &graph, &mut per_file);
+
+    let mut out = Vec::new();
+    for (f, raw) in parsed.iter().zip(per_file) {
+        let kept = apply_allows(&f.lexed, raw);
+        out.extend(finalize(&f.path, &f.lexed, kept));
+    }
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    out
+}
+
+/// Drops findings suppressed by `lint:allow` markers. Markers for rules
+/// that [`Rule::requires_reason`] only count when they carry one.
 fn apply_allows(lexed: &Lexed, findings: Vec<rules::RawFinding>) -> Vec<rules::RawFinding> {
     findings
         .into_iter()
         .filter(|f| {
             !lexed.allows.iter().any(|a| {
                 a.rules.iter().any(|r| r == f.rule.name())
+                    && (!f.rule.requires_reason() || a.reason.is_some())
                     && (a.whole_file || f.line == a.line || f.line == a.line + 1)
             })
         })
@@ -154,24 +258,21 @@ fn finalize(path: &str, lexed: &Lexed, raw: Vec<rules::RawFinding>) -> Vec<Findi
                 .unwrap_or_default(),
         })
         .collect();
-    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
     out
 }
 
-/// Lints every Rust source file under `root` (the workspace root),
-/// excluding `vendor/`, `target/`, and fixture directories. Returns
-/// findings sorted by (path, line, col).
+/// Lints every Rust source file under `root` (the workspace root) with
+/// the full engine, excluding `vendor/`, `target/`, and fixture
+/// directories. Returns findings sorted by (path, line, col).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let files = walk::rust_sources(root)?;
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let abs = root.join(&rel);
         let src = std::fs::read_to_string(&abs)?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(lint_source(&rel_str, &src));
+        sources.push((rel_str, src));
     }
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
-    Ok(findings)
+    Ok(lint_sources(&sources))
 }

@@ -1,0 +1,361 @@
+//! L8 — lock discipline in `crates/serve`.
+//!
+//! The serve front end is the only place the workspace holds locks on an
+//! async executor, and two shapes have bitten similar codebases hard
+//! enough to police mechanically:
+//!
+//! 1. **Guard across a suspension point**: a `Mutex`/`RwLock` guard
+//!    (`.lock()` / `.read()` / `.write()`, zero-arg — the arg-taking
+//!    `io::Read::read`/`Write::write` never match) alive across an
+//!    `.await` or a channel `send`. A std guard held across `.await`
+//!    blocks the worker thread (or deadlocks a single-threaded runtime);
+//!    holding one across a bounded-channel `send` turns backpressure into
+//!    a lock convoy.
+//! 2. **Inconsistent two-lock order**: the crate acquires lock `B` while
+//!    holding `A` in one place and `A` while holding `B` in another. The
+//!    canonical order is lexicographic by receiver path; only the sites
+//!    violating it are flagged.
+//!
+//! Guard lifetimes are tracked syntactically: a named guard
+//! (`let g = x.lock()…;`) lives to the end of its enclosing block or an
+//! explicit `drop(g)`; a temporary guard lives to the end of its
+//! statement (the next `;` at bracket depth 0).
+
+use super::{finding, RawFinding};
+use crate::lexer::{Tok, TokKind};
+use crate::{Rule, SourceFile};
+use std::collections::BTreeSet;
+
+/// L8 applies to the async front end only.
+pub fn l8_applies(path: &str) -> bool {
+    !super::is_test_path(path) && path.starts_with("crates/serve/")
+}
+
+/// Channel-send methods that must not run under a guard.
+const SEND_METHODS: &[&str] = &["send", "try_send", "blocking_send"];
+
+/// One lock acquisition inside a function body.
+struct Acquisition {
+    /// Token index of the `lock`/`read`/`write` method name.
+    method_tok: usize,
+    /// Dotted receiver path (`self.state`), or `<expr>` when the receiver
+    /// is not a plain path.
+    receiver: String,
+    /// Guard variable name for `let g = …` bindings.
+    guard: Option<String>,
+    /// Token range `(start, end]` during which the guard is alive.
+    alive: (usize, usize),
+}
+
+/// L8: guards across suspension points and inconsistent lock order.
+/// Order pairs are aggregated across every serve file before flagging, so
+/// the two halves of an inversion can live in different modules.
+pub fn check_l8(files: &[SourceFile], per_file: &mut [Vec<RawFinding>]) {
+    // (first-receiver, second-receiver, file, second-acquisition token)
+    let mut pairs: Vec<(String, String, usize, usize)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !l8_applies(&f.path) {
+            continue;
+        }
+        for fun in &f.syntax.fns {
+            if fun.test_only || fun.audit_only {
+                continue;
+            }
+            let Some((lo, hi)) = fun.body else { continue };
+            let acqs = find_acquisitions(&f.lexed.toks, lo, hi);
+            flag_suspensions(&f.lexed.toks, &acqs, &mut per_file[fi]);
+            // Overlapping named-guard pairs feed the order table.
+            for (a_idx, a) in acqs.iter().enumerate() {
+                if a.guard.is_none() {
+                    continue;
+                }
+                for b in &acqs[a_idx + 1..] {
+                    if b.method_tok <= a.alive.1
+                        && b.receiver != a.receiver
+                        && a.receiver != "<expr>"
+                        && b.receiver != "<expr>"
+                    {
+                        pairs.push((a.receiver.clone(), b.receiver.clone(), fi, b.method_tok));
+                    }
+                }
+            }
+        }
+    }
+    // Inversions: both (a, b) and (b, a) observed somewhere in the crate.
+    let observed: BTreeSet<(String, String)> = pairs
+        .iter()
+        .map(|(a, b, _, _)| (a.clone(), b.clone()))
+        .collect();
+    for (a, b, fi, tok) in &pairs {
+        if a > b && observed.contains(&(b.clone(), a.clone())) {
+            let t = &files[*fi].lexed.toks[*tok];
+            per_file[*fi].push(finding(
+                Rule::L8,
+                t,
+                t.text.len() as u32,
+                format!(
+                    "inconsistent lock order: `{b}` acquired while holding \
+                     `{a}`, but the opposite order exists elsewhere in \
+                     crates/serve; acquire in lexicographic receiver order \
+                     (`{b}` before `{a}`) everywhere"
+                ),
+            ));
+        }
+    }
+}
+
+/// Scans a body for zero-arg `.lock()`/`.read()`/`.write()` calls and
+/// computes each guard's syntactic lifetime.
+fn find_acquisitions(toks: &[Tok], lo: usize, hi: usize) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for i in lo + 1..hi {
+        let t = &toks[i];
+        if !(t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")) {
+            continue;
+        }
+        let zero_arg_method = i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(")"));
+        if !zero_arg_method {
+            continue;
+        }
+        let receiver = receiver_path(toks, i - 1);
+        let guard = guard_binding(toks, i, lo);
+        let alive_end = match &guard {
+            Some(name) => guard_end(toks, i, hi, name),
+            None => statement_end(toks, i, hi),
+        };
+        out.push(Acquisition {
+            method_tok: i,
+            receiver,
+            guard,
+            alive: (i, alive_end),
+        });
+    }
+    out
+}
+
+/// Flags `.await` / channel sends inside any acquisition's alive range.
+fn flag_suspensions(toks: &[Tok], acqs: &[Acquisition], out: &mut Vec<RawFinding>) {
+    for a in acqs {
+        for j in a.alive.0 + 1..=a.alive.1.min(toks.len() - 1) {
+            if !(j > 0 && toks[j - 1].is_punct(".")) {
+                continue;
+            }
+            let t = &toks[j];
+            if t.is_ident("await") {
+                out.push(finding(
+                    Rule::L8,
+                    t,
+                    5,
+                    format!(
+                        "`.await` while the guard from `{}.{}()` is held; a \
+                         blocking guard across a suspension point stalls the \
+                         worker (or deadlocks); drop the guard first",
+                        a.receiver, toks[a.method_tok].text
+                    ),
+                ));
+            } else if t.kind == TokKind::Ident
+                && SEND_METHODS.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(finding(
+                    Rule::L8,
+                    t,
+                    t.text.len() as u32,
+                    format!(
+                        "channel `.{}()` while the guard from `{}.{}()` is \
+                         held; backpressure under a lock becomes a convoy — \
+                         drop the guard before sending",
+                        t.text, a.receiver, toks[a.method_tok].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Reconstructs the dotted receiver path ending at the `.` before the
+/// method name (`self . state . lock` → `self.state`).
+fn receiver_path(toks: &[Tok], dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut k = dot;
+    while k >= 1 {
+        let r = &toks[k - 1];
+        if r.kind == TokKind::Ident {
+            parts.push(r.text.clone());
+            if k >= 3
+                && (toks[k - 2].is_punct(".") || toks[k - 2].is_punct("::"))
+                && toks[k - 3].kind == TokKind::Ident
+            {
+                k -= 2;
+                continue;
+            }
+        } else {
+            // `foo().lock()`, `arr[i].lock()` — not a plain path.
+            return "<expr>".to_string();
+        }
+        break;
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// If the acquisition is the initialiser of `let [mut] g = recv.lock()…`,
+/// returns `g`. Walks back from the method token over the receiver path
+/// to the `=`.
+fn guard_binding(toks: &[Tok], method_tok: usize, lo: usize) -> Option<String> {
+    let mut k = method_tok - 1; // the `.`
+    while k > lo {
+        let t = &toks[k - 1];
+        if t.kind == TokKind::Ident || t.is_punct(".") || t.is_punct("::") || t.is_punct("&") {
+            k -= 1;
+            continue;
+        }
+        if t.is_punct("=") && k >= 2 && toks[k - 2].kind == TokKind::Ident {
+            let name_idx = k - 2;
+            let before = if toks[name_idx - 1].is_ident("mut") {
+                name_idx - 2
+            } else {
+                name_idx - 1
+            };
+            if toks[before].is_ident("let") {
+                return Some(toks[name_idx].text.clone());
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// End of a named guard's life: `drop(name)` or the close of the
+/// enclosing block, whichever comes first.
+fn guard_end(toks: &[Tok], from: usize, hi: usize, name: &str) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(hi + 1).skip(from) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if t.is_ident("drop")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(j + 2).is_some_and(|n| n.is_ident(name))
+        {
+            return j;
+        }
+    }
+    hi
+}
+
+/// End of a temporary guard's statement: the next `;` at bracket depth 0.
+fn statement_end(toks: &[Tok], from: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(hi + 1).skip(from) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct(";") && depth <= 0 {
+            return j;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint_sources, Rule};
+
+    fn l8(src: &str) -> Vec<crate::Finding> {
+        lint_sources(&[("crates/serve/src/x.rs".to_string(), src.to_string())])
+            .into_iter()
+            .filter(|f| f.rule == Rule::L8)
+            .collect()
+    }
+
+    #[test]
+    fn guard_across_await_fires_dropped_guard_does_not() {
+        let bad = "async fn f(s: &S) {\n\
+                       let g = s.state.lock().unwrap();\n\
+                       s.tx.notify().await;\n\
+                       g.touch();\n\
+                   }";
+        let f = l8(bad);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("s.state.lock()"));
+        let good = "async fn f(s: &S) {\n\
+                        let g = s.state.lock().unwrap();\n\
+                        g.touch();\n\
+                        drop(g);\n\
+                        s.tx.notify().await;\n\
+                    }";
+        assert!(l8(good).is_empty());
+        let scoped = "async fn f(s: &S) {\n\
+                          { let g = s.state.lock().unwrap(); g.touch(); }\n\
+                          s.tx.notify().await;\n\
+                      }";
+        assert!(l8(scoped).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_its_statement() {
+        let ok = "async fn f(s: &S) {\n\
+                      s.state.lock().unwrap().bump();\n\
+                      s.tx.notify().await;\n\
+                  }";
+        assert!(l8(ok).is_empty());
+        let bad = "async fn f(s: &S) {\n\
+                       s.state.lock().unwrap().flush_to(&s.sink).await;\n\
+                   }";
+        assert_eq!(l8(bad).len(), 1);
+    }
+
+    #[test]
+    fn channel_send_under_guard_fires() {
+        let bad = "fn f(s: &S) {\n\
+                       let g = s.state.lock().unwrap();\n\
+                       s.tx.send(g.snapshot());\n\
+                   }";
+        let f = l8(bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("send"));
+    }
+
+    #[test]
+    fn inconsistent_two_lock_order_flags_non_canonical_site() {
+        let src = "fn ab(s: &S) {\n\
+                       let a = s.alpha.lock().unwrap();\n\
+                       let b = s.beta.lock().unwrap();\n\
+                       a.merge(&b);\n\
+                   }\n\
+                   fn ba(s: &S) {\n\
+                       let b = s.beta.lock().unwrap();\n\
+                       let a = s.alpha.lock().unwrap();\n\
+                       a.merge(&b);\n\
+                   }";
+        let f = l8(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 8, "the beta-then-alpha site is flagged");
+        // A consistent crate is clean even with nested locks.
+        let consistent = "fn ab(s: &S) {\n\
+                              let a = s.alpha.lock().unwrap();\n\
+                              let b = s.beta.lock().unwrap();\n\
+                              a.merge(&b);\n\
+                          }";
+        assert!(l8(consistent).is_empty());
+    }
+
+    #[test]
+    fn arg_taking_read_write_are_not_lock_acquisitions() {
+        let io = "fn f(r: &mut R, buf: &mut [u8]) {\n\
+                      r.read(buf);\n\
+                      r.write(buf);\n\
+                  }";
+        assert!(l8(io).is_empty());
+    }
+}

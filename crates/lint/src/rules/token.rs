@@ -1,28 +1,13 @@
-//! The five lint rules, implemented over token sequences.
+//! The original five token-level rules (L1–L5), implemented over raw
+//! token sequences — no syntax layer needed. The per-site detection for
+//! L1 and L3 is factored into `l1_hits`/`l3_hits` (token indices, not
+//! line/col) so the L7 determinism-taint rule can reuse them as seed
+//! sources across the whole workspace.
 
+use super::{finding, RawFinding};
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::Rule;
 use std::collections::BTreeSet;
-
-/// A finding before path/source-line context is attached.
-#[derive(Debug)]
-pub struct RawFinding {
-    pub rule: Rule,
-    pub line: u32,
-    pub col: u32,
-    pub len: u32,
-    pub message: String,
-}
-
-fn finding(rule: Rule, tok: &Tok, len: u32, message: String) -> RawFinding {
-    RawFinding {
-        rule,
-        line: tok.line,
-        col: tok.col,
-        len,
-        message,
-    }
-}
 
 /// L1 applies to simulation-facing code: the engine, flow simulator,
 /// cluster model, baselines, and any scheduler path.
@@ -71,10 +56,43 @@ const ITER_METHODS: &[&str] = &[
     "extract_if",
 ];
 
+/// One unordered-iteration site: the flagged token's index, the hash
+/// collection's binding name, and the iteration method (`None` for a bare
+/// `for … in binding`).
+pub(crate) struct L1Hit {
+    pub tok: usize,
+    pub binding: String,
+    pub method: Option<String>,
+}
+
 /// L1: find bindings/fields typed or initialised as `HashMap`/`HashSet`,
 /// then flag any iteration over them (method calls above, or appearing as a
 /// `for .. in` iterable without a keyed accessor).
 pub fn check_l1(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    for h in l1_hits(lexed) {
+        let t = &lexed.toks[h.tok];
+        let message = match &h.method {
+            Some(m) => format!(
+                "iteration over hash collection `{}` via `.{}()`; \
+                 HashMap/HashSet order is seeded by RandomState — use \
+                 BTreeMap/BTreeSet or a sorted vec in simulation code",
+                h.binding, m
+            ),
+            None => format!(
+                "`for` iteration over hash collection `{}`; \
+                 HashMap/HashSet order is seeded by RandomState — use \
+                 BTreeMap/BTreeSet or a sorted vec in simulation code",
+                h.binding
+            ),
+        };
+        out.push(finding(Rule::L1, t, t.text.len() as u32, message));
+    }
+}
+
+/// Token-level detection behind [`check_l1`], returning token indices so
+/// L7 can seed taint from any file regardless of L1's path scope.
+pub(crate) fn l1_hits(lexed: &Lexed) -> Vec<L1Hit> {
+    let mut hits = Vec::new();
     let toks = &lexed.toks;
     // Pass A: collect binding names. Two shapes cover this codebase:
     //   `name: [std::collections::] HashMap<..>`   (fields, lets, args)
@@ -131,17 +149,11 @@ pub fn check_l1(lexed: &Lexed, out: &mut Vec<RawFinding>) {
                 && m.kind == TokKind::Ident
                 && ITER_METHODS.contains(&m.text.as_str())
             {
-                out.push(finding(
-                    Rule::L1,
-                    m,
-                    m.text.len() as u32,
-                    format!(
-                        "iteration over hash collection `{}` via `.{}()`; \
-                         HashMap/HashSet order is seeded by RandomState — use \
-                         BTreeMap/BTreeSet or a sorted vec in simulation code",
-                        t.text, m.text
-                    ),
-                ));
+                hits.push(L1Hit {
+                    tok: i + 2,
+                    binding: t.text.clone(),
+                    method: Some(m.text.clone()),
+                });
             }
         }
     }
@@ -176,22 +188,17 @@ pub fn check_l1(lexed: &Lexed, out: &mut Vec<RawFinding>) {
                 && is_binding_use(j)
                 && !toks.get(j + 1).map(|n| n.is_punct(".")).unwrap_or(false)
             {
-                out.push(finding(
-                    Rule::L1,
-                    t,
-                    t.text.len() as u32,
-                    format!(
-                        "`for` iteration over hash collection `{}`; \
-                         HashMap/HashSet order is seeded by RandomState — use \
-                         BTreeMap/BTreeSet or a sorted vec in simulation code",
-                        t.text
-                    ),
-                ));
+                hits.push(L1Hit {
+                    tok: j,
+                    binding: t.text.clone(),
+                    method: None,
+                });
             }
             j += 1;
         }
         i = j;
     }
+    hits
 }
 
 /// L2: `partial_cmp` used as a comparator (anywhere). Definitions
@@ -219,7 +226,26 @@ pub fn check_l2(lexed: &Lexed, out: &mut Vec<RawFinding>) {
 
 /// L3: wall-clock / entropy sources outside bench code.
 pub fn check_l3(lexed: &Lexed, out: &mut Vec<RawFinding>) {
+    for i in l3_hits(lexed) {
+        let t = &lexed.toks[i];
+        out.push(finding(
+            Rule::L3,
+            t,
+            t.text.len() as u32,
+            format!(
+                "wall-clock/entropy source `{}` outside bench timing code; \
+                 simulation output must be a pure function of the seed",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Token indices of wall-clock/entropy reads (the detection behind
+/// [`check_l3`]; reused as L7 taint seeds).
+pub(crate) fn l3_hits(lexed: &Lexed) -> Vec<usize> {
     let toks = &lexed.toks;
+    let mut hits = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
@@ -235,18 +261,10 @@ pub fn check_l3(lexed: &Lexed, out: &mut Vec<RawFinding>) {
             _ => false,
         };
         if hit {
-            out.push(finding(
-                Rule::L3,
-                t,
-                t.text.len() as u32,
-                format!(
-                    "wall-clock/entropy source `{}` outside bench timing code; \
-                     simulation output must be a pure function of the seed",
-                    t.text
-                ),
-            ));
+            hits.push(i);
         }
     }
+    hits
 }
 
 /// Integer cast targets that truncate a float.

@@ -1,0 +1,28 @@
+//! Known-bad L6 fixture: every reachable-panic shape on a serving path,
+//! plus a reasonless allow marker that must NOT suppress, and test-gated
+//! code that must stay exempt.
+
+pub fn first(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}
+
+pub fn nth(v: &[f64], i: usize) -> f64 {
+    v[i]
+}
+
+pub fn boom() {
+    panic!("no");
+}
+
+pub fn reasonless(v: &[f64]) -> f64 {
+    // lint:allow(L6)
+    v.first().copied().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_in_tests_is_exempt() {
+        let _x = [1.0_f64][0];
+    }
+}

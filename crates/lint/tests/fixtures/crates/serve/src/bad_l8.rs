@@ -1,0 +1,22 @@
+//! Known-bad L8 fixture: a guard held across `.await` and an
+//! inconsistent two-lock order. `lock()` stands in for a parking_lot
+//! style guard (no `unwrap`), keeping the file free of L6 noise so the
+//! span assertions stay exact.
+
+pub async fn held_across_await(s: &State) {
+    let g = s.queue.lock();
+    s.peer.ping().await;
+    g.len();
+}
+
+pub fn ab(s: &State) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    a.merge(&b);
+}
+
+pub fn ba(s: &State) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    a.merge(&b);
+}

@@ -1,0 +1,9 @@
+//! L7 fixture, caller half: no hash types and no clocks in sight — the
+//! token-level rules are blind to this file. The dataflow engine flags
+//! the `merge_weights` call that imports unordered-iteration taint from
+//! `crates/core/src/taint_helper.rs`.
+
+pub fn schedule_round(w: f64) -> f64 {
+    let x = merge_weights(&Default::default());
+    w + x
+}

@@ -244,9 +244,12 @@ impl ObsReport {
         self.slots.len()
     }
 
-    /// Net WAN GB moved from `src` to `dst`.
+    /// Net WAN GB moved from `src` to `dst` (zero for out-of-range ids).
     pub fn wan_pair(&self, src: SiteId, dst: SiteId) -> f64 {
-        self.wan_pair_gb[src.index() * self.n_sites() + dst.index()]
+        self.wan_pair_gb
+            .get(src.index() * self.n_sites() + dst.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Total net WAN GB across all pairs — reconciles with
@@ -339,7 +342,8 @@ impl ObsReport {
         }
         let mut w: Vec<f64> = self.sched.iter().map(|s| s.wall_secs).collect();
         w.sort_by(f64::total_cmp);
-        w[((w.len() as f64 - 1.0) * q).round() as usize]
+        let idx = ((w.len() as f64 - 1.0) * q).round() as usize;
+        w.get(idx).copied().unwrap_or(0.0)
     }
 
     /// Serializes the report. `include_wall` gates the measured scheduler
@@ -362,6 +366,7 @@ impl ObsReport {
                     "launched": s.launched,
                 });
                 if include_wall {
+                    // lint:allow(L6, "json! builds an object; IndexMut inserts, never panics")
                     v["wall_ms"] = json!(s.wall_secs * 1e3);
                 }
                 v
@@ -490,7 +495,9 @@ impl Obs {
     /// coalesce into the final value.
     pub fn slot_sample(&self, t: f64, site: SiteId, occupied: usize) {
         self.with(|r| {
-            let tl = &mut r.slot_timeline[site.index()];
+            let Some(tl) = r.slot_timeline.get_mut(site.index()) else {
+                return;
+            };
             match tl.last_mut() {
                 Some(last) if last.0 == t => last.1 = occupied,
                 _ => tl.push((t, occupied)),
@@ -521,7 +528,9 @@ impl Obs {
     pub fn wan_transfer(&self, src: SiteId, dst: SiteId, gb: f64) {
         self.with(|r| {
             let n = r.n_sites();
-            r.wan_pair_gb[src.index() * n + dst.index()] += gb;
+            if let Some(cell) = r.wan_pair_gb.get_mut(src.index() * n + dst.index()) {
+                *cell += gb;
+            }
         });
     }
 

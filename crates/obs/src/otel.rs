@@ -39,6 +39,7 @@ pub const OTEL_SCOPE: &str = "tetrium-obs";
 /// Serializes the report as pretty OTLP/JSON under the given run name
 /// (the id namespace; see the module docs).
 pub fn to_otel_string(report: &ObsReport, run_name: &str) -> String {
+    // lint:allow(L6, "serializing a serde_json::Value cannot fail")
     serde_json::to_string_pretty(&to_otel_json(report, run_name)).expect("otel export serializes")
 }
 
@@ -136,24 +137,26 @@ fn attr_double_array(key: &str, vs: &[f64]) -> Value {
 fn mean_link_rates(report: &ObsReport) -> (Vec<f64>, Vec<f64>) {
     let n = report.n_sites();
     let tl = &report.link_timeline;
-    if tl.len() < 2 {
-        return (vec![0.0; n], vec![0.0; n]);
-    }
-    let window = tl[tl.len() - 1].t - tl[0].t;
-    if window <= 0.0 {
-        return (vec![0.0; n], vec![0.0; n]);
-    }
     let (mut up, mut down) = (vec![0.0; n], vec![0.0; n]);
+    let window = match (tl.first(), tl.last()) {
+        (Some(first), Some(last)) if tl.len() >= 2 => last.t - first.t,
+        _ => return (up, down),
+    };
+    if window <= 0.0 {
+        return (up, down);
+    }
     for w in tl.windows(2) {
-        let dt = w[1].t - w[0].t;
-        for i in 0..n {
-            up[i] += w[0].up[i] * dt;
-            down[i] += w[0].down[i] * dt;
+        let [prev, next] = w else { continue };
+        let dt = next.t - prev.t;
+        for (acc, rate) in up.iter_mut().zip(&prev.up) {
+            *acc += rate * dt;
+        }
+        for (acc, rate) in down.iter_mut().zip(&prev.down) {
+            *acc += rate * dt;
         }
     }
-    for i in 0..n {
-        up[i] /= window;
-        down[i] /= window;
+    for v in up.iter_mut().chain(down.iter_mut()) {
+        *v /= window;
     }
     (up, down)
 }
@@ -260,7 +263,9 @@ fn job_spans(report: &ObsReport, ns: u64) -> Vec<Value> {
             }));
             for ((task, copy), events) in attempts {
                 let key = [*job as u64, *stage as u64, *task as u64, u64::from(*copy)];
-                let last = events[events.len() - 1];
+                let (Some(&first), Some(&last)) = (events.first(), events.last()) else {
+                    continue;
+                };
                 let status = match last.phase {
                     TaskPhaseEvent::Done => 1,
                     TaskPhaseEvent::Failed => 2,
@@ -283,7 +288,7 @@ fn job_spans(report: &ObsReport, ns: u64) -> Vec<Value> {
                     "parentSpanId": stage_sid,
                     "name": format!("job/{job}/stage/{stage}/task/{task}{suffix}"),
                     "kind": 1,
-                    "startTimeUnixNano": nanos(events[0].t),
+                    "startTimeUnixNano": nanos(first.t),
                     "endTimeUnixNano": nanos(last.t),
                     "attributes": [
                         attr_int("tetrium.task", *task as i64),

@@ -43,7 +43,8 @@ pub fn shard_of(id: JobId, shards: usize) -> usize {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^= z >> 31;
-    usize::try_from(z % (shards as u64)).expect("shard index fits usize")
+    // `z % shards < shards <= usize::MAX`, so the narrowing cast is exact.
+    (z % (shards as u64)) as usize
 }
 
 #[cfg(test)]

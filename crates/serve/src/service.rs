@@ -173,7 +173,12 @@ impl TetriumService {
         }
         let id = job.id;
         let shard = shard_of(id, self.shards);
-        match self.submit_txs[shard].send(job).await {
+        // `shard_of` returns `< self.shards == submit_txs.len()`; treat a
+        // mismatch like shutdown rather than panicking a serving task.
+        let Some(tx) = self.submit_txs.get(shard) else {
+            return Err(SubmitError::ShuttingDown(Box::new(job)));
+        };
+        match tx.send(job).await {
             Ok(()) => Ok(SubmitReceipt { job: id, shard }),
             Err(mpsc::SendError(job)) => Err(SubmitError::ShuttingDown(Box::new(job))),
         }
